@@ -1,0 +1,78 @@
+// Experiment E3: both-included (Theorem 5.3 / Figure 3 / Prop 5.4). On the
+// Figure 3 family, compares the native BI against the naive-but-wrong
+// base-algebra attempt C ⊃ (B < A) (which over-selects — counted as false
+// positives) and the Prop 5.4 bounded expansion (correct on antichains but
+// quadratic in the width bound).
+
+#include <benchmark/benchmark.h>
+
+#include "core/algebra.h"
+#include "core/eval.h"
+#include "core/extended.h"
+#include "doc/synthetic.h"
+
+namespace regal {
+namespace {
+
+void BM_NativeBothIncluded(benchmark::State& state) {
+  Instance instance = MakeFigure3Instance(static_cast<int>(state.range(0)));
+  RegionSet c = **instance.Get("C");
+  RegionSet a = **instance.Get("A");
+  RegionSet b = **instance.Get("B");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BothIncluded(c, b, a));
+  }
+  state.counters["true_hits"] = static_cast<double>(BothIncluded(c, b, a).size());
+}
+
+void BM_NaiveBaseAlgebraAttempt(benchmark::State& state) {
+  Instance instance = MakeFigure3Instance(static_cast<int>(state.range(0)));
+  RegionSet c = **instance.Get("C");
+  RegionSet a = **instance.Get("A");
+  RegionSet b = **instance.Get("B");
+  size_t wrong = 0;
+  for (auto _ : state) {
+    RegionSet attempt = Including(c, Precedes(b, a));
+    wrong = attempt.size();
+    benchmark::DoNotOptimize(attempt);
+  }
+  RegionSet truth = BothIncluded(c, b, a);
+  state.counters["false_positives"] =
+      static_cast<double>(wrong - truth.size());
+}
+
+void BM_BoundedExpansionBothIncluded(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  Instance instance = MakeFigure3Instance(k);
+  // Width bound: the pairwise-disjoint A/B regions, 2*(4k+1)+1 of them.
+  int width = 2 * (4 * k + 1) + 1;
+  ExprPtr bounded = BothIncludedBounded(Expr::Name("C"), Expr::Name("B"),
+                                        Expr::Name("A"), width);
+  Evaluator evaluator(&instance);
+  for (auto _ : state) {
+    auto result = evaluator.Evaluate(bounded);
+    if (!result.ok()) state.SkipWithError("eval failed");
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["expr_ops"] = bounded->NumOps();
+}
+
+void BM_NaiveReferenceBothIncluded(benchmark::State& state) {
+  Instance instance = MakeFigure3Instance(static_cast<int>(state.range(0)));
+  RegionSet c = **instance.Get("C");
+  RegionSet a = **instance.Get("A");
+  RegionSet b = **instance.Get("B");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(naive::BothIncluded(c, b, a));
+  }
+}
+
+BENCHMARK(BM_NativeBothIncluded)->Range(1, 1 << 10);
+BENCHMARK(BM_NaiveBaseAlgebraAttempt)->Range(1, 1 << 10);
+BENCHMARK(BM_BoundedExpansionBothIncluded)->Range(1, 8);
+BENCHMARK(BM_NaiveReferenceBothIncluded)->Range(1, 1 << 7);
+
+}  // namespace
+}  // namespace regal
+
+BENCHMARK_MAIN();

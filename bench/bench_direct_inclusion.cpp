@@ -1,0 +1,72 @@
+// Experiment E2: direct inclusion (Theorem 5.1 / Figure 2 / Prop 5.2 / §6).
+// On the alternating-nesting Figure 2 family, compares:
+//  * the native tree-based ⊃_d,
+//  * the paper's Section 6 while-loop program (base ops only),
+//  * the Prop 5.2 bounded expansion (a pure expression sized to the depth).
+// Expect native ~linear, the loop program ~depth * cost(⊃), and the bounded
+// expansion growing with depth * |catalog| — the price of staying inside
+// the base algebra.
+
+#include <benchmark/benchmark.h>
+
+#include "core/eval.h"
+#include "core/extended.h"
+#include "doc/synthetic.h"
+
+namespace regal {
+namespace {
+
+void BM_NativeDirectIncluding(benchmark::State& state) {
+  Instance instance = MakeFigure2Instance(static_cast<int>(state.range(0)));
+  RegionSet b = **instance.Get("B");
+  RegionSet a = **instance.Get("A");
+  instance.TreeSize();  // Pre-build the tree outside the loop.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DirectIncluding(instance, b, a));
+  }
+}
+
+void BM_LoopProgramDirectIncluding(benchmark::State& state) {
+  Instance instance = MakeFigure2Instance(static_cast<int>(state.range(0)));
+  RegionSet b = **instance.Get("B");
+  RegionSet a = **instance.Get("A");
+  int iterations = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        DirectIncludingLoop(instance, b, a, &iterations));
+  }
+  state.counters["loop_iterations"] = iterations;
+}
+
+void BM_BoundedExpansionDirectIncluding(benchmark::State& state) {
+  Instance instance = MakeFigure2Instance(static_cast<int>(state.range(0)));
+  ExprPtr bounded =
+      DirectIncludingBounded(Expr::Name("B"), Expr::Name("A"),
+                             instance.TreeDepth(), instance.names());
+  Evaluator evaluator(&instance);
+  for (auto _ : state) {
+    auto result = evaluator.Evaluate(bounded);
+    if (!result.ok()) state.SkipWithError("eval failed");
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["expr_ops"] = bounded->NumOps();
+}
+
+void BM_NaiveDirectIncluding(benchmark::State& state) {
+  Instance instance = MakeFigure2Instance(static_cast<int>(state.range(0)));
+  RegionSet b = **instance.Get("B");
+  RegionSet a = **instance.Get("A");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(naive::DirectIncluding(instance, b, a));
+  }
+}
+
+BENCHMARK(BM_NativeDirectIncluding)->Range(1 << 2, 1 << 12);
+BENCHMARK(BM_LoopProgramDirectIncluding)->Range(1 << 2, 1 << 10);
+BENCHMARK(BM_BoundedExpansionDirectIncluding)->Range(1 << 2, 1 << 8);
+BENCHMARK(BM_NaiveDirectIncluding)->Range(1 << 2, 1 << 8);
+
+}  // namespace
+}  // namespace regal
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Experiment E10 (ablation of DESIGN.md decision #2): the same extended
+// operator computed four ways —
+//   native tree algorithm,
+//   §6 loop program (base ops, imperative loop),
+//   Prop 5.2 bounded expansion (pure base expression; optimizer lowering),
+//   §7 relational plan (θ-joins + difference).
+// Measures what each representation costs on document-shaped corpora.
+
+#include <benchmark/benchmark.h>
+
+#include "core/eval.h"
+#include "core/extended.h"
+#include "doc/dictionary.h"
+#include "doc/sgml.h"
+#include "opt/optimizer.h"
+#include "relational/extended_via_relational.h"
+
+namespace regal {
+namespace {
+
+Instance MakeDictionary(int entries) {
+  DictionaryGeneratorOptions options;
+  options.entries = entries;
+  options.seed = 99;
+  auto instance = ParseSgml(GenerateDictionarySource(options));
+  if (!instance.ok()) std::abort();
+  return std::move(instance).value();
+}
+
+void BM_AblationNative(benchmark::State& state) {
+  Instance instance = MakeDictionary(static_cast<int>(state.range(0)));
+  RegionSet entry = **instance.Get("entry");
+  RegionSet sense = **instance.Get("sense");
+  instance.TreeSize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DirectIncluding(instance, entry, sense));
+  }
+}
+
+void BM_AblationLoopProgram(benchmark::State& state) {
+  Instance instance = MakeDictionary(static_cast<int>(state.range(0)));
+  RegionSet entry = **instance.Get("entry");
+  RegionSet sense = **instance.Get("sense");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DirectIncludingLoop(instance, entry, sense));
+  }
+}
+
+void BM_AblationLoweredExpression(benchmark::State& state) {
+  Instance instance = MakeDictionary(static_cast<int>(state.range(0)));
+  Digraph rig = DictionaryRig();
+  OptimizerOptions options;
+  options.rig = &rig;
+  options.lower_extended_operators = true;
+  ExprPtr lowered =
+      Optimize(Expr::DirectIncluding(Expr::Name("entry"), Expr::Name("sense")),
+               options)
+          .expr;
+  Evaluator evaluator(&instance);
+  for (auto _ : state) {
+    auto result = evaluator.Evaluate(lowered);
+    if (!result.ok()) state.SkipWithError("eval failed");
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["expr_ops"] = lowered->NumOps();
+}
+
+void BM_AblationRelationalPlan(benchmark::State& state) {
+  Instance instance = MakeDictionary(static_cast<int>(state.range(0)));
+  RegionSet entry = **instance.Get("entry");
+  RegionSet sense = **instance.Get("sense");
+  for (auto _ : state) {
+    auto result = DirectIncludingRelational(instance, entry, sense);
+    if (!result.ok()) state.SkipWithError("relational plan failed");
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+BENCHMARK(BM_AblationNative)->RangeMultiplier(4)->Range(16, 1024);
+BENCHMARK(BM_AblationLoopProgram)->RangeMultiplier(4)->Range(16, 1024);
+BENCHMARK(BM_AblationLoweredExpression)->RangeMultiplier(4)->Range(16, 1024);
+BENCHMARK(BM_AblationRelationalPlan)->RangeMultiplier(4)->Range(16, 256);
+
+}  // namespace
+}  // namespace regal
+
+BENCHMARK_MAIN();

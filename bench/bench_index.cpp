@@ -1,0 +1,91 @@
+// Experiment E9: the PAT substrate [Gon87, Ope93]. Suffix-array
+// construction and pattern search throughput over synthetic corpora, plus
+// the σ_p word-index path both indexes implement. Establishes that the
+// selection operator runs against a real index.
+
+#include <benchmark/benchmark.h>
+
+#include "doc/sgml.h"
+#include "index/suffix_array.h"
+#include "index/word_index.h"
+#include "util/random.h"
+
+namespace regal {
+namespace {
+
+std::string MakeCorpus(int64_t target_bytes) {
+  PlayGeneratorOptions options;
+  options.acts = 1;
+  options.scenes_per_act = 1;
+  options.speeches_per_scene = static_cast<int>(target_bytes / 400 + 1);
+  options.lines_per_speech = 3;
+  options.vocabulary = 200;
+  return GeneratePlaySource(options);
+}
+
+void BM_SuffixArrayBuild(benchmark::State& state) {
+  std::string corpus = MakeCorpus(state.range(0));
+  for (auto _ : state) {
+    SuffixArray sa(corpus);
+    benchmark::DoNotOptimize(sa.sa().size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(corpus.size()));
+}
+
+void BM_SuffixArraySearch(benchmark::State& state) {
+  std::string corpus = MakeCorpus(state.range(0));
+  SuffixArray sa(corpus);
+  Rng rng(1);
+  for (auto _ : state) {
+    std::string needle = "word" + std::to_string(rng.Below(200));
+    benchmark::DoNotOptimize(sa.Count(needle));
+  }
+}
+
+void BM_SuffixArrayOccurrences(benchmark::State& state) {
+  std::string corpus = MakeCorpus(state.range(0));
+  SuffixArray sa(corpus);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sa.Occurrences("word1"));
+  }
+}
+
+void BM_WordIndexExact(benchmark::State& state) {
+  Text text(MakeCorpus(state.range(0)));
+  SuffixArrayWordIndex index(&text);
+  Pattern p = *Pattern::Parse("word42");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Matches(p));
+  }
+}
+
+void BM_WordIndexPrefix(benchmark::State& state) {
+  Text text(MakeCorpus(state.range(0)));
+  SuffixArrayWordIndex index(&text);
+  Pattern p = *Pattern::Parse("word1*");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Matches(p));
+  }
+}
+
+void BM_InvertedIndexPrefix(benchmark::State& state) {
+  Text text(MakeCorpus(state.range(0)));
+  InvertedWordIndex index(&text);
+  Pattern p = *Pattern::Parse("word1*");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Matches(p));
+  }
+}
+
+BENCHMARK(BM_SuffixArrayBuild)->Range(1 << 12, 1 << 20);
+BENCHMARK(BM_SuffixArraySearch)->Range(1 << 12, 1 << 20);
+BENCHMARK(BM_SuffixArrayOccurrences)->Range(1 << 12, 1 << 20);
+BENCHMARK(BM_WordIndexExact)->Range(1 << 12, 1 << 18);
+BENCHMARK(BM_WordIndexPrefix)->Range(1 << 12, 1 << 18);
+BENCHMARK(BM_InvertedIndexPrefix)->Range(1 << 12, 1 << 18);
+
+}  // namespace
+}  // namespace regal
+
+BENCHMARK_MAIN();

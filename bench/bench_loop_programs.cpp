@@ -1,0 +1,110 @@
+// Experiment E6: "one loop is sufficient" (Section 6). On deep instances
+// from the chain program's validity class, compares the stepwise strategy
+// (one loop program per ⊃_d, the "very expensive" naive computation) with
+// the paper's single-loop chain program, sweeping R1-nesting depth and
+// chain length. Also measures the RIG-restricted `All` optimization.
+
+#include <benchmark/benchmark.h>
+
+#include "core/extended.h"
+#include "doc/synthetic.h"
+#include "rig/minimal_set.h"
+
+namespace regal {
+namespace {
+
+// A P-spine of the given depth; each P directly holds an M holding an X
+// holding a V (a 4-name chain per level), plus sibling noise regions N.
+Instance DeepChainInstance(int depth) {
+  NodeSpec node{"P",
+                {NodeSpec{"M", {NodeSpec{"X", {NodeSpec{"V", {}}}}}},
+                 NodeSpec{"N", {}}}};
+  for (int i = 1; i < depth; ++i) {
+    NodeSpec p{"P",
+               {NodeSpec{"M", {NodeSpec{"X", {NodeSpec{"V", {}}}}}},
+                NodeSpec{"N", {}}, std::move(node)}};
+    node = std::move(p);
+  }
+  Instance instance = FromForest({std::move(node)});
+  for (const char* name : {"P", "M", "X", "V", "N"}) {
+    if (!instance.Has(name)) instance.SetRegionSet(name, RegionSet());
+  }
+  return instance;
+}
+
+const std::vector<std::string>& Chain() {
+  static const std::vector<std::string> chain{"P", "M", "X", "V"};
+  return chain;
+}
+
+void BM_StepwiseChain(benchmark::State& state) {
+  Instance instance = DeepChainInstance(static_cast<int>(state.range(0)));
+  int iterations = 0;
+  for (auto _ : state) {
+    auto result = DirectChainStepwise(instance, Chain(), &iterations);
+    if (!result.ok()) state.SkipWithError("chain failed");
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["loop_iterations"] = iterations;
+}
+
+void BM_SingleLoopChain(benchmark::State& state) {
+  Instance instance = DeepChainInstance(static_cast<int>(state.range(0)));
+  int iterations = 0;
+  for (auto _ : state) {
+    auto result = DirectChainLoop(instance, Chain(), &iterations);
+    if (!result.ok()) state.SkipWithError("chain failed");
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["loop_iterations"] = iterations;
+}
+
+void BM_SingleLoopChainRestrictedAll(benchmark::State& state) {
+  Instance instance = DeepChainInstance(static_cast<int>(state.range(0)));
+  // The separator-based restriction of `All` (Section 6 / Prop 6.1):
+  // computed once from the derived RIG via per-pair min cuts.
+  Digraph rig = instance.DeriveRig();
+  auto separators = MinimalSetPairwiseCuts(rig, Chain());
+  if (!separators.ok()) {
+    state.SkipWithError("separator computation failed");
+    return;
+  }
+  // The restricted All must still include the chain's own middle names
+  // (their ⊂-powers define the legitimate-witness filter).
+  std::vector<std::string> restricted = *separators;
+  for (const std::string& name : {std::string("M"), std::string("X")}) {
+    if (std::find(restricted.begin(), restricted.end(), name) ==
+        restricted.end()) {
+      restricted.push_back(name);
+    }
+  }
+  for (auto _ : state) {
+    auto result = DirectChainLoop(instance, Chain(), nullptr, restricted);
+    if (!result.ok()) state.SkipWithError("chain failed");
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["all_names"] = static_cast<double>(restricted.size());
+}
+
+void BM_NativeChain(benchmark::State& state) {
+  Instance instance = DeepChainInstance(static_cast<int>(state.range(0)));
+  instance.TreeSize();
+  for (auto _ : state) {
+    RegionSet current = **instance.Get("V");
+    const char* lefts[] = {"X", "M", "P"};
+    for (const char* name : lefts) {
+      current = DirectIncluding(instance, **instance.Get(name), current);
+    }
+    benchmark::DoNotOptimize(current);
+  }
+}
+
+BENCHMARK(BM_StepwiseChain)->RangeMultiplier(2)->Range(4, 256);
+BENCHMARK(BM_SingleLoopChain)->RangeMultiplier(2)->Range(4, 256);
+BENCHMARK(BM_SingleLoopChainRestrictedAll)->RangeMultiplier(2)->Range(4, 256);
+BENCHMARK(BM_NativeChain)->RangeMultiplier(2)->Range(4, 256);
+
+}  // namespace
+}  // namespace regal
+
+BENCHMARK_MAIN();

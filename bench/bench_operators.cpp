@@ -1,0 +1,115 @@
+// Experiment E8: operator throughput — the paper's engineering claim that
+// the region algebra "can be implemented very efficiently" (Sections 1-2).
+// Compares the plane-sweep/structural-join operators against the O(n*m)
+// naive baselines across input sizes; expect near-linear vs quadratic
+// scaling with a crossover at small inputs.
+
+#include <benchmark/benchmark.h>
+
+#include "core/algebra.h"
+#include "doc/synthetic.h"
+#include "util/random.h"
+
+namespace regal {
+namespace {
+
+struct Inputs {
+  RegionSet r;
+  RegionSet s;
+};
+
+Inputs MakeInputs(int64_t n) {
+  Rng rng(42);
+  RandomInstanceOptions options;
+  options.num_regions = static_cast<int>(2 * n);
+  options.max_depth = 12;
+  options.max_names = 2;
+  Instance instance = RandomLaminarInstance(rng, options);
+  return Inputs{**instance.Get("R0"), **instance.Get("R1")};
+}
+
+void BM_Including(benchmark::State& state) {
+  Inputs in = MakeInputs(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Including(in.r, in.s));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(in.r.size() + in.s.size()));
+}
+
+void BM_IncludingNaive(benchmark::State& state) {
+  Inputs in = MakeInputs(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(naive::Including(in.r, in.s));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(in.r.size() + in.s.size()));
+}
+
+void BM_Included(benchmark::State& state) {
+  Inputs in = MakeInputs(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Included(in.r, in.s));
+  }
+}
+
+void BM_IncludedNaive(benchmark::State& state) {
+  Inputs in = MakeInputs(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(naive::Included(in.r, in.s));
+  }
+}
+
+void BM_Precedes(benchmark::State& state) {
+  Inputs in = MakeInputs(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Precedes(in.r, in.s));
+  }
+}
+
+void BM_PrecedesNaive(benchmark::State& state) {
+  Inputs in = MakeInputs(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(naive::Precedes(in.r, in.s));
+  }
+}
+
+void BM_SetOps(benchmark::State& state) {
+  Inputs in = MakeInputs(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Union(in.r, in.s));
+    benchmark::DoNotOptimize(Intersect(in.r, in.s));
+    benchmark::DoNotOptimize(Difference(in.r, in.s));
+  }
+}
+
+void BM_SelectByTokens(benchmark::State& state) {
+  Inputs in = MakeInputs(state.range(0));
+  std::vector<Token> tokens;
+  Rng rng(7);
+  for (int i = 0; i < state.range(0); ++i) {
+    Offset a = static_cast<Offset>(rng.Below(
+        static_cast<uint64_t>(4 * state.range(0) + 1)));
+    tokens.push_back(Token{a, a + 1});
+  }
+  std::sort(tokens.begin(), tokens.end(), [](const Token& a, const Token& b) {
+    return a.left != b.left ? a.left < b.left : a.right < b.right;
+  });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SelectByTokens(in.r, tokens));
+  }
+}
+
+BENCHMARK(BM_Including)->Range(1 << 8, 1 << 18);
+BENCHMARK(BM_IncludingNaive)->Range(1 << 8, 1 << 12);
+BENCHMARK(BM_Included)->Range(1 << 8, 1 << 18);
+BENCHMARK(BM_IncludedNaive)->Range(1 << 8, 1 << 12);
+BENCHMARK(BM_Precedes)->Range(1 << 8, 1 << 18);
+BENCHMARK(BM_PrecedesNaive)->Range(1 << 8, 1 << 12);
+BENCHMARK(BM_SetOps)->Range(1 << 8, 1 << 18);
+BENCHMARK(BM_SelectByTokens)->Range(1 << 8, 1 << 16);
+
+}  // namespace
+}  // namespace regal
+
+BENCHMARK_MAIN();

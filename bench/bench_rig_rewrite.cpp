@@ -1,0 +1,118 @@
+// Experiment E1: the Section 2.2 motivating claim (Figure 1). The queries
+//   e1 = Name ⊂ Proc_header ⊂ Proc ⊂ Program
+//   e2 = Name ⊂ Proc_header ⊂ Program
+// are equivalent w.r.t. Figure 1's RIG, e2 has fewer operations, and the
+// RIG-based optimizer finds e2 from e1. Expect identical results, fewer
+// operator evaluations, and a speedup that grows with corpus size.
+
+#include <benchmark/benchmark.h>
+
+#include "core/eval.h"
+#include "doc/srccode.h"
+#include "opt/optimizer.h"
+#include "query/engine.h"
+
+namespace regal {
+namespace {
+
+Instance MakeCorpus(int num_procs) {
+  ProgramGeneratorOptions options;
+  options.num_procs = num_procs;
+  options.max_nesting = 5;
+  options.seed = 1234;
+  auto instance = ParseProgram(GenerateProgramSource(options));
+  if (!instance.ok()) std::abort();
+  return std::move(instance).value();
+}
+
+const ExprPtr& E1() {
+  static const ExprPtr e = Expr::Chain(
+      OpKind::kIncluded, {"Name", "Proc_header", "Proc", "Program"});
+  return e;
+}
+
+void BM_OriginalChain(benchmark::State& state) {
+  Instance corpus = MakeCorpus(static_cast<int>(state.range(0)));
+  Evaluator evaluator(&corpus);
+  size_t result_size = 0;
+  for (auto _ : state) {
+    auto result = evaluator.Evaluate(E1());
+    if (!result.ok()) state.SkipWithError("eval failed");
+    result_size = result->size();
+  }
+  state.counters["procs_found"] = static_cast<double>(result_size);
+  state.counters["ops"] = static_cast<double>(E1()->NumOps());
+}
+
+void BM_RewrittenChain(benchmark::State& state) {
+  Instance corpus = MakeCorpus(static_cast<int>(state.range(0)));
+  Digraph rig = SourceCodeRig();
+  OptimizerOptions options;
+  options.rig = &rig;
+  options.stats = StatsFromInstance(corpus);
+  ExprPtr optimized = Optimize(E1(), options).expr;
+  Evaluator evaluator(&corpus);
+  size_t result_size = 0;
+  for (auto _ : state) {
+    auto result = evaluator.Evaluate(optimized);
+    if (!result.ok()) state.SkipWithError("eval failed");
+    result_size = result->size();
+  }
+  state.counters["procs_found"] = static_cast<double>(result_size);
+  state.counters["ops"] = static_cast<double>(optimized->NumOps());
+}
+
+void BM_OptimizerLatency(benchmark::State& state) {
+  Digraph rig = SourceCodeRig();
+  OptimizerOptions options;
+  options.rig = &rig;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Optimize(E1(), options));
+  }
+}
+
+// End-to-end through the query engine, optimizer on vs off.
+void BM_EngineOptimized(benchmark::State& state) {
+  ProgramGeneratorOptions gen;
+  gen.num_procs = static_cast<int>(state.range(0));
+  gen.max_nesting = 5;
+  gen.seed = 1234;
+  auto engine = QueryEngine::FromProgramSource(GenerateProgramSource(gen));
+  if (!engine.ok()) {
+    state.SkipWithError("corpus failed");
+    return;
+  }
+  const char* query = "Name within Proc_header within Proc within Program";
+  for (auto _ : state) {
+    auto answer = engine->Run(query, /*optimize=*/true);
+    benchmark::DoNotOptimize(answer);
+  }
+}
+
+void BM_EngineUnoptimized(benchmark::State& state) {
+  ProgramGeneratorOptions gen;
+  gen.num_procs = static_cast<int>(state.range(0));
+  gen.max_nesting = 5;
+  gen.seed = 1234;
+  auto engine = QueryEngine::FromProgramSource(GenerateProgramSource(gen));
+  if (!engine.ok()) {
+    state.SkipWithError("corpus failed");
+    return;
+  }
+  const char* query = "Name within Proc_header within Proc within Program";
+  for (auto _ : state) {
+    auto answer = engine->Run(query, /*optimize=*/false);
+    benchmark::DoNotOptimize(answer);
+  }
+}
+
+BENCHMARK(BM_OriginalChain)->Range(1 << 6, 1 << 13);
+BENCHMARK(BM_RewrittenChain)->Range(1 << 6, 1 << 13);
+BENCHMARK(BM_OptimizerLatency);
+BENCHMARK(BM_EngineOptimized)->Range(1 << 6, 1 << 11);
+BENCHMARK(BM_EngineUnoptimized)->Range(1 << 6, 1 << 11);
+
+}  // namespace
+}  // namespace regal
+
+BENCHMARK_MAIN();

@@ -1,0 +1,124 @@
+// A small command-line indexing tool: build a region index from an SGML
+// document or a toy program, persist it, reopen it, and run queries —
+// the index-once / query-many workflow of the PAT system.
+//
+// Usage:
+//   example_index_tool build {sgml|program} <input-file> <index-file>
+//   example_index_tool query <index-file> "<query>" ["<query>" ...]
+//   example_index_tool demo            (self-contained walk-through)
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "doc/dictionary.h"
+#include "doc/sgml.h"
+#include "doc/srccode.h"
+#include "query/engine.h"
+#include "storage/serialize.h"
+#include "util/timer.h"
+
+namespace {
+
+int Fail(const regal::Status& status) {
+  std::cerr << "error: " << status << "\n";
+  return 1;
+}
+
+regal::Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return regal::Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int Build(const std::string& format, const std::string& input,
+          const std::string& output) {
+  auto source = ReadFile(input);
+  if (!source.ok()) return Fail(source.status());
+  regal::Timer timer;
+  regal::Result<regal::Instance> instance =
+      (format == "program") ? regal::ParseProgram(*source)
+                            : regal::ParseSgml(*source);
+  if (!instance.ok()) return Fail(instance.status());
+  if (auto st = instance->Validate(); !st.ok()) return Fail(st);
+  if (auto st = regal::SaveInstanceToFile(*instance, output); !st.ok()) {
+    return Fail(st);
+  }
+  std::cout << "indexed " << source->size() << " bytes into "
+            << instance->NumRegions() << " regions ("
+            << instance->names().size() << " names) in " << timer.Millis()
+            << " ms -> " << output << "\n";
+  return 0;
+}
+
+int RunQueries(regal::QueryEngine& engine,
+               const std::vector<std::string>& queries) {
+  for (const std::string& query : queries) {
+    std::cout << "query> " << query << "\n";
+    auto answer = engine.Run(query);
+    if (!answer.ok()) {
+      std::cout << "  error: " << answer.status() << "\n";
+      continue;
+    }
+    std::cout << "  " << answer->regions.size() << " result(s) in "
+              << answer->elapsed_ms << " ms ("
+              << answer->eval_stats.operator_evals << " operator evals)\n";
+    for (const std::string& row : answer->Rows(engine.instance(), 5)) {
+      std::cout << "  " << row << "\n";
+    }
+  }
+  return 0;
+}
+
+int Query(const std::string& index_path,
+          const std::vector<std::string>& queries) {
+  auto instance = regal::LoadInstanceFromFile(index_path);
+  if (!instance.ok()) return Fail(instance.status());
+  regal::QueryEngine engine(std::move(instance).value());
+  return RunQueries(engine, queries);
+}
+
+int Demo() {
+  regal::DictionaryGeneratorOptions options;
+  options.entries = 30;
+  std::string source = regal::GenerateDictionarySource(options);
+  std::string path = "/tmp/regal_demo.index";
+
+  auto instance = regal::ParseSgml(source);
+  if (!instance.ok()) return Fail(instance.status());
+  if (auto st = regal::SaveInstanceToFile(*instance, path); !st.ok()) {
+    return Fail(st);
+  }
+  std::cout << "built and saved a dictionary index (" << source.size()
+            << " bytes) to " << path << "\n\n";
+  return Query(path, {
+                         "entry including (author matching \"MILTON\")",
+                         "headword within (entry including "
+                         "(pos matching \"v\"))",
+                         "qtext after (def matching \"term3\")",
+                     });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.size() == 1 && args[0] == "demo") return Demo();
+  if (args.size() == 4 && args[0] == "build") {
+    if (args[1] != "sgml" && args[1] != "program") {
+      std::cerr << "format must be 'sgml' or 'program'\n";
+      return 1;
+    }
+    return Build(args[1], args[2], args[3]);
+  }
+  if (args.size() >= 3 && args[0] == "query") {
+    return Query(args[1], {args.begin() + 2, args.end()});
+  }
+  std::cerr << "usage:\n"
+            << "  " << argv[0] << " build {sgml|program} <input> <index>\n"
+            << "  " << argv[0] << " query <index> \"<query>\" ...\n"
+            << "  " << argv[0] << " demo\n";
+  return args.empty() ? 0 : 1;
+}

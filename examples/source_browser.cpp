@@ -1,0 +1,100 @@
+// The paper's running example (Sections 2.2 and 5.1): querying program
+// source code regions. Demonstrates
+//  * the Figure 1 RIG and the e1 ≡ e2 rewrite,
+//  * why plain ⊃ over-selects with nested procedures, and
+//  * the direct-inclusion operators (dincluding) that fix it.
+
+#include <iostream>
+
+#include "core/eval.h"
+#include "doc/srccode.h"
+#include "query/engine.h"
+
+namespace {
+
+constexpr char kProgram[] =
+    "program Main;\n"
+    "var credits;\n"
+    "proc outer;\n"
+    "  var total;\n"
+    "  proc inner;\n"
+    "    var x;\n"
+    "  begin write x end;\n"
+    "begin call inner end;\n"
+    "begin call outer end.\n";
+
+void Show(regal::QueryEngine& engine, const std::string& label,
+          const std::string& query) {
+  std::cout << label << "\n  " << query << "\n";
+  auto answer = engine.Run(query);
+  if (!answer.ok()) {
+    std::cout << "  error: " << answer.status() << "\n\n";
+    return;
+  }
+  if (answer->rewrite_rules_applied > 0) {
+    std::cout << "  optimizer rewrote to: " << answer->executed->ToString()
+              << "\n";
+  }
+  for (const std::string& row : answer->Rows(engine.instance(), 6)) {
+    std::cout << "  " << row << "\n";
+  }
+  if (answer->regions.empty()) std::cout << "  (no results)\n";
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "--- source program ---\n" << kProgram << "\n";
+  auto engine = regal::QueryEngine::FromProgramSource(kProgram);
+  if (!engine.ok()) {
+    std::cerr << "parse failed: " << engine.status() << "\n";
+    return 1;
+  }
+  if (auto st = engine->Validate(); !st.ok()) {
+    std::cerr << "instance violates Figure 1's RIG: " << st << "\n";
+    return 1;
+  }
+
+  Show(*engine, "Procedure names (the paper's e1; the optimizer derives e2):",
+       "Name within Proc_header within Proc within Program");
+
+  Show(*engine,
+       "Procs CONTAINING a definition of x — transitive ⊃ over-selects\n"
+       "(outer is reported although only inner defines x):",
+       "Proc including (Proc_body including (Var matching \"x\"))");
+
+  Show(*engine,
+       "Procs DIRECTLY defining x — the Section 5.1 query, exact:",
+       "Proc dincluding (Proc_body dincluding (Var matching \"x\"))");
+
+  Show(*engine, "Variables declared at program level only:",
+       "Var dwithin Prog_body");
+
+  Show(*engine,
+       "Procs declaring 'total' before a proc declaring 'x' appears:",
+       "(Proc including (Var matching \"total\")) before "
+       "(Var matching \"x\")");
+
+  // A generated corpus, to show the same queries scale.
+  regal::ProgramGeneratorOptions gen;
+  gen.num_procs = 200;
+  gen.max_nesting = 5;
+  gen.seed = 77;
+  auto big = regal::QueryEngine::FromProgramSource(
+      regal::GenerateProgramSource(gen));
+  if (!big.ok()) {
+    std::cerr << "generator failed: " << big.status() << "\n";
+    return 1;
+  }
+  auto answer = big->Run("Proc dincluding (Proc_body dincluding "
+                         "(Var matching \"v1\"))");
+  if (answer.ok()) {
+    std::cout << "Generated corpus: " << big->instance().NumRegions()
+              << " regions; procs directly defining v1: "
+              << answer->regions.size() << " (in " << answer->elapsed_ms
+              << " ms, " << answer->eval_stats.operator_evals
+              << " operator evaluations)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,278 @@
+#include "core/algebra.h"
+
+#include <algorithm>
+
+namespace regal {
+
+namespace {
+
+RegionSet FilterR(const RegionSet& r, const std::function<bool(const Region&)>& keep) {
+  std::vector<Region> out;
+  for (const Region& x : r) {
+    if (keep(x)) out.push_back(x);
+  }
+  return RegionSet::FromSortedUnique(std::move(out));
+}
+
+}  // namespace
+
+RegionSet Union(const RegionSet& r, const RegionSet& s) {
+  std::vector<Region> out;
+  out.reserve(r.size() + s.size());
+  RegionDocumentOrder less;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < r.size() && j < s.size()) {
+    if (r[i] == s[j]) {
+      out.push_back(r[i]);
+      ++i;
+      ++j;
+    } else if (less(r[i], s[j])) {
+      out.push_back(r[i++]);
+    } else {
+      out.push_back(s[j++]);
+    }
+  }
+  for (; i < r.size(); ++i) out.push_back(r[i]);
+  for (; j < s.size(); ++j) out.push_back(s[j]);
+  return RegionSet::FromSortedUnique(std::move(out));
+}
+
+RegionSet Intersect(const RegionSet& r, const RegionSet& s) {
+  std::vector<Region> out;
+  RegionDocumentOrder less;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < r.size() && j < s.size()) {
+    if (r[i] == s[j]) {
+      out.push_back(r[i]);
+      ++i;
+      ++j;
+    } else if (less(r[i], s[j])) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return RegionSet::FromSortedUnique(std::move(out));
+}
+
+RegionSet Difference(const RegionSet& r, const RegionSet& s) {
+  std::vector<Region> out;
+  RegionDocumentOrder less;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < r.size()) {
+    if (j == s.size() || less(r[i], s[j])) {
+      out.push_back(r[i++]);
+    } else if (r[i] == s[j]) {
+      ++i;
+      ++j;
+    } else {
+      ++j;
+    }
+  }
+  return RegionSet::FromSortedUnique(std::move(out));
+}
+
+ContainmentIndex::ContainmentIndex(const RegionSet& s) {
+  lefts_.reserve(s.size());
+  rights_.reserve(s.size());
+  for (const Region& x : s) {
+    lefts_.push_back(x.left);
+    rights_.push_back(x.right);
+  }
+  min_right_ = SparseTable<Offset>(rights_);
+  max_right_ = SparseTable<Offset, std::greater<Offset>>(rights_);
+}
+
+std::pair<size_t, size_t> ContainmentIndex::LeftRange(Offset a, Offset b) const {
+  auto lo = std::lower_bound(lefts_.begin(), lefts_.end(), a);
+  auto hi = std::upper_bound(lo, lefts_.end(), b);
+  return {static_cast<size_t>(lo - lefts_.begin()),
+          static_cast<size_t>(hi - lefts_.begin())};
+}
+
+bool ContainmentIndex::ExistsIncludedIn(const Region& r) const {
+  if (lefts_.empty()) return false;
+  // s with left(s) == left(r) must have right(s) < right(r)...
+  auto [a0, a1] = LeftRange(r.left, r.left);
+  if (a0 < a1 && min_right_.Query(a0, a1) < r.right) return true;
+  // ... while s with left(s) in (left(r), right(r)] only needs
+  // right(s) <= right(r).
+  auto [b0, b1] = LeftRange(r.left + 1, r.right);
+  return b0 < b1 && min_right_.Query(b0, b1) <= r.right;
+}
+
+bool ContainmentIndex::ExistsIncluding(const Region& r) const {
+  if (lefts_.empty()) return false;
+  // s with left(s) < left(r) needs right(s) >= right(r)...
+  auto lo = std::lower_bound(lefts_.begin(), lefts_.end(), r.left);
+  size_t a = static_cast<size_t>(lo - lefts_.begin());
+  if (a > 0 && max_right_.Query(0, a) >= r.right) return true;
+  // ... while s with left(s) == left(r) needs right(s) > right(r).
+  auto [a0, a1] = LeftRange(r.left, r.left);
+  return a0 < a1 && max_right_.Query(a0, a1) > r.right;
+}
+
+bool ContainmentIndex::ExistsContainedIn(const Region& r) const {
+  if (lefts_.empty()) return false;
+  auto [a, b] = LeftRange(r.left, r.right);
+  return a < b && min_right_.Query(a, b) <= r.right;
+}
+
+bool ContainmentIndex::MinRightContainedIn(const Region& r, Offset* out) const {
+  if (lefts_.empty()) return false;
+  auto [a, b] = LeftRange(r.left, r.right);
+  if (a >= b) return false;
+  Offset m = min_right_.Query(a, b);
+  if (m > r.right) return false;
+  *out = m;
+  return true;
+}
+
+bool ContainmentIndex::MaxLeftContainedIn(const Region& r, Offset* out) const {
+  if (lefts_.empty()) return false;
+  auto [a, b] = LeftRange(r.left, r.right);
+  if (a >= b || min_right_.Query(a, b) > r.right) return false;
+  // Largest index in [a, b) whose right endpoint fits inside r; since lefts
+  // are ascending, it carries the largest qualifying left endpoint.
+  size_t lo = a;
+  size_t hi = b;  // Invariant: some qualifying index lies in [lo, hi).
+  while (hi - lo > 1) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (min_right_.Query(mid, hi) <= r.right) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  *out = lefts_[lo];
+  return true;
+}
+
+RegionSet Including(const RegionSet& r, const RegionSet& s) {
+  ContainmentIndex index(s);
+  return FilterR(r, [&](const Region& x) { return index.ExistsIncludedIn(x); });
+}
+
+RegionSet Included(const RegionSet& r, const RegionSet& s) {
+  ContainmentIndex index(s);
+  return FilterR(r, [&](const Region& x) { return index.ExistsIncluding(x); });
+}
+
+RegionSet Precedes(const RegionSet& r, const RegionSet& s) {
+  if (s.empty()) return RegionSet();
+  // r precedes some s iff right(r) < the largest left endpoint in S, which
+  // document order puts in the last element.
+  Offset max_left = s[s.size() - 1].left;
+  return FilterR(r, [&](const Region& x) { return x.right < max_left; });
+}
+
+RegionSet Follows(const RegionSet& r, const RegionSet& s) {
+  if (s.empty()) return RegionSet();
+  Offset min_right = s[0].right;
+  for (const Region& x : s) min_right = std::min(min_right, x.right);
+  return FilterR(r, [&](const Region& x) { return x.left > min_right; });
+}
+
+RegionSet SelectByTokens(const RegionSet& r, const std::vector<Token>& tokens) {
+  std::vector<Region> as_regions;
+  as_regions.reserve(tokens.size());
+  for (const Token& t : tokens) as_regions.push_back(Region{t.left, t.right});
+  ContainmentIndex index(RegionSet::FromUnsorted(std::move(as_regions)));
+  return FilterR(r, [&](const Region& x) { return index.ExistsContainedIn(x); });
+}
+
+namespace naive {
+
+RegionSet Including(const RegionSet& r, const RegionSet& s) {
+  std::vector<Region> out;
+  for (const Region& x : r) {
+    for (const Region& y : s) {
+      if (StrictlyIncludes(x, y)) {
+        out.push_back(x);
+        break;
+      }
+    }
+  }
+  return RegionSet::FromSortedUnique(std::move(out));
+}
+
+RegionSet Included(const RegionSet& r, const RegionSet& s) {
+  std::vector<Region> out;
+  for (const Region& x : r) {
+    for (const Region& y : s) {
+      if (StrictlyIncludes(y, x)) {
+        out.push_back(x);
+        break;
+      }
+    }
+  }
+  return RegionSet::FromSortedUnique(std::move(out));
+}
+
+RegionSet Precedes(const RegionSet& r, const RegionSet& s) {
+  std::vector<Region> out;
+  for (const Region& x : r) {
+    for (const Region& y : s) {
+      if (regal::Precedes(x, y)) {
+        out.push_back(x);
+        break;
+      }
+    }
+  }
+  return RegionSet::FromSortedUnique(std::move(out));
+}
+
+RegionSet Follows(const RegionSet& r, const RegionSet& s) {
+  std::vector<Region> out;
+  for (const Region& x : r) {
+    for (const Region& y : s) {
+      if (regal::Precedes(y, x)) {
+        out.push_back(x);
+        break;
+      }
+    }
+  }
+  return RegionSet::FromSortedUnique(std::move(out));
+}
+
+RegionSet Union(const RegionSet& r, const RegionSet& s) {
+  std::vector<Region> out(r.begin(), r.end());
+  out.insert(out.end(), s.begin(), s.end());
+  return RegionSet::FromUnsorted(std::move(out));
+}
+
+RegionSet Intersect(const RegionSet& r, const RegionSet& s) {
+  std::vector<Region> out;
+  for (const Region& x : r) {
+    if (s.Member(x)) out.push_back(x);
+  }
+  return RegionSet::FromSortedUnique(std::move(out));
+}
+
+RegionSet Difference(const RegionSet& r, const RegionSet& s) {
+  std::vector<Region> out;
+  for (const Region& x : r) {
+    if (!s.Member(x)) out.push_back(x);
+  }
+  return RegionSet::FromSortedUnique(std::move(out));
+}
+
+RegionSet SelectByTokens(const RegionSet& r, const std::vector<Token>& tokens) {
+  std::vector<Region> out;
+  for (const Region& x : r) {
+    for (const Token& t : tokens) {
+      if (x.left <= t.left && t.right <= x.right) {
+        out.push_back(x);
+        break;
+      }
+    }
+  }
+  return RegionSet::FromSortedUnique(std::move(out));
+}
+
+}  // namespace naive
+
+}  // namespace regal

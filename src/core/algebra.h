@@ -1,0 +1,95 @@
+#ifndef REGAL_CORE_ALGEBRA_H_
+#define REGAL_CORE_ALGEBRA_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/region.h"
+#include "core/region_set.h"
+#include "text/tokenizer.h"
+#include "util/rmq.h"
+
+namespace regal {
+
+/// Efficient implementations of the region algebra operators of
+/// Definition 2.3. All inputs/outputs are document-ordered RegionSets; no
+/// laminarity is assumed (the operators are correct for arbitrary region
+/// sets), so they also serve instances that violate the hierarchy
+/// assumption.
+///
+/// Complexities: set operations are linear merges; the structural
+/// semi-joins (Including/Included/Select) run in O((|R|+|S|) log |S|) using
+/// a sparse-table index over S; Precedes/Follows are O(|R| + |S|).
+///
+/// `naive::` holds O(|R|*|S|) reference implementations used as oracles by
+/// the property tests and as the baseline in bench_operators (experiment E8).
+
+/// R ∪ S.
+RegionSet Union(const RegionSet& r, const RegionSet& s);
+/// R ∩ S.
+RegionSet Intersect(const RegionSet& r, const RegionSet& s);
+/// R - S.
+RegionSet Difference(const RegionSet& r, const RegionSet& s);
+
+/// R ⊃ S = {r ∈ R : ∃s ∈ S, r strictly includes s}.
+RegionSet Including(const RegionSet& r, const RegionSet& s);
+/// R ⊂ S = {r ∈ R : ∃s ∈ S, s strictly includes r}.
+RegionSet Included(const RegionSet& r, const RegionSet& s);
+/// R < S = {r ∈ R : ∃s ∈ S, r precedes s}.
+RegionSet Precedes(const RegionSet& r, const RegionSet& s);
+/// R > S = {r ∈ R : ∃s ∈ S, r follows s}.
+RegionSet Follows(const RegionSet& r, const RegionSet& s);
+
+/// σ_p(R) given the sorted list of tokens matching p: the regions of R
+/// containing (not necessarily strictly) at least one matching token.
+RegionSet SelectByTokens(const RegionSet& r, const std::vector<Token>& tokens);
+
+/// A reusable index over a fixed region set S answering the existential
+/// tests behind the structural semi-joins in O(log |S|) per probe. Built in
+/// O(|S| log |S|). The extended operators (both-included) reuse it.
+class ContainmentIndex {
+ public:
+  ContainmentIndex() = default;
+  explicit ContainmentIndex(const RegionSet& s);
+
+  /// ∃s ∈ S strictly included in r.
+  bool ExistsIncludedIn(const Region& r) const;
+  /// ∃s ∈ S strictly including r.
+  bool ExistsIncluding(const Region& r) const;
+  /// ∃s ∈ S with s contained in r, allowing s == r.
+  bool ExistsContainedIn(const Region& r) const;
+
+  /// Smallest right endpoint among S-regions contained in r (equality with
+  /// r allowed); returns false if none.
+  bool MinRightContainedIn(const Region& r, Offset* out) const;
+  /// Largest left endpoint among S-regions contained in r.
+  bool MaxLeftContainedIn(const Region& r, Offset* out) const;
+
+  bool empty() const { return lefts_.empty(); }
+
+ private:
+  /// Index range [lo, hi) of S whose left endpoints lie in [a, b].
+  std::pair<size_t, size_t> LeftRange(Offset a, Offset b) const;
+
+  std::vector<Offset> lefts_;   // Sorted ascending (document order majors).
+  std::vector<Offset> rights_;  // Parallel to lefts_.
+  SparseTable<Offset> min_right_;
+  SparseTable<Offset, std::greater<Offset>> max_right_;
+};
+
+namespace naive {
+
+RegionSet Including(const RegionSet& r, const RegionSet& s);
+RegionSet Included(const RegionSet& r, const RegionSet& s);
+RegionSet Precedes(const RegionSet& r, const RegionSet& s);
+RegionSet Follows(const RegionSet& r, const RegionSet& s);
+RegionSet Union(const RegionSet& r, const RegionSet& s);
+RegionSet Intersect(const RegionSet& r, const RegionSet& s);
+RegionSet Difference(const RegionSet& r, const RegionSet& s);
+RegionSet SelectByTokens(const RegionSet& r, const std::vector<Token>& tokens);
+
+}  // namespace naive
+
+}  // namespace regal
+
+#endif  // REGAL_CORE_ALGEBRA_H_

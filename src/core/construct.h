@@ -1,0 +1,38 @@
+#ifndef REGAL_CORE_CONSTRUCT_H_
+#define REGAL_CORE_CONSTRUCT_H_
+
+#include <vector>
+
+#include "core/region_set.h"
+#include "text/tokenizer.h"
+
+namespace regal {
+
+/// Dynamic region construction — the part of the full PAT algebra the
+/// paper's footnote 1 sets aside ("we can treat regions defined
+/// dynamically as if they were views"). These operators *create* region
+/// sets rather than filter them; QueryEngine exposes them through named
+/// views.
+
+/// The PAT `A .. B` span constructor: for each start region a ∈ starts,
+/// the region from left(a) to right(b) of the *nearest* end region b that
+/// begins after a ends (right(a) < left(b)). Starts with no following end
+/// produce nothing. The result regions may nest when starts do; with
+/// non-nested inputs the spans are non-nested (classic PAT behaviour).
+RegionSet SpanJoin(const RegionSet& starts, const RegionSet& ends);
+
+/// Windows around match points: each token grows into the inclusive region
+/// [left - before, right + after], clipped to [0, text_size - 1]. Used for
+/// keyword-in-context style views. Overlapping windows are kept as-is
+/// (dynamic sets need not satisfy the hierarchy assumption; treat them as
+/// views, per the footnote).
+RegionSet Windows(const std::vector<Token>& tokens, Offset before,
+                  Offset after, Offset text_size);
+
+/// Hull: the smallest region covering each pair (a, b) with a ∈ firsts,
+/// b = nearest lasts-region *containing or following* a is intentionally
+/// not provided; PAT's other constructors reduce to SpanJoin/Windows.
+
+}  // namespace regal
+
+#endif  // REGAL_CORE_CONSTRUCT_H_

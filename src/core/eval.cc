@@ -1,0 +1,115 @@
+#include "core/eval.h"
+
+#include "core/algebra.h"
+#include "core/extended.h"
+
+namespace regal {
+
+Result<RegionSet> Evaluator::Evaluate(const ExprPtr& e) {
+  memo_.clear();
+  return Eval(e);
+}
+
+Result<RegionSet> Evaluator::Eval(const ExprPtr& e) {
+  auto hit = memo_.find(e.get());
+  if (hit != memo_.end()) return hit->second;
+
+  RegionSet result;
+  switch (e->kind()) {
+    case OpKind::kName: {
+      if (options_.bindings != nullptr) {
+        auto it = options_.bindings->find(e->name());
+        if (it != options_.bindings->end()) {
+          result = it->second;
+          break;
+        }
+      }
+      REGAL_ASSIGN_OR_RETURN(const RegionSet* set, instance_->Get(e->name()));
+      result = *set;
+      break;
+    }
+    case OpKind::kWordMatch: {
+      if (instance_->word_index() == nullptr) {
+        return Status::FailedPrecondition(
+            "'word' queries need a text-backed instance");
+      }
+      ++stats_.operator_evals;
+      std::vector<Region> tokens;
+      for (const Token& t : instance_->word_index()->Matches(e->pattern())) {
+        tokens.push_back(Region{t.left, t.right});
+      }
+      result = RegionSet::FromUnsorted(std::move(tokens));
+      break;
+    }
+    case OpKind::kSelect: {
+      REGAL_ASSIGN_OR_RETURN(RegionSet child, Eval(e->child(0)));
+      ++stats_.operator_evals;
+      stats_.rows_scanned += static_cast<int64_t>(child.size());
+      result = instance_->Select(child, e->pattern());
+      break;
+    }
+    case OpKind::kBothIncluded: {
+      REGAL_ASSIGN_OR_RETURN(RegionSet r, Eval(e->child(0)));
+      REGAL_ASSIGN_OR_RETURN(RegionSet s, Eval(e->child(1)));
+      REGAL_ASSIGN_OR_RETURN(RegionSet t, Eval(e->child(2)));
+      ++stats_.operator_evals;
+      stats_.rows_scanned +=
+          static_cast<int64_t>(r.size() + s.size() + t.size());
+      result = options_.use_naive ? naive::BothIncluded(r, s, t)
+                                  : BothIncluded(r, s, t);
+      break;
+    }
+    default: {
+      REGAL_ASSIGN_OR_RETURN(RegionSet a, Eval(e->child(0)));
+      REGAL_ASSIGN_OR_RETURN(RegionSet b, Eval(e->child(1)));
+      ++stats_.operator_evals;
+      stats_.rows_scanned += static_cast<int64_t>(a.size() + b.size());
+      const bool naive_mode = options_.use_naive;
+      switch (e->kind()) {
+        case OpKind::kUnion:
+          result = naive_mode ? naive::Union(a, b) : Union(a, b);
+          break;
+        case OpKind::kIntersect:
+          result = naive_mode ? naive::Intersect(a, b) : Intersect(a, b);
+          break;
+        case OpKind::kDifference:
+          result = naive_mode ? naive::Difference(a, b) : Difference(a, b);
+          break;
+        case OpKind::kIncluding:
+          result = naive_mode ? naive::Including(a, b) : Including(a, b);
+          break;
+        case OpKind::kIncluded:
+          result = naive_mode ? naive::Included(a, b) : Included(a, b);
+          break;
+        case OpKind::kPrecedes:
+          result = naive_mode ? naive::Precedes(a, b) : Precedes(a, b);
+          break;
+        case OpKind::kFollows:
+          result = naive_mode ? naive::Follows(a, b) : Follows(a, b);
+          break;
+        case OpKind::kDirectIncluding:
+          result = naive_mode ? naive::DirectIncluding(*instance_, a, b)
+                              : DirectIncluding(*instance_, a, b);
+          break;
+        case OpKind::kDirectIncluded:
+          result = naive_mode ? naive::DirectIncluded(*instance_, a, b)
+                              : DirectIncluded(*instance_, a, b);
+          break;
+        default:
+          return Status::Internal("unexpected operator kind in Eval");
+      }
+      break;
+    }
+  }
+  stats_.rows_produced += static_cast<int64_t>(result.size());
+  memo_.emplace(e.get(), result);
+  return result;
+}
+
+Result<RegionSet> Evaluate(const Instance& instance, const ExprPtr& e,
+                           EvalOptions options) {
+  Evaluator evaluator(&instance, options);
+  return evaluator.Evaluate(e);
+}
+
+}  // namespace regal

@@ -1,0 +1,65 @@
+#ifndef REGAL_CORE_EVAL_H_
+#define REGAL_CORE_EVAL_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "core/expr.h"
+#include "core/instance.h"
+#include "core/region_set.h"
+#include "util/status.h"
+
+namespace regal {
+
+/// Knobs for Evaluator. `use_naive` switches every operator to the O(n*m)
+/// reference implementation (the oracle used by property tests and the
+/// baseline in bench_operators). `bindings`, when set, resolves region
+/// names before the instance does — the mechanism behind materialized
+/// views (dynamically constructed region sets, footnote 1 of the paper).
+struct EvalOptions {
+  bool use_naive = false;
+  const std::map<std::string, RegionSet>* bindings = nullptr;
+};
+
+/// Counters accumulated across Evaluate calls; the optimizer benches read
+/// them to show that RIG-based rewrites execute fewer operator evaluations.
+struct EvalStats {
+  int64_t operator_evals = 0;  // Operator nodes executed (memoized hits excluded).
+  int64_t rows_scanned = 0;    // Sum of operand sizes over executed operators.
+  int64_t rows_produced = 0;   // Sum of result sizes over executed operators.
+};
+
+/// Evaluates region algebra expressions against one Instance
+/// (e(I) of Definition 2.3 plus the extended operators).
+///
+/// Shared subtrees (the expression is a DAG of shared_ptr nodes) are
+/// evaluated once per Evaluate call via pointer-keyed memoization — the
+/// bounded expansions of Props 5.2/5.4 rely on this.
+class Evaluator {
+ public:
+  explicit Evaluator(const Instance* instance, EvalOptions options = {})
+      : instance_(instance), options_(options) {}
+
+  /// e(I). Errors if e mentions a region name not defined in the instance.
+  Result<RegionSet> Evaluate(const ExprPtr& e);
+
+  const EvalStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = EvalStats(); }
+
+ private:
+  Result<RegionSet> Eval(const ExprPtr& e);
+
+  const Instance* instance_;
+  EvalOptions options_;
+  EvalStats stats_;
+  std::unordered_map<const Expr*, RegionSet> memo_;
+};
+
+/// One-shot convenience wrapper.
+Result<RegionSet> Evaluate(const Instance& instance, const ExprPtr& e,
+                           EvalOptions options = {});
+
+}  // namespace regal
+
+#endif  // REGAL_CORE_EVAL_H_

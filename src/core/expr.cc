@@ -1,0 +1,204 @@
+#include "core/expr.h"
+
+#include <set>
+
+namespace regal {
+
+bool IsStructuralOp(OpKind kind) {
+  switch (kind) {
+    case OpKind::kIncluding:
+    case OpKind::kIncluded:
+    case OpKind::kPrecedes:
+    case OpKind::kFollows:
+    case OpKind::kDirectIncluding:
+    case OpKind::kDirectIncluded:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* OpKindToken(OpKind kind) {
+  switch (kind) {
+    case OpKind::kName:
+      return "<name>";
+    case OpKind::kUnion:
+      return "|";
+    case OpKind::kIntersect:
+      return "&";
+    case OpKind::kDifference:
+      return "-";
+    case OpKind::kIncluding:
+      return "including";
+    case OpKind::kIncluded:
+      return "within";
+    case OpKind::kPrecedes:
+      return "before";
+    case OpKind::kFollows:
+      return "after";
+    case OpKind::kSelect:
+      return "matching";
+    case OpKind::kDirectIncluding:
+      return "dincluding";
+    case OpKind::kDirectIncluded:
+      return "dwithin";
+    case OpKind::kBothIncluded:
+      return "bi";
+    case OpKind::kWordMatch:
+      return "word";
+  }
+  return "?";
+}
+
+int Expr::NumOps() const {
+  int total = (kind_ == OpKind::kName) ? 0 : 1;  // kWordMatch counts 1.
+  for (const ExprPtr& c : children_) total += c->NumOps();
+  return total;
+}
+
+int Expr::NumOrderOps() const {
+  int total =
+      (kind_ == OpKind::kPrecedes || kind_ == OpKind::kFollows) ? 1 : 0;
+  for (const ExprPtr& c : children_) total += c->NumOrderOps();
+  return total;
+}
+
+namespace {
+
+void CollectNames(const Expr& e, std::vector<std::string>* out,
+                  std::set<std::string>* seen) {
+  if (e.kind() == OpKind::kName) {
+    if (seen->insert(e.name()).second) out->push_back(e.name());
+  }
+  for (const ExprPtr& c : e.children()) CollectNames(*c, out, seen);
+}
+
+void CollectPatterns(const Expr& e, std::vector<Pattern>* out,
+                     std::set<std::string>* seen) {
+  if (e.kind() == OpKind::kSelect || e.kind() == OpKind::kWordMatch) {
+    if (seen->insert(e.pattern().CacheKey()).second) out->push_back(e.pattern());
+  }
+  for (const ExprPtr& c : e.children()) CollectPatterns(*c, out, seen);
+}
+
+}  // namespace
+
+std::vector<std::string> Expr::NamesUsed() const {
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  CollectNames(*this, &out, &seen);
+  return out;
+}
+
+std::vector<Pattern> Expr::PatternsUsed() const {
+  std::vector<Pattern> out;
+  std::set<std::string> seen;
+  CollectPatterns(*this, &out, &seen);
+  return out;
+}
+
+bool Expr::IsBaseAlgebra() const {
+  if (kind_ == OpKind::kDirectIncluding || kind_ == OpKind::kDirectIncluded ||
+      kind_ == OpKind::kBothIncluded || kind_ == OpKind::kWordMatch) {
+    return false;
+  }
+  for (const ExprPtr& c : children_) {
+    if (!c->IsBaseAlgebra()) return false;
+  }
+  return true;
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case OpKind::kName:
+      return name_;
+    case OpKind::kSelect:
+      return "(" + children_[0]->ToString() + " matching " +
+             (pattern_->case_insensitive() ? "~" : "") + "\"" +
+             pattern_->ToString() + "\")";
+    case OpKind::kBothIncluded:
+      return "bi(" + children_[0]->ToString() + ", " +
+             children_[1]->ToString() + ", " + children_[2]->ToString() + ")";
+    case OpKind::kWordMatch:
+      return std::string("word ") + (pattern_->case_insensitive() ? "~" : "") +
+             "\"" + pattern_->ToString() + "\"";
+    default:
+      return "(" + children_[0]->ToString() + " " + OpKindToken(kind_) + " " +
+             children_[1]->ToString() + ")";
+  }
+}
+
+bool Expr::Equals(const Expr& other) const {
+  if (kind_ != other.kind_) return false;
+  if (kind_ == OpKind::kName) return name_ == other.name_;
+  if ((kind_ == OpKind::kSelect || kind_ == OpKind::kWordMatch) &&
+      !(pattern_->CacheKey() == other.pattern_->CacheKey())) {
+    return false;
+  }
+  if (children_.size() != other.children_.size()) return false;
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (!children_[i]->Equals(*other.children_[i])) return false;
+  }
+  return true;
+}
+
+ExprPtr Expr::Name(std::string name) {
+  return ExprPtr(new Expr(OpKind::kName, std::move(name), std::nullopt, {}));
+}
+
+ExprPtr Expr::Binary(OpKind kind, ExprPtr a, ExprPtr b) {
+  return ExprPtr(new Expr(kind, "", std::nullopt,
+                          {std::move(a), std::move(b)}));
+}
+
+ExprPtr Expr::Union(ExprPtr a, ExprPtr b) {
+  return Binary(OpKind::kUnion, std::move(a), std::move(b));
+}
+ExprPtr Expr::Intersect(ExprPtr a, ExprPtr b) {
+  return Binary(OpKind::kIntersect, std::move(a), std::move(b));
+}
+ExprPtr Expr::Difference(ExprPtr a, ExprPtr b) {
+  return Binary(OpKind::kDifference, std::move(a), std::move(b));
+}
+ExprPtr Expr::Including(ExprPtr a, ExprPtr b) {
+  return Binary(OpKind::kIncluding, std::move(a), std::move(b));
+}
+ExprPtr Expr::Included(ExprPtr a, ExprPtr b) {
+  return Binary(OpKind::kIncluded, std::move(a), std::move(b));
+}
+ExprPtr Expr::Precedes(ExprPtr a, ExprPtr b) {
+  return Binary(OpKind::kPrecedes, std::move(a), std::move(b));
+}
+ExprPtr Expr::Follows(ExprPtr a, ExprPtr b) {
+  return Binary(OpKind::kFollows, std::move(a), std::move(b));
+}
+ExprPtr Expr::DirectIncluding(ExprPtr a, ExprPtr b) {
+  return Binary(OpKind::kDirectIncluding, std::move(a), std::move(b));
+}
+ExprPtr Expr::DirectIncluded(ExprPtr a, ExprPtr b) {
+  return Binary(OpKind::kDirectIncluded, std::move(a), std::move(b));
+}
+
+ExprPtr Expr::Select(Pattern p, ExprPtr e) {
+  return ExprPtr(
+      new Expr(OpKind::kSelect, "", std::move(p), {std::move(e)}));
+}
+
+ExprPtr Expr::WordMatch(Pattern p) {
+  return ExprPtr(new Expr(OpKind::kWordMatch, "", std::move(p), {}));
+}
+
+ExprPtr Expr::BothIncluded(ExprPtr r, ExprPtr s, ExprPtr t) {
+  return ExprPtr(new Expr(OpKind::kBothIncluded, "", std::nullopt,
+                          {std::move(r), std::move(s), std::move(t)}));
+}
+
+ExprPtr Expr::Chain(OpKind op, const std::vector<std::string>& names) {
+  ExprPtr e = Name(names.back());
+  for (size_t i = names.size() - 1; i-- > 0;) {
+    e = Binary(op, Name(names[i]), std::move(e));
+  }
+  return e;
+}
+
+}  // namespace regal

@@ -1,0 +1,123 @@
+#ifndef REGAL_CORE_EXPR_H_
+#define REGAL_CORE_EXPR_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "text/pattern.h"
+
+namespace regal {
+
+/// Node kinds of the region algebra expression grammar (Definition 2.2),
+/// plus the extended operators of Sections 5-6 (direct inclusion and
+/// both-included), which are first-class AST nodes so that the optimizer
+/// and the expressiveness harnesses can reason about them.
+enum class OpKind {
+  kName,            // R_i
+  kUnion,           // e ∪ e
+  kIntersect,       // e ∩ e
+  kDifference,      // e - e
+  kIncluding,       // e ⊃ e
+  kIncluded,        // e ⊂ e
+  kPrecedes,        // e < e
+  kFollows,         // e > e
+  kSelect,          // σ_p(e)
+  kDirectIncluding, // e ⊃_d e   (Section 5.1; not expressible in the base algebra)
+  kDirectIncluded,  // e ⊂_d e
+  kBothIncluded,    // BI(e; e, e) (Section 5.2)
+  kWordMatch,       // word "p" — the PAT word index as a leaf: the token
+                    // (match point) regions matching pattern p. Needs a
+                    // text-backed instance.
+};
+
+/// True for ⊃ ⊂ < > and their direct variants (binary structural
+/// semi-joins).
+bool IsStructuralOp(OpKind kind);
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// An immutable region algebra expression. Nodes are shared; build with the
+/// factory functions below.
+class Expr {
+ public:
+  OpKind kind() const { return kind_; }
+
+  /// For kName: the region name.
+  const std::string& name() const { return name_; }
+
+  /// For kSelect / kWordMatch: the pattern.
+  const Pattern& pattern() const { return *pattern_; }
+
+  const std::vector<ExprPtr>& children() const { return children_; }
+  const ExprPtr& child(size_t i) const { return children_[i]; }
+
+  /// Number of operations |e| (kName counts 0, every operator node 1).
+  /// Theorem 4.1's nesting bound is stated in terms of this size.
+  int NumOps() const;
+
+  /// Number of < and > operations (the k of Theorem 4.4).
+  int NumOrderOps() const;
+
+  /// All region names mentioned, deduplicated, in first-mention order.
+  std::vector<std::string> NamesUsed() const;
+
+  /// All selection patterns mentioned (the P of Definition 3.2),
+  /// deduplicated by cache key.
+  std::vector<Pattern> PatternsUsed() const;
+
+  /// True iff the node uses only Definition 2.2 operators (no ⊃_d/⊂_d/BI)
+  /// anywhere in the subtree.
+  bool IsBaseAlgebra() const;
+
+  /// Query-language rendering; Parse(ToString(e)) == e (see query/parser.h).
+  std::string ToString() const;
+
+  /// Structural equality.
+  bool Equals(const Expr& other) const;
+
+  // --- Factories ---
+  static ExprPtr Name(std::string name);
+  static ExprPtr Union(ExprPtr a, ExprPtr b);
+  static ExprPtr Intersect(ExprPtr a, ExprPtr b);
+  static ExprPtr Difference(ExprPtr a, ExprPtr b);
+  static ExprPtr Including(ExprPtr a, ExprPtr b);
+  static ExprPtr Included(ExprPtr a, ExprPtr b);
+  static ExprPtr Precedes(ExprPtr a, ExprPtr b);
+  static ExprPtr Follows(ExprPtr a, ExprPtr b);
+  static ExprPtr Select(Pattern p, ExprPtr e);
+  static ExprPtr WordMatch(Pattern p);
+  static ExprPtr DirectIncluding(ExprPtr a, ExprPtr b);
+  static ExprPtr DirectIncluded(ExprPtr a, ExprPtr b);
+  static ExprPtr BothIncluded(ExprPtr r, ExprPtr s, ExprPtr t);
+
+  /// Generic binary factory for the given operator kind.
+  static ExprPtr Binary(OpKind kind, ExprPtr a, ExprPtr b);
+
+  /// Right-grouped chain `n1 ∘ n2 ∘ ... ∘ nk` of the given operator over
+  /// region names, following the paper's convention that structural
+  /// operators group from the right. Requires at least one name.
+  static ExprPtr Chain(OpKind op, const std::vector<std::string>& names);
+
+ private:
+  Expr(OpKind kind, std::string name, std::optional<Pattern> pattern,
+       std::vector<ExprPtr> children)
+      : kind_(kind),
+        name_(std::move(name)),
+        pattern_(std::move(pattern)),
+        children_(std::move(children)) {}
+
+  OpKind kind_;
+  std::string name_;
+  std::optional<Pattern> pattern_;
+  std::vector<ExprPtr> children_;
+};
+
+/// Keyword used by the query language / ToString for each operator.
+const char* OpKindToken(OpKind kind);
+
+}  // namespace regal
+
+#endif  // REGAL_CORE_EXPR_H_

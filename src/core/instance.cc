@@ -1,0 +1,246 @@
+#include "core/instance.h"
+
+#include <algorithm>
+
+#include "core/algebra.h"
+
+namespace regal {
+
+Instance Instance::Clone() const {
+  Instance out;
+  out.names_ = names_;
+  out.name_to_id_ = name_to_id_;
+  out.sets_ = sets_;
+  out.text_ = text_;
+  out.word_index_ = word_index_;
+  out.synthetic_w_ = synthetic_w_;
+  return out;
+}
+
+Status Instance::AddRegionSet(const std::string& name, RegionSet regions) {
+  if (name_to_id_.count(name) > 0) {
+    return Status::AlreadyExists("region name '" + name + "' already defined");
+  }
+  name_to_id_[name] = names_.size();
+  names_.push_back(name);
+  sets_.push_back(std::move(regions));
+  tree_built_ = false;
+  return Status::OK();
+}
+
+void Instance::SetRegionSet(const std::string& name, RegionSet regions) {
+  auto it = name_to_id_.find(name);
+  if (it == name_to_id_.end()) {
+    name_to_id_[name] = names_.size();
+    names_.push_back(name);
+    sets_.push_back(std::move(regions));
+  } else {
+    sets_[it->second] = std::move(regions);
+  }
+  tree_built_ = false;
+}
+
+Result<const RegionSet*> Instance::Get(const std::string& name) const {
+  auto it = name_to_id_.find(name);
+  if (it == name_to_id_.end()) {
+    return Status::NotFound("region name '" + name + "' is not defined");
+  }
+  return &sets_[it->second];
+}
+
+bool Instance::Has(const std::string& name) const {
+  return name_to_id_.count(name) > 0;
+}
+
+RegionSet Instance::AllRegions() const {
+  EnsureTree();
+  return RegionSet::FromSortedUnique(tree_regions_);
+}
+
+size_t Instance::NumRegions() const {
+  size_t total = 0;
+  for (const RegionSet& s : sets_) total += s.size();
+  return total;
+}
+
+void Instance::BindText(std::shared_ptr<const Text> text,
+                        std::shared_ptr<const WordIndex> index) {
+  text_ = std::move(text);
+  word_index_ = std::move(index);
+}
+
+void Instance::SetSyntheticPattern(const Pattern& p,
+                                   RegionSet regions_where_true) {
+  synthetic_w_[p.CacheKey()] = std::move(regions_where_true);
+}
+
+RegionSet Instance::Select(const RegionSet& r, const Pattern& p) const {
+  if (word_index_ != nullptr) {
+    return SelectByTokens(r, word_index_->Matches(p));
+  }
+  auto it = synthetic_w_.find(p.CacheKey());
+  if (it == synthetic_w_.end()) return RegionSet();
+  return Intersect(r, it->second);
+}
+
+bool Instance::W(const Region& r, const Pattern& p) const {
+  if (word_index_ != nullptr) {
+    return word_index_->Contains(r.left, r.right, p);
+  }
+  auto it = synthetic_w_.find(p.CacheKey());
+  return it != synthetic_w_.end() && it->second.Member(r);
+}
+
+Status Instance::Validate() const {
+  // Each region in exactly one name: collect all and look for duplicates.
+  std::vector<Region> all;
+  all.reserve(NumRegions());
+  for (const RegionSet& s : sets_) {
+    for (const Region& r : s) {
+      if (r.left > r.right) {
+        return Status::FailedPrecondition("region " + regal::ToString(r) +
+                                          " has left > right");
+      }
+      all.push_back(r);
+    }
+  }
+  std::sort(all.begin(), all.end(), RegionDocumentOrder());
+  for (size_t i = 1; i < all.size(); ++i) {
+    if (all[i] == all[i - 1]) {
+      return Status::FailedPrecondition(
+          "region " + regal::ToString(all[i]) +
+          " appears twice (regions must belong to exactly one name)");
+    }
+  }
+  RegionSet combined = RegionSet::FromSortedUnique(std::move(all));
+  if (!combined.IsLaminar()) {
+    return Status::FailedPrecondition(
+        "instance is not hierarchical: two regions partially overlap");
+  }
+  return Status::OK();
+}
+
+void Instance::EnsureTree() const {
+  if (tree_built_) return;
+  struct Entry {
+    Region region;
+    int name_id;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(NumRegions());
+  for (size_t id = 0; id < sets_.size(); ++id) {
+    for (const Region& r : sets_[id]) {
+      entries.push_back(Entry{r, static_cast<int>(id)});
+    }
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    return RegionDocumentOrder()(a.region, b.region);
+  });
+  const size_t n = entries.size();
+  tree_regions_.resize(n);
+  tree_name_ids_.resize(n);
+  tree_parents_.assign(n, -1);
+  tree_depth_ = 0;
+  std::vector<int> open;  // Stack of indices of currently-open ancestors.
+  for (size_t i = 0; i < n; ++i) {
+    tree_regions_[i] = entries[i].region;
+    tree_name_ids_[i] = entries[i].name_id;
+    while (!open.empty() &&
+           tree_regions_[static_cast<size_t>(open.back())].right <
+               entries[i].region.left) {
+      open.pop_back();
+    }
+    if (!open.empty()) tree_parents_[i] = open.back();
+    open.push_back(static_cast<int>(i));
+    tree_depth_ = std::max(tree_depth_, static_cast<int>(open.size()));
+  }
+  tree_built_ = true;
+}
+
+size_t Instance::TreeSize() const {
+  EnsureTree();
+  return tree_regions_.size();
+}
+
+const Region& Instance::TreeRegion(size_t i) const {
+  EnsureTree();
+  return tree_regions_[i];
+}
+
+int Instance::TreeNameId(size_t i) const {
+  EnsureTree();
+  return tree_name_ids_[i];
+}
+
+int Instance::TreeParent(size_t i) const {
+  EnsureTree();
+  return tree_parents_[i];
+}
+
+int Instance::TreeFind(const Region& r) const {
+  EnsureTree();
+  auto it = std::lower_bound(tree_regions_.begin(), tree_regions_.end(), r,
+                             RegionDocumentOrder());
+  if (it == tree_regions_.end() || !(*it == r)) return -1;
+  return static_cast<int>(it - tree_regions_.begin());
+}
+
+int Instance::TreeDepth() const {
+  EnsureTree();
+  return tree_depth_;
+}
+
+Digraph Instance::DeriveRig() const {
+  EnsureTree();
+  Digraph g;
+  for (const std::string& name : names_) g.AddNode(name);
+  for (size_t i = 0; i < tree_regions_.size(); ++i) {
+    int p = tree_parents_[i];
+    if (p >= 0) {
+      g.AddEdge(static_cast<Digraph::NodeId>(tree_name_ids_[static_cast<size_t>(p)]),
+                static_cast<Digraph::NodeId>(tree_name_ids_[i]));
+    }
+  }
+  return g;
+}
+
+Digraph Instance::DeriveRog() const {
+  EnsureTree();
+  Digraph g;
+  for (const std::string& name : names_) g.AddNode(name);
+  // Regions sorted by right endpoint, for "everything ending before x".
+  std::vector<size_t> by_right(tree_regions_.size());
+  for (size_t i = 0; i < by_right.size(); ++i) by_right[i] = i;
+  std::sort(by_right.begin(), by_right.end(), [&](size_t a, size_t b) {
+    return tree_regions_[a].right < tree_regions_[b].right;
+  });
+  std::vector<Offset> rights_sorted;
+  std::vector<Offset> prefix_max_left;  // Max left among by_right[0..i].
+  rights_sorted.reserve(by_right.size());
+  Offset running = -1;
+  for (size_t i : by_right) {
+    rights_sorted.push_back(tree_regions_[i].right);
+    running = std::max(running, tree_regions_[i].left);
+    prefix_max_left.push_back(running);
+  }
+  for (size_t s = 0; s < tree_regions_.size(); ++s) {
+    const Region& rs = tree_regions_[s];
+    // B = regions ending strictly before left(rs); r directly precedes rs
+    // iff r in B and right(r) >= L* where L* = max left endpoint in B
+    // (otherwise some region lies wholly between r and rs).
+    auto hi = std::lower_bound(rights_sorted.begin(), rights_sorted.end(),
+                               rs.left);
+    if (hi == rights_sorted.begin()) continue;
+    size_t count = static_cast<size_t>(hi - rights_sorted.begin());
+    Offset l_star = prefix_max_left[count - 1];
+    auto lo = std::lower_bound(rights_sorted.begin(), hi, l_star);
+    for (auto it = lo; it != hi; ++it) {
+      size_t r = by_right[static_cast<size_t>(it - rights_sorted.begin())];
+      g.AddEdge(static_cast<Digraph::NodeId>(tree_name_ids_[r]),
+                static_cast<Digraph::NodeId>(tree_name_ids_[s]));
+    }
+  }
+  return g;
+}
+
+}  // namespace regal

@@ -1,0 +1,144 @@
+#ifndef REGAL_CORE_INSTANCE_H_
+#define REGAL_CORE_INSTANCE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/region.h"
+#include "core/region_set.h"
+#include "graph/digraph.h"
+#include "index/word_index.h"
+#include "text/pattern.h"
+#include "text/text.h"
+#include "util/status.h"
+
+namespace regal {
+
+/// An instance I of a region index (Definition 2.1): a mapping from region
+/// names R_1..R_n to region sets, together with the word-index predicate
+/// W(r, p).
+///
+/// Content comes in two modes:
+///  * *text-backed*: a Text plus a WordIndex; W(r, p) holds iff a token
+///    inside r matches p. This is the production path.
+///  * *synthetic*: W is an explicit table (pattern key -> region set), the
+///    fully general predicate of Definition 2.1. The counterexample
+///    machinery of Sections 4-5 and the FMFT model correspondence use this.
+///
+/// The paper assumes hierarchical instances: every region belongs to exactly
+/// one region name, and any two regions are disjoint or strictly nested.
+/// Validate() checks exactly that. The global region *tree* (parents by
+/// direct inclusion) is built lazily and backs the extended operators.
+class Instance {
+ public:
+  Instance() = default;
+
+  /// Movable but not copyable (the tree holds indices into internal state;
+  /// use Clone() for an explicit deep copy).
+  Instance(Instance&&) = default;
+  Instance& operator=(Instance&&) = default;
+  Instance(const Instance&) = delete;
+  Instance& operator=(const Instance&) = delete;
+
+  Instance Clone() const;
+
+  /// Defines region name `name` with the given instance. Error if already
+  /// defined. Invalidates the tree.
+  Status AddRegionSet(const std::string& name, RegionSet regions);
+
+  /// Replaces (or defines) region name `name`. Invalidates the tree.
+  void SetRegionSet(const std::string& name, RegionSet regions);
+
+  /// The instance of `name`; NotFound if undefined.
+  Result<const RegionSet*> Get(const std::string& name) const;
+
+  bool Has(const std::string& name) const;
+
+  /// All defined region names, in definition order.
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Union of all region sets (the ∪_{T∈I} T of Section 6).
+  RegionSet AllRegions() const;
+
+  /// Total number of regions across all names.
+  size_t NumRegions() const;
+
+  /// Binds text content: W(r, p) is answered by `index` over `text`.
+  void BindText(std::shared_ptr<const Text> text,
+                std::shared_ptr<const WordIndex> index);
+
+  /// Declares, in synthetic mode, the exact set of regions for which
+  /// W(r, p) holds. Regions must belong to the instance.
+  void SetSyntheticPattern(const Pattern& p, RegionSet regions_where_true);
+
+  const Text* text() const { return text_.get(); }
+
+  /// The bound word index, or nullptr in synthetic mode.
+  const WordIndex* word_index() const { return word_index_.get(); }
+
+  /// σ_p(R): the regions of R for which W(r, p) holds. Works in both
+  /// content modes; in synthetic mode unseen patterns match nothing.
+  RegionSet Select(const RegionSet& r, const Pattern& p) const;
+
+  /// W(r, p) for a single region.
+  bool W(const Region& r, const Pattern& p) const;
+
+  /// The synthetic W tables (pattern cache key -> regions where W holds);
+  /// empty in text-backed mode. Exposed for persistence.
+  const std::map<std::string, RegionSet>& synthetic_patterns() const {
+    return synthetic_w_;
+  }
+
+  /// Checks the hierarchy assumption of Section 2.1: no region in two
+  /// names, and the union of all sets is laminar (disjoint-or-nested).
+  Status Validate() const;
+
+  // --- Global region tree (built on first use, invalidated by mutation) ---
+
+  /// Number of regions in the tree (== NumRegions()).
+  size_t TreeSize() const;
+  /// i-th region in document order.
+  const Region& TreeRegion(size_t i) const;
+  /// Name id (index into names()) of the i-th region.
+  int TreeNameId(size_t i) const;
+  /// Parent index of the i-th region, or -1 for roots. The parent is the
+  /// unique region directly including it (Definition of Section 2.2).
+  int TreeParent(size_t i) const;
+  /// Index of `r` in the tree, or -1 if `r` is not an instance region.
+  int TreeFind(const Region& r) const;
+  /// Maximum nesting depth (a single root counts 1; empty instance is 0).
+  int TreeDepth() const;
+
+  /// The RIG derived from this instance: edge (A, B) iff some A region
+  /// directly includes some B region here. Any RIG this instance satisfies
+  /// is a supergraph (Definition 2.4).
+  Digraph DeriveRig() const;
+
+  /// The ROG derived from this instance: edge (A, B) iff some A region
+  /// directly precedes some B region here.
+  Digraph DeriveRog() const;
+
+ private:
+  void EnsureTree() const;
+
+  std::vector<std::string> names_;
+  std::map<std::string, size_t> name_to_id_;
+  std::vector<RegionSet> sets_;
+
+  std::shared_ptr<const Text> text_;
+  std::shared_ptr<const WordIndex> word_index_;
+  std::map<std::string, RegionSet> synthetic_w_;  // Keyed by Pattern::CacheKey.
+
+  // Lazily built tree over all regions, in document order.
+  mutable bool tree_built_ = false;
+  mutable std::vector<Region> tree_regions_;
+  mutable std::vector<int> tree_name_ids_;
+  mutable std::vector<int> tree_parents_;
+  mutable int tree_depth_ = 0;
+};
+
+}  // namespace regal
+
+#endif  // REGAL_CORE_INSTANCE_H_

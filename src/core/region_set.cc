@@ -1,0 +1,64 @@
+#include "core/region_set.h"
+
+#include <algorithm>
+
+namespace regal {
+
+RegionSet RegionSet::FromUnsorted(std::vector<Region> regions) {
+  std::sort(regions.begin(), regions.end(), RegionDocumentOrder());
+  regions.erase(std::unique(regions.begin(), regions.end()), regions.end());
+  RegionSet out;
+  out.regions_ = std::move(regions);
+  return out;
+}
+
+RegionSet RegionSet::FromSortedUnique(std::vector<Region> regions) {
+  RegionSet out;
+  out.regions_ = std::move(regions);
+  return out;
+}
+
+RegionSet::RegionSet(std::initializer_list<Region> regions)
+    : RegionSet(FromUnsorted(std::vector<Region>(regions))) {}
+
+bool RegionSet::Member(const Region& r) const {
+  auto it = std::lower_bound(regions_.begin(), regions_.end(), r,
+                             RegionDocumentOrder());
+  return it != regions_.end() && *it == r;
+}
+
+bool RegionSet::IsValid() const {
+  RegionDocumentOrder less;
+  for (size_t i = 1; i < regions_.size(); ++i) {
+    if (!less(regions_[i - 1], regions_[i])) return false;
+  }
+  return true;
+}
+
+bool RegionSet::IsLaminar() const {
+  if (!IsValid()) return false;
+  // In document order, a region partially overlaps its successor chain only
+  // via the nearest "open" ancestors; a stack sweep suffices.
+  std::vector<Region> open;
+  for (const Region& r : regions_) {
+    while (!open.empty() && open.back().right < r.left) open.pop_back();
+    if (!open.empty()) {
+      const Region& top = open.back();
+      if (!StrictlyIncludes(top, r)) return false;  // Overlap or duplicate.
+    }
+    open.push_back(r);
+  }
+  return true;
+}
+
+std::string RegionSet::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < regions_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += regal::ToString(regions_[i]);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace regal

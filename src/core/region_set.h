@@ -1,0 +1,60 @@
+#ifndef REGAL_CORE_REGION_SET_H_
+#define REGAL_CORE_REGION_SET_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "core/region.h"
+#include "util/status.h"
+
+namespace regal {
+
+/// A set of regions, stored sorted in document order with no duplicates.
+/// This is the value type flowing through the algebra: operands and results
+/// of every operator.
+class RegionSet {
+ public:
+  RegionSet() = default;
+
+  /// Builds a set from arbitrary input: sorts and deduplicates.
+  static RegionSet FromUnsorted(std::vector<Region> regions);
+
+  /// Wraps a vector the caller guarantees to be document-ordered and
+  /// duplicate-free (checked in debug builds by Validate in callers/tests).
+  static RegionSet FromSortedUnique(std::vector<Region> regions);
+
+  RegionSet(std::initializer_list<Region> regions);
+
+  const std::vector<Region>& regions() const { return regions_; }
+  size_t size() const { return regions_.size(); }
+  bool empty() const { return regions_.empty(); }
+
+  auto begin() const { return regions_.begin(); }
+  auto end() const { return regions_.end(); }
+  const Region& operator[](size_t i) const { return regions_[i]; }
+
+  /// Membership test, O(log n).
+  bool Member(const Region& r) const;
+
+  bool operator==(const RegionSet& other) const {
+    return regions_ == other.regions_;
+  }
+
+  /// True iff the document order + uniqueness invariant holds.
+  bool IsValid() const;
+
+  /// True iff no two member regions partially overlap and no two are equal
+  /// (every pair is disjoint or strictly nested) — the hierarchy property.
+  bool IsLaminar() const;
+
+  /// "{[l,r], ...}" for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::vector<Region> regions_;
+};
+
+}  // namespace regal
+
+#endif  // REGAL_CORE_REGION_SET_H_

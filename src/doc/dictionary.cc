@@ -1,0 +1,68 @@
+#include "doc/dictionary.h"
+
+namespace regal {
+
+std::string GenerateDictionarySource(
+    const DictionaryGeneratorOptions& options) {
+  Rng rng(options.seed);
+  auto word = [&] {
+    return "term" + std::to_string(rng.Below(static_cast<uint64_t>(
+                        std::max(1, options.vocabulary))));
+  };
+  const char* authors[] = {"CHAUCER", "SHAKESPEARE", "MILTON",
+                           "JOHNSON", "AUSTEN",      "DICKENS"};
+  const char* pos[] = {"n", "v", "adj", "adv"};
+  std::string out = "<dictionary>\n";
+  for (int e = 0; e < options.entries; ++e) {
+    out += "<entry>\n<headword>hw" + std::to_string(e) + "</headword>";
+    out += "<pos>";
+    out += pos[rng.Below(4)];
+    out += "</pos>\n";
+    int senses = static_cast<int>(1 + rng.Below(static_cast<uint64_t>(
+                                          std::max(1, options.max_senses))));
+    for (int s = 0; s < senses; ++s) {
+      out += "<sense>\n<def>";
+      int len = static_cast<int>(3 + rng.Below(8));
+      for (int w = 0; w < len; ++w) {
+        if (w > 0) out += ' ';
+        out += word();
+      }
+      out += "</def>\n";
+      int quotes = static_cast<int>(
+          rng.Below(static_cast<uint64_t>(options.max_quotes_per_sense + 1)));
+      for (int q = 0; q < quotes; ++q) {
+        out += "<quote><date>";
+        out += std::to_string(1400 + rng.Below(500));
+        out += "</date><author>";
+        out += authors[rng.Below(6)];
+        out += "</author><qtext>";
+        int qlen = static_cast<int>(3 + rng.Below(6));
+        for (int w = 0; w < qlen; ++w) {
+          if (w > 0) out += ' ';
+          out += word();
+        }
+        out += "</qtext></quote>\n";
+      }
+      out += "</sense>\n";
+    }
+    out += "</entry>\n";
+  }
+  out += "</dictionary>\n";
+  return out;
+}
+
+Digraph DictionaryRig() {
+  Digraph g;
+  g.AddEdge("dictionary", "entry");
+  g.AddEdge("entry", "headword");
+  g.AddEdge("entry", "pos");
+  g.AddEdge("entry", "sense");
+  g.AddEdge("sense", "def");
+  g.AddEdge("sense", "quote");
+  g.AddEdge("quote", "date");
+  g.AddEdge("quote", "author");
+  g.AddEdge("quote", "qtext");
+  return g;
+}
+
+}  // namespace regal

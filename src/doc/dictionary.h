@@ -1,0 +1,33 @@
+#ifndef REGAL_DOC_DICTIONARY_H_
+#define REGAL_DOC_DICTIONARY_H_
+
+#include <string>
+
+#include "graph/digraph.h"
+#include "util/random.h"
+
+namespace regal {
+
+/// An OED-flavoured dictionary corpus — the PAT system's original workload
+/// [Gon87: "Examples of PAT applied to the Oxford English Dictionary"].
+/// Entries contain a headword, part-of-speech, and senses; senses contain a
+/// definition and dated quotations with authors.
+struct DictionaryGeneratorOptions {
+  int entries = 40;
+  int max_senses = 4;
+  int max_quotes_per_sense = 3;
+  int vocabulary = 120;  // Distinct definition words "term0"..
+  uint64_t seed = 31;
+};
+
+/// Generates SGML markup (parse with ParseSgml):
+///   dictionary > entry > {headword, pos, sense > {def, quote > {date,
+///   author, qtext}}}.
+std::string GenerateDictionarySource(const DictionaryGeneratorOptions& options);
+
+/// The RIG of generated dictionaries.
+Digraph DictionaryRig();
+
+}  // namespace regal
+
+#endif  // REGAL_DOC_DICTIONARY_H_

@@ -1,0 +1,75 @@
+#ifndef REGAL_DOC_SYNTHETIC_H_
+#define REGAL_DOC_SYNTHETIC_H_
+
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "graph/digraph.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace regal {
+
+/// A node of a forest specification: a region name plus children. Offsets
+/// are assigned automatically (each node spans its children with one unit
+/// of padding on each side), yielding a valid hierarchical instance.
+struct NodeSpec {
+  std::string name;
+  std::vector<NodeSpec> children;
+};
+
+/// Builds an instance from an ordered forest of NodeSpecs.
+Instance FromForest(const std::vector<NodeSpec>& forest);
+
+/// The Figure 2 counterexample family (Theorem 5.1): a nested spine of
+/// `depth` B regions (B directly including B — the configuration the proof
+/// deletes from), with direct A children at a deterministic pseudo-random
+/// subset of levels (always including the innermost). B ⊃_d A selects
+/// exactly the A-carrying levels while B ⊃ A selects every B; the
+/// expressiveness harness checks that no small base-algebra expression
+/// tracks the difference across depths.
+Instance MakeFigure2Instance(int depth);
+
+/// The Figure 3 counterexample family (Theorem 5.3): 4k+1 sibling C
+/// regions; each contains an A followed by a B, except the middle one
+/// (position 2k+1) which contains A, then B, then a second A. Hence
+/// C BI (B, A) = {the middle C} while every deletion-blind expression
+/// with at most k order operators must treat the middle C like its
+/// neighbours.
+Instance MakeFigure3Instance(int k);
+
+/// Options for random hierarchical instances.
+struct RandomInstanceOptions {
+  int num_regions = 50;
+  int max_depth = 6;
+  int max_names = 3;        // Region names "R0".."R{max_names-1}".
+  double sibling_bias = 0.5;  // Probability a new region opens a sibling
+                              // rather than nesting deeper.
+  // When non-empty, overrides max_names with this explicit name list.
+  std::vector<std::string> names;
+};
+
+/// A random hierarchical instance (laminar, each region in one name).
+/// Used by the property tests as the distribution over which efficient and
+/// naive operators are compared.
+Instance RandomLaminarInstance(Rng& rng, const RandomInstanceOptions& options);
+
+/// A random instance *satisfying the given RIG* (Definition 2.4): region
+/// names are the RIG's node labels; children of a region named X are drawn
+/// from X's out-neighbors. Roots are drawn from `root_labels` (or all
+/// labels when empty). `num_regions` is approximate (the generator stops
+/// expanding once reached).
+Instance RandomInstanceForRig(Rng& rng, const Digraph& rig, int num_regions,
+                              int max_depth,
+                              const std::vector<std::string>& root_labels = {});
+
+/// Assigns each pattern in `patterns` to each instance region independently
+/// with probability `prob` (synthetic W mode). This realizes the fully
+/// general word index of Definition 2.1.
+void AssignRandomPatterns(Instance* instance, Rng& rng,
+                          const std::vector<Pattern>& patterns, double prob);
+
+}  // namespace regal
+
+#endif  // REGAL_DOC_SYNTHETIC_H_

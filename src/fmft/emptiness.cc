@@ -1,0 +1,203 @@
+#include "fmft/emptiness.h"
+
+#include <algorithm>
+
+#include "core/eval.h"
+#include "doc/synthetic.h"
+#include "util/random.h"
+
+namespace regal {
+
+namespace {
+
+// Enumerates ordered forests with name assignments by backtracking. All
+// sibling vectors are pre-reserved so NodeSpec references stay stable
+// across recursive construction.
+class ForestEnumerator {
+ public:
+  ForestEnumerator(const std::vector<std::string>& names,
+                   const std::vector<Pattern>& patterns, int max_nodes,
+                   int max_depth, int64_t budget, const Digraph* rig,
+                   std::function<bool(const Instance&)> fn)
+      : names_(names),
+        patterns_(patterns),
+        max_nodes_(max_nodes),
+        max_depth_(max_depth),
+        budget_(budget),
+        rig_(rig),
+        fn_(std::move(fn)) {}
+
+  // Returns true iff the enumeration completed within budget.
+  bool Run() {
+    roots_.reserve(static_cast<size_t>(max_nodes_));
+    for (int total = 0; total <= max_nodes_ && !stopped_ && budget_ > 0;
+         ++total) {
+      Forest(total, 1, "", &roots_, [&] { Emit(); });
+    }
+    return budget_ > 0;
+  }
+
+  bool stopped() const { return stopped_; }
+  int64_t checked() const { return checked_; }
+
+ private:
+  std::vector<std::string> AllowedNames(const std::string& parent) const {
+    if (rig_ == nullptr || parent.empty()) return names_;
+    std::vector<std::string> out;
+    auto id = rig_->FindNode(parent);
+    if (!id.ok()) return out;
+    for (Digraph::NodeId w : rig_->OutNeighbors(*id)) {
+      out.push_back(rig_->Label(w));
+    }
+    return out;
+  }
+
+  // Appends a forest of exactly m nodes to *out, then invokes k; explores
+  // every choice by backtracking.
+  void Forest(int m, int depth, const std::string& parent,
+              std::vector<NodeSpec>* out, const std::function<void()>& k) {
+    if (stopped_ || budget_ <= 0) return;
+    if (m == 0) {
+      k();
+      return;
+    }
+    for (int j = 1; j <= m && !stopped_ && budget_ > 0; ++j) {
+      if (j > 1 && depth >= max_depth_) break;  // Leaf-only at max depth.
+      for (const std::string& name : AllowedNames(parent)) {
+        out->push_back(NodeSpec{name, {}});
+        NodeSpec& node = out->back();
+        node.children.reserve(static_cast<size_t>(j - 1));
+        Forest(j - 1, depth + 1, name, &node.children,
+               [&] { Forest(m - j, depth, parent, out, k); });
+        out->pop_back();
+        if (stopped_ || budget_ <= 0) return;
+      }
+    }
+  }
+
+  void Emit() {
+    Instance base = FromForest(roots_);
+    for (const std::string& name : names_) {
+      if (!base.Has(name)) base.SetRegionSet(name, RegionSet());
+    }
+    const size_t m = base.NumRegions();
+    const size_t k = patterns_.size();
+    const size_t bits = m * k;
+    if (bits > 20) {
+      // Too many pattern assignments to enumerate; charge the budget and
+      // skip (the randomized phase still samples this regime).
+      budget_ = 0;
+      return;
+    }
+    RegionSet all = base.AllRegions();
+    for (uint64_t mask = 0; mask < (uint64_t{1} << bits); ++mask) {
+      if (stopped_ || budget_-- <= 0) return;
+      Instance instance = base.Clone();
+      for (size_t p = 0; p < k; ++p) {
+        std::vector<Region> where;
+        for (size_t r = 0; r < m; ++r) {
+          if ((mask >> (p * m + r)) & 1) where.push_back(all[r]);
+        }
+        instance.SetSyntheticPattern(
+            patterns_[p], RegionSet::FromSortedUnique(std::move(where)));
+      }
+      ++checked_;
+      if (fn_(instance)) {
+        stopped_ = true;
+        return;
+      }
+    }
+  }
+
+  const std::vector<std::string>& names_;
+  const std::vector<Pattern>& patterns_;
+  const int max_nodes_;
+  const int max_depth_;
+  int64_t budget_;
+  const Digraph* rig_;
+  const std::function<bool(const Instance&)> fn_;
+  std::vector<NodeSpec> roots_;
+  bool stopped_ = false;
+  int64_t checked_ = 0;
+};
+
+}  // namespace
+
+bool EnumerateInstances(const std::vector<std::string>& names,
+                        const std::vector<Pattern>& patterns, int max_nodes,
+                        int max_depth, int64_t budget, const Digraph* rig,
+                        const std::function<bool(const Instance&)>& fn) {
+  ForestEnumerator enumerator(names, patterns, max_nodes, max_depth, budget,
+                              rig, fn);
+  return enumerator.Run();
+}
+
+Result<EmptinessReport> CheckEmptiness(const ExprPtr& expr,
+                                       const EmptinessOptions& options,
+                                       const Digraph* rig) {
+  std::vector<std::string> names = expr->NamesUsed();
+  if (rig != nullptr) names = rig->Labels();
+  if (names.empty()) {
+    return Status::InvalidArgument("expression mentions no region names");
+  }
+  std::vector<Pattern> patterns = expr->PatternsUsed();
+
+  EmptinessReport report;
+  Status eval_error = Status::OK();
+  auto probe = [&](const Instance& instance) {
+    auto result = Evaluate(instance, expr);
+    if (!result.ok()) {
+      eval_error = result.status();
+      return true;
+    }
+    if (!result->empty()) {
+      report.witness_found = true;
+      report.witness = std::make_shared<Instance>(instance.Clone());
+      return true;
+    }
+    return false;
+  };
+
+  ForestEnumerator enumerator(names, patterns, options.max_nodes,
+                              options.max_depth, options.eval_budget, rig,
+                              probe);
+  bool complete = enumerator.Run();
+  report.instances_checked = enumerator.checked();
+  REGAL_RETURN_NOT_OK(eval_error);
+  if (report.witness_found) return report;
+  report.exhaustive_within_bounds = complete;
+
+  // Randomized phase: larger instances than the exhaustive bounds cover.
+  Rng rng(options.seed);
+  for (int i = 0; i < options.random_samples; ++i) {
+    Instance instance = [&] {
+      if (rig != nullptr) {
+        return RandomInstanceForRig(rng, *rig, options.random_nodes,
+                                    2 * options.max_depth);
+      }
+      RandomInstanceOptions rio;
+      rio.num_regions = options.random_nodes;
+      rio.max_depth = 2 * options.max_depth;
+      rio.names = names;
+      return RandomLaminarInstance(rng, rio);
+    }();
+    for (const std::string& name : names) {
+      if (!instance.Has(name)) instance.SetRegionSet(name, RegionSet());
+    }
+    AssignRandomPatterns(&instance, rng, patterns, 0.3);
+    ++report.instances_checked;
+    if (probe(instance)) break;
+  }
+  REGAL_RETURN_NOT_OK(eval_error);
+  return report;
+}
+
+Result<EmptinessReport> CheckEquivalence(const ExprPtr& e1, const ExprPtr& e2,
+                                         const EmptinessOptions& options,
+                                         const Digraph* rig) {
+  ExprPtr difference =
+      Expr::Union(Expr::Difference(e1, e2), Expr::Difference(e2, e1));
+  return CheckEmptiness(difference, options, rig);
+}
+
+}  // namespace regal

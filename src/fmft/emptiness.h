@@ -1,0 +1,73 @@
+#ifndef REGAL_FMFT_EMPTINESS_H_
+#define REGAL_FMFT_EMPTINESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "core/expr.h"
+#include "core/instance.h"
+#include "graph/digraph.h"
+#include "util/status.h"
+
+namespace regal {
+
+/// Bounds for the emptiness / equivalence search. Exact emptiness testing
+/// is decidable (Theorem 3.4 via Rabin) but Co-NP-Hard already for the
+/// region algebra (Theorem 3.5), and the known decision procedures are
+/// non-elementary; this checker instead enumerates *all* canonical
+/// instances within (node, depth) bounds — exhaustive within bounds — and
+/// augments them with randomized larger instances. Section 4's theorems
+/// justify small bounds: a non-empty expression e has a witness of nesting
+/// <= 2|e| (Theorem 4.1) whose width is controlled by the number of order
+/// operators (Theorem 4.4).
+struct EmptinessOptions {
+  int max_nodes = 6;            // Exhaustive bound on instance size.
+  int max_depth = 4;            // Exhaustive bound on nesting depth.
+  int64_t eval_budget = 500000; // Max instance evaluations before giving up
+                                // on exhaustiveness.
+  int random_samples = 200;     // Extra randomized larger instances.
+  int random_nodes = 24;
+  uint64_t seed = 1;
+};
+
+struct EmptinessReport {
+  /// True iff an instance with e(I) != empty was found.
+  bool witness_found = false;
+  /// The witness (valid iff witness_found).
+  std::shared_ptr<Instance> witness;
+  /// True iff all instances within (max_nodes, max_depth) were enumerated
+  /// without exceeding eval_budget — i.e. "empty" is exhaustive w.r.t. the
+  /// bounds, not just sampled.
+  bool exhaustive_within_bounds = false;
+  int64_t instances_checked = 0;
+};
+
+/// Searches for an instance on which `expr` is non-empty. Errors if expr
+/// evaluation fails structurally. When `rig` is non-null, only instances
+/// satisfying the RIG are generated (Theorem 3.6's refinement).
+Result<EmptinessReport> CheckEmptiness(const ExprPtr& expr,
+                                       const EmptinessOptions& options = {},
+                                       const Digraph* rig = nullptr);
+
+/// Equivalence via emptiness of the symmetric difference
+/// (e1 - e2) ∪ (e2 - e1) (Section 3). The report's witness, if found, is a
+/// counterexample instance where the two expressions differ.
+Result<EmptinessReport> CheckEquivalence(const ExprPtr& e1, const ExprPtr& e2,
+                                         const EmptinessOptions& options = {},
+                                         const Digraph* rig = nullptr);
+
+/// Enumerates canonical instances over the given names (forest shapes x
+/// name assignments x per-region pattern assignments) within the bounds,
+/// invoking `fn` on each; `fn` returning true stops the walk. Returns false
+/// if the budget was exhausted before the enumeration completed. Exposed
+/// for the expressiveness harnesses.
+bool EnumerateInstances(const std::vector<std::string>& names,
+                        const std::vector<Pattern>& patterns, int max_nodes,
+                        int max_depth, int64_t budget, const Digraph* rig,
+                        const std::function<bool(const Instance&)>& fn);
+
+}  // namespace regal
+
+#endif  // REGAL_FMFT_EMPTINESS_H_

@@ -1,0 +1,77 @@
+#ifndef REGAL_FMFT_FORMULA_H_
+#define REGAL_FMFT_FORMULA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fmft/model.h"
+
+namespace regal {
+
+/// Node kinds of restricted FMFT formulas (Definition 3.1). Every formula
+/// has exactly one free variable; the Exists kinds bind a fresh variable y
+/// and relate it to the free variable x:
+///   kExists*   = (∃y) φ1(x) ∧ φ2(y) ∧ <relation>.
+enum class FormulaKind {
+  kPred,           // Q_i(x)
+  kOr,             // φ1 ∨ φ2
+  kAnd,            // φ1 ∧ φ2
+  kAndNot,         // φ1 ∧ ¬φ2
+  kExistsXsupY,    // (∃y) φ1(x) ∧ φ2(y) ∧ x ⊃ y   (x a proper prefix of y)
+  kExistsYsupX,    // (∃y) φ1(x) ∧ φ2(y) ∧ y ⊃ x
+  kExistsXbeforeY, // (∃y) φ1(x) ∧ φ2(y) ∧ x < y
+  kExistsYbeforeX, // (∃y) φ1(x) ∧ φ2(y) ∧ y < x
+};
+
+class RestrictedFormula;
+using FormulaPtr = std::shared_ptr<const RestrictedFormula>;
+
+/// An immutable restricted FMFT formula. φ(t) (the set of words satisfying
+/// the formula in model t) is computed by Evaluate.
+class RestrictedFormula {
+ public:
+  FormulaKind kind() const { return kind_; }
+
+  /// For kPred: the predicate name (a region name or pattern cache key).
+  const std::string& predicate() const { return predicate_; }
+
+  const FormulaPtr& left() const { return children_[0]; }
+  const FormulaPtr& right() const { return children_[1]; }
+
+  /// Number of connective/quantifier nodes (kPred counts 0).
+  int Size() const;
+
+  /// φ(t): indices of the model words satisfying the formula. Words are
+  /// the only relevant domain elements for restricted formulas (a word
+  /// outside every Q_i cannot satisfy any of them). Unknown predicate
+  /// names denote the empty predicate.
+  std::vector<size_t> Evaluate(const FmftModel& model) const;
+
+  /// Logic-style rendering, e.g. "(∃y) Q_A(x) ∧ Q_B(y) ∧ x ⊃ y".
+  std::string ToString() const;
+
+  // Factories.
+  static FormulaPtr Pred(std::string name);
+  static FormulaPtr Or(FormulaPtr a, FormulaPtr b);
+  static FormulaPtr And(FormulaPtr a, FormulaPtr b);
+  static FormulaPtr AndNot(FormulaPtr a, FormulaPtr b);
+  static FormulaPtr Exists(FormulaKind kind, FormulaPtr a, FormulaPtr b);
+
+ private:
+  RestrictedFormula(FormulaKind kind, std::string predicate,
+                    std::vector<FormulaPtr> children)
+      : kind_(kind),
+        predicate_(std::move(predicate)),
+        children_(std::move(children)) {}
+
+  std::string ToStringImpl(const std::string& var, int depth) const;
+
+  FormulaKind kind_;
+  std::string predicate_;
+  std::vector<FormulaPtr> children_;
+};
+
+}  // namespace regal
+
+#endif  // REGAL_FMFT_FORMULA_H_

@@ -1,0 +1,112 @@
+#ifndef REGAL_FMFT_GENERAL_H_
+#define REGAL_FMFT_GENERAL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fmft/formula.h"
+#include "fmft/model.h"
+
+namespace regal {
+
+class GeneralFormula;
+using GeneralFormulaPtr = std::shared_ptr<const GeneralFormula>;
+
+/// Node kinds of *general* FMFT formulas (Section 3): full first-order
+/// logic over the monadic predicates and the ⊃ / < relations, with named
+/// variables and arbitrary quantification. Sections 5.1/5.2 observe that
+/// direct inclusion and both-included "can be expressed by FMFT formulas"
+/// even though Theorems 5.1/5.3 bar them from the *restricted* fragment —
+/// this module makes that separation executable.
+enum class GeneralKind {
+  kPred,    // Q(x)
+  kPrefix,  // x ⊃ y (x a proper prefix of y)
+  kBefore,  // x < y (horizontal order)
+  kEquals,  // x = y
+  kNot,
+  kAnd,
+  kOr,
+  kExists,  // (∃v) φ
+  kForall,  // (∀v) φ
+};
+
+/// An immutable general FMFT formula with named variables.
+class GeneralFormula {
+ public:
+  GeneralKind kind() const { return kind_; }
+  const std::string& predicate() const { return predicate_; }
+  const std::string& var_a() const { return var_a_; }
+  const std::string& var_b() const { return var_b_; }
+  const GeneralFormulaPtr& left() const { return children_[0]; }
+  const GeneralFormulaPtr& right() const { return children_[1]; }
+
+  /// Truth value under an environment binding every free variable to a
+  /// word index of `model`. Quantifiers range over the words in t (the
+  /// only elements that can satisfy any predicate — sufficient for the
+  /// formulas arising from the region algebra, whose atoms are guarded by
+  /// predicates).
+  bool Holds(const FmftModel& model,
+             const std::map<std::string, size_t>& env) const;
+
+  /// The word indices w such that φ holds with `free_var` bound to w.
+  std::vector<size_t> Satisfiers(const FmftModel& model,
+                                 const std::string& free_var) const;
+
+  /// Free variables, sorted.
+  std::vector<std::string> FreeVariables() const;
+
+  std::string ToString() const;
+
+  // Factories.
+  static GeneralFormulaPtr Pred(std::string predicate, std::string var);
+  static GeneralFormulaPtr Prefix(std::string a, std::string b);
+  static GeneralFormulaPtr Before(std::string a, std::string b);
+  static GeneralFormulaPtr Equals(std::string a, std::string b);
+  static GeneralFormulaPtr Not(GeneralFormulaPtr f);
+  static GeneralFormulaPtr And(GeneralFormulaPtr a, GeneralFormulaPtr b);
+  static GeneralFormulaPtr Or(GeneralFormulaPtr a, GeneralFormulaPtr b);
+  static GeneralFormulaPtr Exists(std::string var, GeneralFormulaPtr f);
+  static GeneralFormulaPtr Forall(std::string var, GeneralFormulaPtr f);
+
+ private:
+  GeneralFormula(GeneralKind kind, std::string predicate, std::string a,
+                 std::string b, std::vector<GeneralFormulaPtr> children)
+      : kind_(kind),
+        predicate_(std::move(predicate)),
+        var_a_(std::move(a)),
+        var_b_(std::move(b)),
+        children_(std::move(children)) {}
+
+  void CollectFree(std::vector<std::string>* bound,
+                   std::vector<std::string>* out) const;
+
+  GeneralKind kind_;
+  std::string predicate_;  // kPred only.
+  std::string var_a_;      // Atom variables / quantifier variable.
+  std::string var_b_;
+  std::vector<GeneralFormulaPtr> children_;
+};
+
+/// Embeds a restricted formula (Definition 3.1) into the general language;
+/// `free_var` names its single free variable.
+GeneralFormulaPtr FromRestricted(const FormulaPtr& restricted,
+                                 const std::string& free_var);
+
+/// φ(x) defining R ⊃_d S (Section 5.1's operator) in general FMFT:
+///   R(x) ∧ ∃y (S(y) ∧ x ⊃ y ∧ ¬∃z (x ⊃ z ∧ z ⊃ y))
+/// where z ranges over all words (any predicate). Theorem 5.1 shows no
+/// restricted formula does this.
+GeneralFormulaPtr DirectIncludingFormula(const std::string& r_name,
+                                         const std::string& s_name);
+
+/// φ(x) defining R BI (S, T) (Section 5.2):
+///   R(x) ∧ ∃y ∃z (S(y) ∧ T(z) ∧ x ⊃ y ∧ x ⊃ z ∧ y < z).
+GeneralFormulaPtr BothIncludedFormula(const std::string& r_name,
+                                      const std::string& s_name,
+                                      const std::string& t_name);
+
+}  // namespace regal
+
+#endif  // REGAL_FMFT_GENERAL_H_

@@ -1,0 +1,86 @@
+#ifndef REGAL_FMFT_MODEL_H_
+#define REGAL_FMFT_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "text/pattern.h"
+#include "util/status.h"
+
+namespace regal {
+
+/// A finite model of the first-order monadic theory of binary trees (FMFT,
+/// Section 3): t = ({0,1}*, ⊃, <, Q_1, ..., Q_{n+k}).
+///
+/// Only the *words in t* (the finitely many strings belonging to some Q_i)
+/// matter for restricted-formula evaluation, so the model stores exactly
+/// those. Relations:
+///  * u ⊃ v  — u is a proper prefix of v;
+///  * u < v  — u is lexicographically before v *on an incomparable pair*
+///    (some common prefix w has w0 ⊑ u and w1 ⊑ v). This is the horizontal
+///    order of the tree; prefix-comparable pairs are ordered by ⊃, not <,
+///    which is what makes Definition 3.2(2) ("u precedes v (that does not
+///    have u as a prefix)") line up with region precedence.
+class FmftModel {
+ public:
+  FmftModel() = default;
+
+  /// Predicate names in order: the n region names, then the k pattern keys.
+  FmftModel(std::vector<std::string> predicate_names, int num_region_names)
+      : predicate_names_(std::move(predicate_names)),
+        num_region_names_(num_region_names) {}
+
+  /// Adds a word with its predicate memberships (indices into
+  /// predicate_names()). Duplicate words are rejected.
+  Status AddWord(std::string word, const std::vector<int>& predicates);
+
+  size_t NumWords() const { return words_.size(); }
+  const std::string& Word(size_t i) const { return words_[i]; }
+  const std::vector<std::string>& predicate_names() const {
+    return predicate_names_;
+  }
+  int num_region_names() const { return num_region_names_; }
+
+  /// Membership of word i in predicate q.
+  bool InPredicate(size_t i, size_t q) const {
+    return membership_[i][q];
+  }
+
+  /// Word-level relations (by index).
+  bool ProperPrefix(size_t u, size_t v) const;
+  bool LexBefore(size_t u, size_t v) const;
+
+  /// Checks the representation conditions of Definition 3.2: the region
+  /// predicates Q_1..Q_n are pairwise disjoint, every word is in some
+  /// region predicate, and pattern predicates only mark such words.
+  Status ValidateRepresentation() const;
+
+ private:
+  std::vector<std::string> predicate_names_;
+  int num_region_names_ = 0;
+  std::vector<std::string> words_;
+  std::vector<std::vector<bool>> membership_;  // [word][predicate].
+};
+
+/// Word-string relations (free functions, used by tests).
+bool IsProperPrefix(const std::string& u, const std::string& v);
+bool IsLexBefore(const std::string& u, const std::string& v);
+
+/// Definition 3.2, constructive direction: builds a model representing
+/// `instance` w.r.t. `patterns`. Words encode the instance forest (i-th
+/// child of w gets w + "1"*i + "0"), so direct prefix = direct inclusion
+/// and the horizontal order = region precedence. Also returns (via
+/// `region_of`) the region represented by each model word, in word order.
+FmftModel ModelFromInstance(const Instance& instance,
+                            const std::vector<Pattern>& patterns,
+                            std::vector<Region>* region_of = nullptr);
+
+/// The converse: builds an instance represented by `model` (any model
+/// passing ValidateRepresentation represents one). Region names/pattern
+/// keys are the model's predicate names; patterns are re-parsed from keys.
+Result<Instance> InstanceFromModel(const FmftModel& model);
+
+}  // namespace regal
+
+#endif  // REGAL_FMFT_MODEL_H_

@@ -1,0 +1,50 @@
+#ifndef REGAL_FMFT_REDUCTION3CNF_H_
+#define REGAL_FMFT_REDUCTION3CNF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/expr.h"
+#include "core/instance.h"
+#include "logic/cnf.h"
+
+namespace regal {
+
+/// Theorem 3.5 ("emptiness testing in the region algebra is Co-NP-Hard"),
+/// made executable: a polynomial reduction from 3-CNF (un)satisfiability to
+/// (non-)emptiness of a region algebra expression.
+///
+/// For a CNF φ over x_1..x_n, the region index has names
+/// A, T_1..T_n, F_1..F_n, and the expression is
+///
+///   e_φ = A ∩ ⋂_i [((A ⊃ T_i) ∪ (A ⊃ F_i)) − ((A ⊃ T_i) ∩ (A ⊃ F_i))]
+///           ∩ ⋂_clauses (∪_{literals ℓ} A ⊃ lit(ℓ))
+///
+/// An A region containing exactly one of T_i/F_i per variable encodes a
+/// truth assignment, the middle conjunct forces exactly-one, and the last
+/// forces every clause satisfied. Hence e_φ(I) ≠ ∅ for some I iff φ is
+/// satisfiable — over *all* instances, not only assignment-shaped ones.
+struct CnfEmptinessReduction {
+  ExprPtr expr;
+  std::vector<std::string> names;  // A, T1..Tn, F1..Fn.
+};
+
+CnfEmptinessReduction CnfToEmptinessExpr(const Cnf& cnf);
+
+/// The canonical witness instance for a truth assignment: one A region
+/// containing a T_i or F_i leaf per variable.
+Instance AssignmentToInstance(const Cnf& cnf,
+                              const std::vector<bool>& assignment);
+
+/// Decides emptiness of e_φ by enumerating the 2^n assignment-shaped
+/// instances (complete for this family: a witness exists iff an
+/// assignment-shaped witness exists). Returns true iff EMPTY. `checked`
+/// (optional) counts evaluated instances — the exponential cost the
+/// Co-NP-hardness predicts.
+bool EmptinessByAssignmentSearch(const Cnf& cnf, const ExprPtr& expr,
+                                 int64_t* checked = nullptr);
+
+}  // namespace regal
+
+#endif  // REGAL_FMFT_REDUCTION3CNF_H_

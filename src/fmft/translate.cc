@@ -1,0 +1,112 @@
+#include "fmft/translate.h"
+
+namespace regal {
+
+Result<FormulaPtr> AlgebraToFormula(const ExprPtr& expr) {
+  switch (expr->kind()) {
+    case OpKind::kName:
+      return RestrictedFormula::Pred(expr->name());
+    case OpKind::kSelect: {
+      REGAL_ASSIGN_OR_RETURN(FormulaPtr child,
+                             AlgebraToFormula(expr->child(0)));
+      return RestrictedFormula::And(
+          std::move(child),
+          RestrictedFormula::Pred(expr->pattern().CacheKey()));
+    }
+    case OpKind::kUnion:
+    case OpKind::kIntersect:
+    case OpKind::kDifference:
+    case OpKind::kIncluding:
+    case OpKind::kIncluded:
+    case OpKind::kPrecedes:
+    case OpKind::kFollows: {
+      REGAL_ASSIGN_OR_RETURN(FormulaPtr a, AlgebraToFormula(expr->child(0)));
+      REGAL_ASSIGN_OR_RETURN(FormulaPtr b, AlgebraToFormula(expr->child(1)));
+      switch (expr->kind()) {
+        case OpKind::kUnion:
+          return RestrictedFormula::Or(std::move(a), std::move(b));
+        case OpKind::kIntersect:
+          return RestrictedFormula::And(std::move(a), std::move(b));
+        case OpKind::kDifference:
+          return RestrictedFormula::AndNot(std::move(a), std::move(b));
+        case OpKind::kIncluding:
+          return RestrictedFormula::Exists(FormulaKind::kExistsXsupY,
+                                           std::move(a), std::move(b));
+        case OpKind::kIncluded:
+          return RestrictedFormula::Exists(FormulaKind::kExistsYsupX,
+                                           std::move(a), std::move(b));
+        case OpKind::kPrecedes:
+          return RestrictedFormula::Exists(FormulaKind::kExistsXbeforeY,
+                                           std::move(a), std::move(b));
+        case OpKind::kFollows:
+          return RestrictedFormula::Exists(FormulaKind::kExistsYbeforeX,
+                                           std::move(a), std::move(b));
+        default:
+          break;
+      }
+      return Status::Internal("unreachable");
+    }
+    default:
+      return Status::InvalidArgument(
+          "operator '" + std::string(OpKindToken(expr->kind())) +
+          "' has no restricted-formula equivalent (Theorems 5.1/5.3)");
+  }
+}
+
+namespace {
+
+bool IsPatternPredicate(const std::string& name) {
+  return name.size() >= 2 && name[1] == ':' &&
+         (name[0] == 's' || name[0] == 'i');
+}
+
+}  // namespace
+
+Result<ExprPtr> FormulaToAlgebra(const FormulaPtr& formula,
+                                 const std::vector<std::string>& region_names) {
+  switch (formula->kind()) {
+    case FormulaKind::kPred: {
+      const std::string& name = formula->predicate();
+      if (!IsPatternPredicate(name)) return Expr::Name(name);
+      // Q_{n+j}(x): the regions (of any name) for which W(r, p_j) holds.
+      if (region_names.empty()) {
+        return Status::InvalidArgument(
+            "pattern predicate needs at least one region name in scope");
+      }
+      REGAL_ASSIGN_OR_RETURN(
+          Pattern p,
+          Pattern::Parse(name.substr(2), /*case_insensitive=*/name[0] == 'i'));
+      ExprPtr all = Expr::Name(region_names[0]);
+      for (size_t i = 1; i < region_names.size(); ++i) {
+        all = Expr::Union(std::move(all), Expr::Name(region_names[i]));
+      }
+      return Expr::Select(std::move(p), std::move(all));
+    }
+    default: {
+      REGAL_ASSIGN_OR_RETURN(ExprPtr a,
+                             FormulaToAlgebra(formula->left(), region_names));
+      REGAL_ASSIGN_OR_RETURN(ExprPtr b,
+                             FormulaToAlgebra(formula->right(), region_names));
+      switch (formula->kind()) {
+        case FormulaKind::kOr:
+          return Expr::Union(std::move(a), std::move(b));
+        case FormulaKind::kAnd:
+          return Expr::Intersect(std::move(a), std::move(b));
+        case FormulaKind::kAndNot:
+          return Expr::Difference(std::move(a), std::move(b));
+        case FormulaKind::kExistsXsupY:
+          return Expr::Including(std::move(a), std::move(b));
+        case FormulaKind::kExistsYsupX:
+          return Expr::Included(std::move(a), std::move(b));
+        case FormulaKind::kExistsXbeforeY:
+          return Expr::Precedes(std::move(a), std::move(b));
+        case FormulaKind::kExistsYbeforeX:
+          return Expr::Follows(std::move(a), std::move(b));
+        default:
+          return Status::Internal("unreachable formula kind");
+      }
+    }
+  }
+}
+
+}  // namespace regal

@@ -1,0 +1,29 @@
+#ifndef REGAL_FMFT_TRANSLATE_H_
+#define REGAL_FMFT_TRANSLATE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/expr.h"
+#include "fmft/formula.h"
+#include "util/status.h"
+
+namespace regal {
+
+/// Proposition 3.3, constructive direction: translates a base region
+/// algebra expression into an equivalent restricted FMFT formula — for
+/// every instance I, model t representing I, and word w in t,
+/// region(w) ∈ e(I) iff w ∈ φ(t). Errors on extended operators (⊃_d, ⊂_d,
+/// BI), which Theorem 5.1/5.3 prove have no restricted-formula equivalent.
+Result<FormulaPtr> AlgebraToFormula(const ExprPtr& expr);
+
+/// The converse direction: translates a restricted formula back into a
+/// base algebra expression. A standalone pattern predicate Q_{n+j}(x)
+/// becomes σ_p over the union of all region names, so the instance's name
+/// list is required.
+Result<ExprPtr> FormulaToAlgebra(const FormulaPtr& formula,
+                                 const std::vector<std::string>& region_names);
+
+}  // namespace regal
+
+#endif  // REGAL_FMFT_TRANSLATE_H_

@@ -1,0 +1,203 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+
+namespace regal {
+
+namespace {
+
+// Iterative DFS from `source`; nodes marked in `blocked` are not expanded
+// (they may be *reached*, but their out-edges are not followed). When
+// `mark_blocked_reached` is false, blocked nodes are not even marked
+// reached. For separator semantics we want "paths through", so a blocked
+// node terminates the walk; reachability of `to` itself only counts if the
+// walk arrives at `to`, and callers guarantee `to` is not blocked.
+std::vector<bool> Dfs(const Digraph& g, Digraph::NodeId source,
+                      const std::vector<bool>* blocked) {
+  std::vector<bool> seen(static_cast<size_t>(g.NumNodes()), false);
+  if (g.NumNodes() == 0) return seen;
+  std::vector<Digraph::NodeId> stack;
+  stack.push_back(source);
+  seen[static_cast<size_t>(source)] = true;
+  while (!stack.empty()) {
+    Digraph::NodeId n = stack.back();
+    stack.pop_back();
+    // A blocked node (other than the source) absorbs the walk.
+    if (blocked != nullptr && n != source && (*blocked)[static_cast<size_t>(n)]) {
+      continue;
+    }
+    for (Digraph::NodeId m : g.OutNeighbors(n)) {
+      if (!seen[static_cast<size_t>(m)]) {
+        seen[static_cast<size_t>(m)] = true;
+        stack.push_back(m);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace
+
+std::vector<bool> Reachable(const Digraph& g, Digraph::NodeId source) {
+  return Dfs(g, source, nullptr);
+}
+
+std::vector<bool> ReachableAvoiding(const Digraph& g, Digraph::NodeId source,
+                                    const std::vector<bool>& blocked) {
+  return Dfs(g, source, &blocked);
+}
+
+bool IsVertexSeparator(const Digraph& g, Digraph::NodeId from,
+                       Digraph::NodeId to, Digraph::NodeId via) {
+  std::vector<bool> blocked(static_cast<size_t>(g.NumNodes()), false);
+  blocked[static_cast<size_t>(via)] = true;
+  return SeparatesAll(g, from, to, blocked);
+}
+
+bool SeparatesAll(const Digraph& g, Digraph::NodeId from, Digraph::NodeId to,
+                  const std::vector<bool>& blocked) {
+  std::vector<bool> seen = ReachableAvoiding(g, from, blocked);
+  // `to` reachable while avoiding blocked interior nodes => not separated.
+  if (!seen[static_cast<size_t>(to)]) return true;
+  // Reached `to`: if `to` itself is blocked the caller misused the API;
+  // treat a blocked `to` as separated for robustness.
+  return blocked[static_cast<size_t>(to)];
+}
+
+bool HasCycle(const Digraph& g) {
+  // Colors: 0 = unvisited, 1 = on stack, 2 = done.
+  std::vector<int> color(static_cast<size_t>(g.NumNodes()), 0);
+  std::vector<std::pair<Digraph::NodeId, size_t>> stack;
+  for (Digraph::NodeId start = 0; start < g.NumNodes(); ++start) {
+    if (color[static_cast<size_t>(start)] != 0) continue;
+    stack.emplace_back(start, 0);
+    color[static_cast<size_t>(start)] = 1;
+    while (!stack.empty()) {
+      auto& [n, idx] = stack.back();
+      const auto& out = g.OutNeighbors(n);
+      if (idx == out.size()) {
+        color[static_cast<size_t>(n)] = 2;
+        stack.pop_back();
+        continue;
+      }
+      Digraph::NodeId m = out[idx++];
+      if (color[static_cast<size_t>(m)] == 1) return true;
+      if (color[static_cast<size_t>(m)] == 0) {
+        color[static_cast<size_t>(m)] = 1;
+        stack.emplace_back(m, 0);
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<int> StronglyConnectedComponents(const Digraph& g) {
+  const int n = g.NumNodes();
+  std::vector<int> comp(static_cast<size_t>(n), -1);
+  std::vector<int> low(static_cast<size_t>(n), 0);
+  std::vector<int> num(static_cast<size_t>(n), -1);
+  std::vector<bool> on_stack(static_cast<size_t>(n), false);
+  std::vector<Digraph::NodeId> scc_stack;
+  int counter = 0;
+  int num_components = 0;
+
+  // Iterative Tarjan with an explicit call stack of (node, child index).
+  std::vector<std::pair<Digraph::NodeId, size_t>> call;
+  for (Digraph::NodeId start = 0; start < n; ++start) {
+    if (num[static_cast<size_t>(start)] != -1) continue;
+    call.emplace_back(start, 0);
+    num[static_cast<size_t>(start)] = low[static_cast<size_t>(start)] =
+        counter++;
+    scc_stack.push_back(start);
+    on_stack[static_cast<size_t>(start)] = true;
+    while (!call.empty()) {
+      auto& [v, idx] = call.back();
+      const auto& out = g.OutNeighbors(v);
+      if (idx < out.size()) {
+        Digraph::NodeId w = out[idx++];
+        if (num[static_cast<size_t>(w)] == -1) {
+          num[static_cast<size_t>(w)] = low[static_cast<size_t>(w)] =
+              counter++;
+          scc_stack.push_back(w);
+          on_stack[static_cast<size_t>(w)] = true;
+          call.emplace_back(w, 0);
+        } else if (on_stack[static_cast<size_t>(w)]) {
+          low[static_cast<size_t>(v)] =
+              std::min(low[static_cast<size_t>(v)], num[static_cast<size_t>(w)]);
+        }
+        continue;
+      }
+      // Post-visit of v.
+      if (low[static_cast<size_t>(v)] == num[static_cast<size_t>(v)]) {
+        while (true) {
+          Digraph::NodeId w = scc_stack.back();
+          scc_stack.pop_back();
+          on_stack[static_cast<size_t>(w)] = false;
+          comp[static_cast<size_t>(w)] = num_components;
+          if (w == v) break;
+        }
+        ++num_components;
+      }
+      Digraph::NodeId finished = v;
+      call.pop_back();
+      if (!call.empty()) {
+        Digraph::NodeId parent = call.back().first;
+        low[static_cast<size_t>(parent)] =
+            std::min(low[static_cast<size_t>(parent)],
+                     low[static_cast<size_t>(finished)]);
+      }
+    }
+  }
+  return comp;
+}
+
+Result<std::vector<Digraph::NodeId>> TopologicalOrder(const Digraph& g) {
+  if (HasCycle(g)) {
+    return Status::FailedPrecondition("graph has a directed cycle");
+  }
+  const int n = g.NumNodes();
+  std::vector<int> indegree(static_cast<size_t>(n), 0);
+  for (Digraph::NodeId v = 0; v < n; ++v) {
+    for (Digraph::NodeId w : g.OutNeighbors(v)) {
+      ++indegree[static_cast<size_t>(w)];
+    }
+  }
+  std::vector<Digraph::NodeId> order;
+  order.reserve(static_cast<size_t>(n));
+  std::vector<Digraph::NodeId> ready;
+  for (Digraph::NodeId v = 0; v < n; ++v) {
+    if (indegree[static_cast<size_t>(v)] == 0) ready.push_back(v);
+  }
+  while (!ready.empty()) {
+    Digraph::NodeId v = ready.back();
+    ready.pop_back();
+    order.push_back(v);
+    for (Digraph::NodeId w : g.OutNeighbors(v)) {
+      if (--indegree[static_cast<size_t>(w)] == 0) ready.push_back(w);
+    }
+  }
+  return order;
+}
+
+Result<std::vector<int>> LongestPathFrom(const Digraph& g) {
+  REGAL_ASSIGN_OR_RETURN(std::vector<Digraph::NodeId> order,
+                         TopologicalOrder(g));
+  std::vector<int> longest(static_cast<size_t>(g.NumNodes()), 0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    for (Digraph::NodeId w : g.OutNeighbors(*it)) {
+      longest[static_cast<size_t>(*it)] =
+          std::max(longest[static_cast<size_t>(*it)],
+                   1 + longest[static_cast<size_t>(w)]);
+    }
+  }
+  return longest;
+}
+
+Result<int> LongestPathLength(const Digraph& g) {
+  REGAL_ASSIGN_OR_RETURN(std::vector<int> longest, LongestPathFrom(g));
+  int best = 0;
+  for (int v : longest) best = std::max(best, v);
+  return best;
+}
+
+}  // namespace regal

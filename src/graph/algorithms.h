@@ -1,0 +1,51 @@
+#ifndef REGAL_GRAPH_ALGORITHMS_H_
+#define REGAL_GRAPH_ALGORITHMS_H_
+
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/status.h"
+
+namespace regal {
+
+/// Nodes reachable from `source` (including `source` itself).
+std::vector<bool> Reachable(const Digraph& g, Digraph::NodeId source);
+
+/// Nodes reachable from `source` without passing *through* any node marked
+/// in `blocked`. `source` and the visited endpoints may themselves be
+/// blocked-marked only if they equal source. Used for vertex-separator
+/// tests: v separates s from t iff t is not in ReachableAvoiding(g, s, {v}).
+std::vector<bool> ReachableAvoiding(const Digraph& g, Digraph::NodeId source,
+                                    const std::vector<bool>& blocked);
+
+/// True iff every path from `from` to `to` passes through `via`
+/// (vacuously true when `to` is unreachable from `from`). `via` must differ
+/// from both endpoints.
+bool IsVertexSeparator(const Digraph& g, Digraph::NodeId from,
+                       Digraph::NodeId to, Digraph::NodeId via);
+
+/// True iff `blocked` (a node subset excluding `from`/`to`) intersects every
+/// path from `from` to `to`.
+bool SeparatesAll(const Digraph& g, Digraph::NodeId from, Digraph::NodeId to,
+                  const std::vector<bool>& blocked);
+
+/// True iff the graph has a directed cycle (self-loops count).
+bool HasCycle(const Digraph& g);
+
+/// Strongly connected components (Tarjan, iterative). Returns a component
+/// id per node; ids are in reverse topological order of the condensation.
+std::vector<int> StronglyConnectedComponents(const Digraph& g);
+
+/// Topological order of a DAG; error if the graph has a cycle.
+Result<std::vector<Digraph::NodeId>> TopologicalOrder(const Digraph& g);
+
+/// Length (edge count) of the longest directed path in a DAG; error if the
+/// graph has a cycle. A single node gives 0.
+Result<int> LongestPathLength(const Digraph& g);
+
+/// Per-node longest path length starting at each node of a DAG.
+Result<std::vector<int>> LongestPathFrom(const Digraph& g);
+
+}  // namespace regal
+
+#endif  // REGAL_GRAPH_ALGORITHMS_H_

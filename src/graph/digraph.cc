@@ -1,0 +1,51 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+
+namespace regal {
+
+Digraph::NodeId Digraph::AddNode(const std::string& label) {
+  auto it = label_to_id_.find(label);
+  if (it != label_to_id_.end()) return it->second;
+  NodeId id = static_cast<NodeId>(labels_.size());
+  labels_.push_back(label);
+  adjacency_.emplace_back();
+  reverse_adjacency_.emplace_back();
+  label_to_id_.emplace(label, id);
+  return id;
+}
+
+Result<Digraph::NodeId> Digraph::FindNode(const std::string& label) const {
+  auto it = label_to_id_.find(label);
+  if (it == label_to_id_.end()) {
+    return Status::NotFound("no graph node labelled '" + label + "'");
+  }
+  return it->second;
+}
+
+bool Digraph::HasNode(const std::string& label) const {
+  return label_to_id_.count(label) > 0;
+}
+
+void Digraph::AddEdge(NodeId from, NodeId to) {
+  if (HasEdge(from, to)) return;
+  adjacency_[static_cast<size_t>(from)].push_back(to);
+  reverse_adjacency_[static_cast<size_t>(to)].push_back(from);
+}
+
+void Digraph::AddEdge(const std::string& from, const std::string& to) {
+  AddEdge(AddNode(from), AddNode(to));
+}
+
+bool Digraph::HasEdge(NodeId from, NodeId to) const {
+  const auto& out = adjacency_[static_cast<size_t>(from)];
+  return std::find(out.begin(), out.end(), to) != out.end();
+}
+
+int Digraph::NumEdges() const {
+  int count = 0;
+  for (const auto& out : adjacency_) count += static_cast<int>(out.size());
+  return count;
+}
+
+}  // namespace regal

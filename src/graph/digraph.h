@@ -1,0 +1,65 @@
+#ifndef REGAL_GRAPH_DIGRAPH_H_
+#define REGAL_GRAPH_DIGRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace regal {
+
+/// A simple directed graph over dense integer node ids, with optional string
+/// labels. Multi-edges are collapsed; self-loops are allowed (the RIG of a
+/// self-nesting region type has one).
+class Digraph {
+ public:
+  using NodeId = int32_t;
+
+  Digraph() = default;
+
+  /// Adds a node labelled `label` and returns its id; returns the existing
+  /// id if the label is already present.
+  NodeId AddNode(const std::string& label);
+
+  /// Returns the id for `label`, or an error if absent.
+  Result<NodeId> FindNode(const std::string& label) const;
+
+  bool HasNode(const std::string& label) const;
+
+  /// Adds the edge (from, to) if not already present. Ids must be valid.
+  void AddEdge(NodeId from, NodeId to);
+
+  /// Convenience: adds both endpoints by label, then the edge.
+  void AddEdge(const std::string& from, const std::string& to);
+
+  bool HasEdge(NodeId from, NodeId to) const;
+
+  int NumNodes() const { return static_cast<int>(adjacency_.size()); }
+  int NumEdges() const;
+
+  const std::vector<NodeId>& OutNeighbors(NodeId n) const {
+    return adjacency_[static_cast<size_t>(n)];
+  }
+  const std::vector<NodeId>& InNeighbors(NodeId n) const {
+    return reverse_adjacency_[static_cast<size_t>(n)];
+  }
+
+  const std::string& Label(NodeId n) const {
+    return labels_[static_cast<size_t>(n)];
+  }
+
+  /// All node labels, in id order.
+  const std::vector<std::string>& Labels() const { return labels_; }
+
+ private:
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::vector<std::vector<NodeId>> reverse_adjacency_;
+  std::vector<std::string> labels_;
+  std::unordered_map<std::string, NodeId> label_to_id_;
+};
+
+}  // namespace regal
+
+#endif  // REGAL_GRAPH_DIGRAPH_H_

@@ -1,0 +1,145 @@
+#include "graph/maxflow.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace regal {
+
+MaxFlow::MaxFlow(int num_nodes)
+    : graph_(static_cast<size_t>(num_nodes)),
+      level_(static_cast<size_t>(num_nodes)),
+      iter_(static_cast<size_t>(num_nodes)) {}
+
+int MaxFlow::AddEdge(int from, int to, int64_t capacity) {
+  int id = static_cast<int>(edge_index_.size());
+  edge_index_.emplace_back(from, static_cast<int>(graph_[static_cast<size_t>(from)].size()));
+  graph_[static_cast<size_t>(from)].push_back(
+      Edge{to, capacity, static_cast<int>(graph_[static_cast<size_t>(to)].size())});
+  graph_[static_cast<size_t>(to)].push_back(
+      Edge{from, 0, static_cast<int>(graph_[static_cast<size_t>(from)].size()) - 1});
+  return id;
+}
+
+bool MaxFlow::Bfs(int source, int sink) {
+  std::fill(level_.begin(), level_.end(), -1);
+  std::queue<int> q;
+  level_[static_cast<size_t>(source)] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    int v = q.front();
+    q.pop();
+    for (const Edge& e : graph_[static_cast<size_t>(v)]) {
+      if (e.capacity > 0 && level_[static_cast<size_t>(e.to)] < 0) {
+        level_[static_cast<size_t>(e.to)] = level_[static_cast<size_t>(v)] + 1;
+        q.push(e.to);
+      }
+    }
+  }
+  return level_[static_cast<size_t>(sink)] >= 0;
+}
+
+int64_t MaxFlow::Dfs(int v, int sink, int64_t pushed) {
+  if (v == sink) return pushed;
+  for (size_t& i = iter_[static_cast<size_t>(v)];
+       i < graph_[static_cast<size_t>(v)].size(); ++i) {
+    Edge& e = graph_[static_cast<size_t>(v)][i];
+    if (e.capacity <= 0 ||
+        level_[static_cast<size_t>(e.to)] != level_[static_cast<size_t>(v)] + 1) {
+      continue;
+    }
+    int64_t got = Dfs(e.to, sink, std::min(pushed, e.capacity));
+    if (got > 0) {
+      e.capacity -= got;
+      graph_[static_cast<size_t>(e.to)][static_cast<size_t>(e.rev)].capacity +=
+          got;
+      return got;
+    }
+  }
+  return 0;
+}
+
+int64_t MaxFlow::Compute(int source, int sink) {
+  int64_t flow = 0;
+  while (Bfs(source, sink)) {
+    std::fill(iter_.begin(), iter_.end(), 0);
+    while (int64_t got =
+               Dfs(source, sink, std::numeric_limits<int64_t>::max())) {
+      flow += got;
+    }
+  }
+  return flow;
+}
+
+int64_t MaxFlow::Flow(int edge_id) const {
+  auto [node, offset] = edge_index_[static_cast<size_t>(edge_id)];
+  const Edge& e = graph_[static_cast<size_t>(node)][static_cast<size_t>(offset)];
+  // Residual capacity on the reverse edge equals the flow pushed forward.
+  return graph_[static_cast<size_t>(e.to)][static_cast<size_t>(e.rev)].capacity;
+}
+
+std::vector<bool> MaxFlow::MinCutSourceSide(int source) const {
+  std::vector<bool> side(graph_.size(), false);
+  std::vector<int> stack{source};
+  side[static_cast<size_t>(source)] = true;
+  while (!stack.empty()) {
+    int v = stack.back();
+    stack.pop_back();
+    for (const Edge& e : graph_[static_cast<size_t>(v)]) {
+      if (e.capacity > 0 && !side[static_cast<size_t>(e.to)]) {
+        side[static_cast<size_t>(e.to)] = true;
+        stack.push_back(e.to);
+      }
+    }
+  }
+  return side;
+}
+
+Result<std::vector<Digraph::NodeId>> MinVertexCut(const Digraph& g,
+                                                  Digraph::NodeId source,
+                                                  Digraph::NodeId sink) {
+  if (source == sink) {
+    return Status::InvalidArgument("source and sink must differ");
+  }
+  if (g.HasEdge(source, sink)) {
+    return Status::FailedPrecondition(
+        "direct edge from source to sink: no vertex cut exists");
+  }
+  const int n = g.NumNodes();
+  // Node splitting: node v becomes v_in = 2v, v_out = 2v+1.
+  // Interior nodes get a unit edge v_in -> v_out; endpoints get infinite
+  // capacity so they are never chosen for the cut. Every original edge
+  // (u, v) becomes u_out -> v_in with infinite capacity.
+  const int64_t kInf = std::numeric_limits<int64_t>::max() / 4;
+  MaxFlow flow(2 * n);
+  std::vector<int> internal_edge(static_cast<size_t>(n), -1);
+  for (Digraph::NodeId v = 0; v < n; ++v) {
+    int64_t cap = (v == source || v == sink) ? kInf : 1;
+    internal_edge[static_cast<size_t>(v)] = flow.AddEdge(2 * v, 2 * v + 1, cap);
+  }
+  for (Digraph::NodeId u = 0; u < n; ++u) {
+    for (Digraph::NodeId v : g.OutNeighbors(u)) {
+      flow.AddEdge(2 * u + 1, 2 * v, kInf);
+    }
+  }
+  int64_t cut_size = flow.Compute(2 * source, 2 * sink + 1);
+  if (cut_size >= kInf) {
+    return Status::Internal("vertex cut should be finite without a direct edge");
+  }
+  // A node is in the cut iff its internal edge crosses the minimum cut:
+  // v_in on the source side, v_out not.
+  std::vector<bool> side = flow.MinCutSourceSide(2 * source);
+  std::vector<Digraph::NodeId> cut;
+  for (Digraph::NodeId v = 0; v < n; ++v) {
+    if (v == source || v == sink) continue;
+    if (side[static_cast<size_t>(2 * v)] && !side[static_cast<size_t>(2 * v + 1)]) {
+      cut.push_back(v);
+    }
+  }
+  if (static_cast<int64_t>(cut.size()) != cut_size) {
+    return Status::Internal("min vertex cut reconstruction mismatch");
+  }
+  return cut;
+}
+
+}  // namespace regal

@@ -1,0 +1,63 @@
+#ifndef REGAL_GRAPH_MAXFLOW_H_
+#define REGAL_GRAPH_MAXFLOW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/status.h"
+
+namespace regal {
+
+/// Dinic's maximum-flow algorithm over an integer-capacity flow network.
+/// Used for the polynomial special case of the paper's minimal-set problem
+/// (Prop 6.1 remark: a single-operation expression reduces to min-cut).
+class MaxFlow {
+ public:
+  /// Creates a network with `num_nodes` nodes and no edges.
+  explicit MaxFlow(int num_nodes);
+
+  /// Adds a directed edge with the given capacity; returns its edge id.
+  /// A residual reverse edge with capacity 0 is added implicitly.
+  int AddEdge(int from, int to, int64_t capacity);
+
+  /// Computes the maximum flow from `source` to `sink`. May be called once.
+  int64_t Compute(int source, int sink);
+
+  /// After Compute: flow currently assigned to edge `edge_id`.
+  int64_t Flow(int edge_id) const;
+
+  /// After Compute: nodes on the source side of a minimum cut.
+  std::vector<bool> MinCutSourceSide(int source) const;
+
+ private:
+  struct Edge {
+    int to;
+    int64_t capacity;
+    int rev;  // Index of the reverse edge in graph_[to].
+  };
+
+  bool Bfs(int source, int sink);
+  int64_t Dfs(int v, int sink, int64_t pushed);
+
+  std::vector<std::vector<Edge>> graph_;
+  std::vector<int> level_;
+  std::vector<size_t> iter_;
+  std::vector<std::pair<int, int>> edge_index_;  // (node, offset) per edge id.
+};
+
+/// Minimum *vertex* cut separating `source` from `sink` in a digraph:
+/// the smallest set of interior nodes (excluding the endpoints) meeting
+/// every directed path from source to sink. Solved by node splitting
+/// (v -> v_in, v_out with a unit-capacity internal edge) + Dinic.
+///
+/// Returns the cut as node ids. Errors if there is a direct edge
+/// source -> sink (no vertex set can separate them) — callers in the RIG
+/// optimizer treat that case separately.
+Result<std::vector<Digraph::NodeId>> MinVertexCut(const Digraph& g,
+                                                  Digraph::NodeId source,
+                                                  Digraph::NodeId sink);
+
+}  // namespace regal
+
+#endif  // REGAL_GRAPH_MAXFLOW_H_

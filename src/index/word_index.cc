@@ -1,0 +1,106 @@
+#include "index/word_index.h"
+
+#include <algorithm>
+
+#include "util/stringutil.h"
+
+namespace regal {
+
+bool WordIndex::Contains(Offset left, Offset right, const Pattern& p) const {
+  // Default implementation in terms of Matches; subclasses may override
+  // with early-exit variants.
+  for (const Token& t : Matches(p)) {
+    if (t.left >= left && t.right <= right) return true;
+    if (t.left > right) break;
+  }
+  return false;
+}
+
+SuffixArrayWordIndex::SuffixArrayWordIndex(const Text* text)
+    : text_(text),
+      tokens_(Tokenize(text->content())),
+      suffix_array_(ToLowerAscii(text->content())) {}
+
+int32_t SuffixArrayWordIndex::TokenAt(int32_t pos) const {
+  // Rightmost token with left <= pos.
+  auto it = std::upper_bound(
+      tokens_.begin(), tokens_.end(), pos,
+      [](int32_t p, const Token& t) { return p < t.left; });
+  if (it == tokens_.begin()) return -1;
+  --it;
+  if (it->right < pos) return -1;
+  return static_cast<int32_t>(it - tokens_.begin());
+}
+
+std::vector<Token> SuffixArrayWordIndex::Matches(const Pattern& p) const {
+  std::vector<Token> out;
+  std::string_view original(text_->content());
+  const std::string& core = p.LiteralCore();
+  if (core.empty()) {
+    // Body is all '?': scan tokens directly.
+    for (const Token& t : tokens_) {
+      if (p.MatchesToken(TokenText(original, t))) out.push_back(t);
+    }
+    return out;
+  }
+  // The suffix array is over lower-cased text, so search the lower-cased
+  // core; case-sensitive patterns are re-verified on the original text by
+  // MatchesToken below.
+  std::vector<int32_t> occurrences =
+      suffix_array_.Occurrences(ToLowerAscii(core));
+  int32_t last_token = -1;
+  for (int32_t pos : occurrences) {
+    int32_t token_id = TokenAt(pos);
+    if (token_id < 0 || token_id == last_token) continue;
+    last_token = token_id;
+    const Token& t = tokens_[static_cast<size_t>(token_id)];
+    if (p.MatchesToken(TokenText(original, t))) out.push_back(t);
+  }
+  // Occurrences are in text order and each token is considered once (its
+  // first core hit), so `out` is already sorted; dedup defensively.
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+InvertedWordIndex::InvertedWordIndex(const Text* text) : text_(text) {
+  std::string_view content(text->content());
+  for (const Token& t : Tokenize(content)) {
+    postings_[std::string(TokenText(content, t))].push_back(t);
+    ++num_tokens_;
+  }
+}
+
+std::vector<Token> InvertedWordIndex::Matches(const Pattern& p) const {
+  std::vector<Token> out;
+  const bool exact = p.anchored_front() && p.anchored_back() &&
+                     !p.case_insensitive() &&
+                     p.body().find('?') == std::string::npos;
+  if (exact) {
+    auto it = postings_.find(p.body());
+    if (it != postings_.end()) out = it->second;
+  } else {
+    // Prefix patterns narrow the vocabulary scan via the ordered map; all
+    // other shapes scan the whole vocabulary (still never the raw text).
+    auto begin = postings_.begin();
+    auto end = postings_.end();
+    if (p.anchored_front() && !p.case_insensitive() && p.CoreOffsetInBody() == 0 &&
+        !p.LiteralCore().empty()) {
+      const std::string& core = p.LiteralCore();
+      begin = postings_.lower_bound(core);
+      std::string upper = core;
+      upper.back() = static_cast<char>(upper.back() + 1);
+      end = postings_.lower_bound(upper);
+    }
+    for (auto it = begin; it != end; ++it) {
+      if (p.MatchesToken(it->first)) {
+        out.insert(out.end(), it->second.begin(), it->second.end());
+      }
+    }
+    std::sort(out.begin(), out.end(), [](const Token& a, const Token& b) {
+      return a.left != b.left ? a.left < b.left : a.right < b.right;
+    });
+  }
+  return out;
+}
+
+}  // namespace regal

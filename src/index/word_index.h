@@ -1,0 +1,82 @@
+#ifndef REGAL_INDEX_WORD_INDEX_H_
+#define REGAL_INDEX_WORD_INDEX_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/suffix_array.h"
+#include "text/pattern.h"
+#include "text/text.h"
+#include "text/tokenizer.h"
+
+namespace regal {
+
+/// The word index W of Definition 2.1, as an abstract interface: W(r, p)
+/// holds iff some token fully contained in the inclusive byte range
+/// [left, right] matches pattern p.
+///
+/// Two implementations are provided and cross-checked in the tests:
+/// SuffixArrayWordIndex (the PAT-array approach of the commercial system the
+/// paper studies) and InvertedWordIndex (the classic IR structure).
+class WordIndex {
+ public:
+  virtual ~WordIndex() = default;
+
+  /// All tokens matching `p`, sorted by (left, right). The evaluator calls
+  /// this once per selection and then tests containment per region.
+  virtual std::vector<Token> Matches(const Pattern& p) const = 0;
+
+  /// W(r, p) for r = [left, right].
+  virtual bool Contains(Offset left, Offset right, const Pattern& p) const;
+
+  /// Number of distinct tokens in the indexed text (for cost estimation).
+  virtual int64_t NumTokens() const = 0;
+};
+
+/// Word index backed by a suffix array over the lower-cased text. Pattern
+/// lookups binary-search the literal core of the pattern, then verify the
+/// enclosing token against the full pattern on the original text.
+class SuffixArrayWordIndex : public WordIndex {
+ public:
+  /// Builds the index. `text` must outlive the index.
+  explicit SuffixArrayWordIndex(const Text* text);
+
+  std::vector<Token> Matches(const Pattern& p) const override;
+  int64_t NumTokens() const override { return static_cast<int64_t>(tokens_.size()); }
+
+  const SuffixArray& suffix_array() const { return suffix_array_; }
+
+ private:
+  /// Token enclosing text offset `pos`, or -1.
+  int32_t TokenAt(int32_t pos) const;
+
+  const Text* text_;
+  std::vector<Token> tokens_;  // Sorted by left.
+  SuffixArray suffix_array_;   // Over the lower-cased text.
+};
+
+/// Word index backed by a vocabulary -> postings map. Exact and prefix
+/// patterns use the sorted vocabulary directly; other patterns scan the
+/// vocabulary (never the text).
+class InvertedWordIndex : public WordIndex {
+ public:
+  explicit InvertedWordIndex(const Text* text);
+
+  std::vector<Token> Matches(const Pattern& p) const override;
+  int64_t NumTokens() const override { return num_tokens_; }
+
+  /// Vocabulary size (distinct token strings, case-sensitive).
+  int64_t VocabularySize() const { return static_cast<int64_t>(postings_.size()); }
+
+ private:
+  const Text* text_;
+  // Ordered map doubles as the sorted vocabulary for prefix scans.
+  std::map<std::string, std::vector<Token>> postings_;
+  int64_t num_tokens_ = 0;
+};
+
+}  // namespace regal
+
+#endif  // REGAL_INDEX_WORD_INDEX_H_

@@ -1,0 +1,39 @@
+#ifndef REGAL_LOGIC_CNF_H_
+#define REGAL_LOGIC_CNF_H_
+
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace regal {
+
+/// A literal: variable index (1-based) with sign. +v is the positive
+/// literal, -v the negated one. 0 is invalid.
+using Literal = int;
+
+/// A clause: a disjunction of literals.
+using Clause = std::vector<Literal>;
+
+/// A CNF formula over variables 1..num_vars.
+struct Cnf {
+  int num_vars = 0;
+  std::vector<Clause> clauses;
+
+  /// "(x1 | !x2 | x3) & (...)" for diagnostics.
+  std::string ToString() const;
+
+  /// True iff `assignment` (indexed 1..num_vars) satisfies every clause.
+  bool IsSatisfiedBy(const std::vector<bool>& assignment) const;
+};
+
+/// A uniformly random k-CNF with the given shape. Used by the emptiness
+/// benchmarks (near the m/n ≈ 4.2 threshold random 3-CNF is hard).
+Cnf RandomKCnf(Rng& rng, int num_vars, int num_clauses, int k = 3);
+
+/// Exhaustive satisfiability check (2^n); the test oracle for DPLL.
+bool BruteForceSat(const Cnf& cnf);
+
+}  // namespace regal
+
+#endif  // REGAL_LOGIC_CNF_H_

@@ -1,0 +1,164 @@
+#include "logic/dpll.h"
+
+#include <algorithm>
+
+namespace regal {
+
+namespace {
+
+enum class Value : int8_t { kUnset = 0, kTrue = 1, kFalse = 2 };
+
+class Solver {
+ public:
+  explicit Solver(const Cnf& cnf, DpllStats* stats)
+      : cnf_(cnf),
+        values_(static_cast<size_t>(cnf.num_vars + 1), Value::kUnset),
+        stats_(stats) {}
+
+  std::optional<std::vector<bool>> Solve() {
+    if (!Search()) return std::nullopt;
+    std::vector<bool> assignment(static_cast<size_t>(cnf_.num_vars + 1), false);
+    for (int v = 1; v <= cnf_.num_vars; ++v) {
+      assignment[static_cast<size_t>(v)] = values_[static_cast<size_t>(v)] != Value::kFalse;
+    }
+    return assignment;
+  }
+
+ private:
+  Value LiteralValue(Literal lit) const {
+    Value v = values_[static_cast<size_t>(lit < 0 ? -lit : lit)];
+    if (v == Value::kUnset) return Value::kUnset;
+    bool is_true = (v == Value::kTrue) == (lit > 0);
+    return is_true ? Value::kTrue : Value::kFalse;
+  }
+
+  void Assign(Literal lit) {
+    values_[static_cast<size_t>(lit < 0 ? -lit : lit)] =
+        lit > 0 ? Value::kTrue : Value::kFalse;
+    trail_.push_back(lit < 0 ? -lit : lit);
+  }
+
+  void UnwindTo(size_t mark) {
+    while (trail_.size() > mark) {
+      values_[static_cast<size_t>(trail_.back())] = Value::kUnset;
+      trail_.pop_back();
+    }
+  }
+
+  // Repeatedly assigns forced (unit) literals. False on conflict.
+  bool Propagate() {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const Clause& clause : cnf_.clauses) {
+        int unset_count = 0;
+        Literal unit = 0;
+        bool satisfied = false;
+        for (Literal lit : clause) {
+          Value v = LiteralValue(lit);
+          if (v == Value::kTrue) {
+            satisfied = true;
+            break;
+          }
+          if (v == Value::kUnset) {
+            ++unset_count;
+            unit = lit;
+          }
+        }
+        if (satisfied) continue;
+        if (unset_count == 0) return false;  // Conflict.
+        if (unset_count == 1) {
+          Assign(unit);
+          if (stats_ != nullptr) ++stats_->unit_propagations;
+          changed = true;
+        }
+      }
+    }
+    return true;
+  }
+
+  // Assigns variables occurring with only one polarity among clauses not
+  // yet satisfied.
+  void PureLiterals() {
+    std::vector<int8_t> polarity(static_cast<size_t>(cnf_.num_vars + 1), 0);
+    for (const Clause& clause : cnf_.clauses) {
+      bool satisfied = false;
+      for (Literal lit : clause) {
+        if (LiteralValue(lit) == Value::kTrue) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (satisfied) continue;
+      for (Literal lit : clause) {
+        if (LiteralValue(lit) != Value::kUnset) continue;
+        int v = lit < 0 ? -lit : lit;
+        polarity[static_cast<size_t>(v)] |= lit > 0 ? 1 : 2;
+      }
+    }
+    for (int v = 1; v <= cnf_.num_vars; ++v) {
+      if (values_[static_cast<size_t>(v)] != Value::kUnset) continue;
+      if (polarity[static_cast<size_t>(v)] == 1) Assign(v);
+      if (polarity[static_cast<size_t>(v)] == 2) Assign(-v);
+    }
+  }
+
+  int PickBranchVariable() const {
+    // Most-occurring unset variable in unsatisfied clauses.
+    std::vector<int> count(static_cast<size_t>(cnf_.num_vars + 1), 0);
+    for (const Clause& clause : cnf_.clauses) {
+      bool satisfied = false;
+      for (Literal lit : clause) {
+        if (LiteralValue(lit) == Value::kTrue) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (satisfied) continue;
+      for (Literal lit : clause) {
+        if (LiteralValue(lit) == Value::kUnset) {
+          ++count[static_cast<size_t>(lit < 0 ? -lit : lit)];
+        }
+      }
+    }
+    int best = 0;
+    for (int v = 1; v <= cnf_.num_vars; ++v) {
+      if (values_[static_cast<size_t>(v)] == Value::kUnset &&
+          (best == 0 || count[static_cast<size_t>(v)] >
+                            count[static_cast<size_t>(best)])) {
+        best = v;
+      }
+    }
+    return best;
+  }
+
+  bool Search() {
+    if (!Propagate()) return false;
+    PureLiterals();
+    if (!Propagate()) return false;
+    int v = PickBranchVariable();
+    if (v == 0) return true;  // All variables assigned, no conflict.
+    if (stats_ != nullptr) ++stats_->decisions;
+    for (Literal lit : {v, -v}) {
+      size_t mark = trail_.size();
+      Assign(lit);
+      if (Search()) return true;
+      UnwindTo(mark);
+    }
+    return false;
+  }
+
+  const Cnf& cnf_;
+  std::vector<Value> values_;
+  std::vector<int> trail_;
+  DpllStats* stats_;
+};
+
+}  // namespace
+
+std::optional<std::vector<bool>> DpllSolve(const Cnf& cnf, DpllStats* stats) {
+  Solver solver(cnf, stats);
+  return solver.Solve();
+}
+
+}  // namespace regal

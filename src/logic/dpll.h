@@ -1,0 +1,26 @@
+#ifndef REGAL_LOGIC_DPLL_H_
+#define REGAL_LOGIC_DPLL_H_
+
+#include <optional>
+#include <vector>
+
+#include "logic/cnf.h"
+
+namespace regal {
+
+/// Statistics from one DPLL run.
+struct DpllStats {
+  int64_t decisions = 0;
+  int64_t unit_propagations = 0;
+};
+
+/// A from-scratch DPLL SAT solver with unit propagation and pure-literal
+/// elimination. Returns a satisfying assignment (indexed 1..num_vars) or
+/// nullopt when unsatisfiable. The cross-check oracle for the Theorem 3.5
+/// emptiness reduction, and the "real solver" baseline in bench_emptiness.
+std::optional<std::vector<bool>> DpllSolve(const Cnf& cnf,
+                                           DpllStats* stats = nullptr);
+
+}  // namespace regal
+
+#endif  // REGAL_LOGIC_DPLL_H_

@@ -1,0 +1,68 @@
+#include "opt/chain.h"
+
+#include "graph/algorithms.h"
+
+namespace regal {
+
+std::optional<InclusionChain> ParseInclusionChain(const ExprPtr& expr) {
+  if (expr->kind() != OpKind::kIncluded && expr->kind() != OpKind::kIncluding) {
+    return std::nullopt;
+  }
+  InclusionChain chain;
+  chain.op = expr->kind();
+  const Expr* node = expr.get();
+  while (true) {
+    if (node->kind() == OpKind::kName) {
+      chain.names.push_back(node->name());
+      return chain;
+    }
+    if (node->kind() != chain.op) return std::nullopt;
+    if (node->child(0)->kind() != OpKind::kName) return std::nullopt;
+    chain.names.push_back(node->child(0)->name());
+    node = node->child(1).get();
+  }
+}
+
+ExprPtr ChainToExpr(const InclusionChain& chain) {
+  return Expr::Chain(chain.op, chain.names);
+}
+
+bool IsRedundantChainElement(const Digraph& rig, const InclusionChain& chain,
+                             size_t index) {
+  if (index == 0 || index + 1 >= chain.names.size()) return false;
+  // For `within` chains the container side is names[index+1]; for
+  // `including` chains it is names[index-1]. RIG edges point container ->
+  // containee, so the separator test always runs downward.
+  const std::string& container = (chain.op == OpKind::kIncluded)
+                                     ? chain.names[index + 1]
+                                     : chain.names[index - 1];
+  const std::string& containee = (chain.op == OpKind::kIncluded)
+                                     ? chain.names[index - 1]
+                                     : chain.names[index + 1];
+  const std::string& via = chain.names[index];
+  auto from = rig.FindNode(container);
+  auto to = rig.FindNode(containee);
+  auto mid = rig.FindNode(via);
+  if (!from.ok() || !to.ok() || !mid.ok()) return false;
+  if (*from == *mid || *to == *mid) return false;
+  return IsVertexSeparator(rig, *from, *to, *mid);
+}
+
+InclusionChain OptimizeInclusionChain(const Digraph& rig,
+                                      const InclusionChain& chain) {
+  InclusionChain current = chain;
+  bool changed = true;
+  while (changed && current.names.size() > 2) {
+    changed = false;
+    for (size_t i = 1; i + 1 < current.names.size(); ++i) {
+      if (IsRedundantChainElement(rig, current, i)) {
+        current.names.erase(current.names.begin() + static_cast<long>(i));
+        changed = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace regal

@@ -1,0 +1,54 @@
+#ifndef REGAL_OPT_CHAIN_H_
+#define REGAL_OPT_CHAIN_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/expr.h"
+#include "graph/digraph.h"
+#include "util/status.h"
+
+namespace regal {
+
+/// The polynomial-time optimizer for *inclusion expressions* (Section 5.1,
+/// citing [CM94]): right-grouped chains N1 ∘ N2 ∘ ... ∘ Nk over region
+/// names where ∘ is uniformly `within` (⊂) or `including` (⊃).
+///
+/// A middle name N_i is redundant w.r.t. a RIG G exactly when N_i is a
+/// vertex separator in G between the adjacent names — every downward RIG
+/// path from the container side to the containee side passes through N_i,
+/// so the witnessing region is guaranteed to exist (this is the paper's
+/// Section 2.2 example: Proc may be dropped from
+/// Name ⊂ Proc_header ⊂ Proc ⊂ Program because every path from Program to
+/// Proc_header goes through Proc).
+
+/// A parsed chain: uniform operator + names, outermost-first for ⊃ chains
+/// and innermost-first for ⊂ chains (i.e. in expression order).
+struct InclusionChain {
+  OpKind op = OpKind::kIncluded;  // kIncluded (within) or kIncluding.
+  std::vector<std::string> names;
+};
+
+/// Recognizes a right-grouped uniform chain of ⊂ or ⊃ over names.
+/// Returns nullopt for anything else.
+std::optional<InclusionChain> ParseInclusionChain(const ExprPtr& expr);
+
+/// Rebuilds the expression for a chain.
+ExprPtr ChainToExpr(const InclusionChain& chain);
+
+/// True iff dropping `names[index]` (a middle element) preserves
+/// equivalence w.r.t. the RIG.
+bool IsRedundantChainElement(const Digraph& rig, const InclusionChain& chain,
+                             size_t index);
+
+/// Removes redundant middle elements until none remains (greedy fixpoint;
+/// O(k^2) separator tests, each a DFS — polynomial, per Section 5.1).
+/// Names absent from the RIG are never removed and block removals across
+/// them (conservative).
+InclusionChain OptimizeInclusionChain(const Digraph& rig,
+                                      const InclusionChain& chain);
+
+}  // namespace regal
+
+#endif  // REGAL_OPT_CHAIN_H_

@@ -1,0 +1,93 @@
+#include "opt/cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace regal {
+
+CatalogStats StatsFromInstance(const Instance& instance) {
+  CatalogStats stats;
+  for (const std::string& name : instance.names()) {
+    stats.cardinality[name] =
+        static_cast<double>((*instance.Get(name))->size());
+  }
+  stats.default_cardinality = 0;
+  return stats;
+}
+
+namespace {
+
+constexpr double kOperatorOverhead = 8.0;
+constexpr double kIndexProbeCharge = 16.0;
+constexpr double kSemiJoinSelectivity = 0.5;
+
+}  // namespace
+
+CostEstimate EstimateCost(const ExprPtr& expr, const CatalogStats& stats) {
+  switch (expr->kind()) {
+    case OpKind::kName:
+      return CostEstimate{0, stats.Cardinality(expr->name())};
+    case OpKind::kWordMatch:
+      // One index probe; cardinality defaults (no per-pattern statistics).
+      return CostEstimate{kIndexProbeCharge, stats.default_cardinality};
+    case OpKind::kSelect: {
+      CostEstimate child = EstimateCost(expr->child(0), stats);
+      return CostEstimate{
+          child.cost + child.cardinality + kIndexProbeCharge +
+              kOperatorOverhead,
+          child.cardinality * kSemiJoinSelectivity};
+    }
+    case OpKind::kBothIncluded: {
+      CostEstimate r = EstimateCost(expr->child(0), stats);
+      CostEstimate s = EstimateCost(expr->child(1), stats);
+      CostEstimate t = EstimateCost(expr->child(2), stats);
+      double inputs = r.cardinality + s.cardinality + t.cardinality;
+      return CostEstimate{r.cost + s.cost + t.cost +
+                              inputs * std::log2(inputs + 2) +
+                              kOperatorOverhead,
+                          r.cardinality * kSemiJoinSelectivity};
+    }
+    default: {
+      CostEstimate a = EstimateCost(expr->child(0), stats);
+      CostEstimate b = EstimateCost(expr->child(1), stats);
+      double cost = a.cost + b.cost + kOperatorOverhead;
+      double cardinality = 0;
+      switch (expr->kind()) {
+        case OpKind::kUnion:
+          cost += a.cardinality + b.cardinality;
+          cardinality = a.cardinality + b.cardinality;
+          break;
+        case OpKind::kIntersect:
+          cost += a.cardinality + b.cardinality;
+          cardinality = std::min(a.cardinality, b.cardinality) *
+                        kSemiJoinSelectivity;
+          break;
+        case OpKind::kDifference:
+          cost += a.cardinality + b.cardinality;
+          cardinality = a.cardinality * kSemiJoinSelectivity;
+          break;
+        case OpKind::kPrecedes:
+        case OpKind::kFollows:
+          cost += a.cardinality + b.cardinality;
+          cardinality = a.cardinality * kSemiJoinSelectivity;
+          break;
+        default: {  // Structural semi-joins (⊃ ⊂ ⊃_d ⊂_d).
+          double pass = (a.cardinality + b.cardinality) *
+                        std::log2(b.cardinality + 2);
+          // The direct variants consult the whole instance tree (or run
+          // the §6 loop program), not just their operands: surcharge.
+          if (expr->kind() == OpKind::kDirectIncluding ||
+              expr->kind() == OpKind::kDirectIncluded) {
+            pass *= 2;
+          }
+          cost += pass;
+          cardinality = a.cardinality * kSemiJoinSelectivity;
+          break;
+        }
+      }
+      return CostEstimate{cost, cardinality};
+    }
+  }
+}
+
+}  // namespace regal

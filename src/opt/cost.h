@@ -1,0 +1,45 @@
+#ifndef REGAL_OPT_COST_H_
+#define REGAL_OPT_COST_H_
+
+#include <map>
+#include <string>
+
+#include "core/expr.h"
+#include "core/instance.h"
+
+namespace regal {
+
+/// Per-name cardinalities used by the price function (the paper's "price
+/// function p estimating the expected cost of an algebra expression").
+struct CatalogStats {
+  std::map<std::string, double> cardinality;
+  double default_cardinality = 1000;
+
+  double Cardinality(const std::string& name) const {
+    auto it = cardinality.find(name);
+    return it == cardinality.end() ? default_cardinality : it->second;
+  }
+};
+
+/// Exact cardinalities from an instance.
+CatalogStats StatsFromInstance(const Instance& instance);
+
+/// Cost/cardinality estimate for an expression.
+struct CostEstimate {
+  double cost = 0;         // Total abstract work units.
+  double cardinality = 0;  // Estimated result size.
+};
+
+/// A simple price function satisfying the paper's assumption that "every
+/// operation adds some cost to the price of an expression" (so the set of
+/// cheaper expressions is finite):
+///  * set operations and order semi-joins cost |L| + |R|;
+///  * structural semi-joins cost (|L| + |R|) * log2(|R| + 2);
+///  * selections cost |L| + a fixed index-probe charge;
+/// each operator additionally pays a fixed per-operator overhead, and
+/// selectivities shrink semi-join outputs by 1/2.
+CostEstimate EstimateCost(const ExprPtr& expr, const CatalogStats& stats);
+
+}  // namespace regal
+
+#endif  // REGAL_OPT_COST_H_

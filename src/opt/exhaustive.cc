@@ -1,0 +1,90 @@
+#include "opt/exhaustive.h"
+
+#include <algorithm>
+
+#include "core/eval.h"
+#include "doc/synthetic.h"
+#include "opt/optimizer.h"
+#include "util/random.h"
+
+namespace regal {
+
+Result<ExhaustiveOptimizeOutcome> OptimizeByEnumeration(
+    const ExprPtr& e, const ExhaustiveOptimizeOptions& options) {
+  ExhaustiveOptimizeOutcome outcome;
+  outcome.expr = e;
+  outcome.cost = EstimateCost(e, options.stats).cost;
+
+  std::vector<std::string> names = options.candidate_names;
+  if (names.empty()) {
+    names = (options.rig != nullptr) ? options.rig->Labels() : e->NamesUsed();
+  }
+  if (names.empty()) {
+    return Status::InvalidArgument("expression mentions no region names");
+  }
+  std::vector<ExprPtr> candidates =
+      EnumerateExpressions(names, e->PatternsUsed(), options.max_candidate_ops);
+  outcome.candidates_considered = static_cast<int64_t>(candidates.size());
+
+  // Screening panel: generated instances on which every surviving
+  // candidate must already agree with e. This keeps the expensive bounded
+  // equivalence check for a handful of candidates.
+  std::vector<Pattern> patterns = e->PatternsUsed();
+  Rng rng(2718);
+  std::vector<Instance> panel;
+  std::vector<RegionSet> expected;
+  for (int i = 0; i < options.screening_instances; ++i) {
+    Instance instance = [&] {
+      if (options.rig != nullptr) {
+        return RandomInstanceForRig(rng, *options.rig, 24, 6);
+      }
+      RandomInstanceOptions rio;
+      rio.num_regions = 24;
+      rio.names = names;
+      return RandomLaminarInstance(rng, rio);
+    }();
+    for (const std::string& name : names) {
+      if (!instance.Has(name)) instance.SetRegionSet(name, RegionSet());
+    }
+    AssignRandomPatterns(&instance, rng, patterns, 0.3);
+    auto result = Evaluate(instance, e);
+    if (!result.ok()) return result.status();
+    expected.push_back(std::move(result).value());
+    panel.push_back(std::move(instance));
+  }
+
+  // Price every candidate, then test cheapest-first so the first hit is
+  // the optimum within the candidate space.
+  std::vector<std::pair<double, const ExprPtr*>> priced;
+  priced.reserve(candidates.size());
+  for (const ExprPtr& candidate : candidates) {
+    double cost = EstimateCost(candidate, options.stats).cost;
+    if (cost < outcome.cost) priced.emplace_back(cost, &candidate);
+  }
+  std::sort(priced.begin(), priced.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  for (const auto& [cost, candidate] : priced) {
+    bool survives = true;
+    for (size_t i = 0; i < panel.size(); ++i) {
+      auto result = Evaluate(panel[i], *candidate);
+      if (!result.ok() || !(*result == expected[i])) {
+        survives = false;
+        break;
+      }
+    }
+    if (!survives) continue;
+    ++outcome.equivalence_checks;
+    REGAL_ASSIGN_OR_RETURN(
+        EmptinessReport report,
+        CheckEquivalence(e, *candidate, options.equivalence, options.rig));
+    if (!report.witness_found) {
+      outcome.expr = *candidate;
+      outcome.cost = cost;
+      return outcome;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace regal

@@ -1,0 +1,54 @@
+#ifndef REGAL_OPT_EXHAUSTIVE_H_
+#define REGAL_OPT_EXHAUSTIVE_H_
+
+#include "core/expr.h"
+#include "fmft/emptiness.h"
+#include "graph/digraph.h"
+#include "opt/cost.h"
+#include "util/status.h"
+
+namespace regal {
+
+/// The optimization procedure of Section 3, verbatim: "To optimize an
+/// expression e we can look for an equivalent expression with lowest
+/// price (because of the assumptions we need to check only a finite
+/// number of expressions). Two expressions e1, e2 are equivalent iff
+/// (e1 − e2) ∪ (e2 − e1) is empty for all instances."
+///
+/// Exact equivalence is Co-NP-hard (Theorem 3.5); this implementation uses
+/// the bounded checker, so the result is equivalent *within the checked
+/// instance space* — candidates that survive exhaustive small-model
+/// enumeration plus randomized sampling. The diagnostics record how many
+/// candidates were priced and how many equivalence checks ran.
+struct ExhaustiveOptimizeOptions {
+  int max_candidate_ops = 2;       // Candidate expressions up to this size.
+  const Digraph* rig = nullptr;    // Equivalence w.r.t. the RIG (Thm 3.6).
+  CatalogStats stats;              // The price function's cardinalities.
+  EmptinessOptions equivalence;    // Bounds for the equivalence checks.
+  int screening_instances = 24;    // Cheap pre-filter: candidates must match
+                                   // e on this many generated instances
+                                   // before the full bounded check runs.
+  // Candidate name universe; defaults to the RIG's labels (when set) or
+  // e's own names.
+  std::vector<std::string> candidate_names;
+};
+
+struct ExhaustiveOptimizeOutcome {
+  ExprPtr expr;                 // Cheapest equivalent found (maybe input).
+  double cost = 0;
+  int64_t candidates_considered = 0;
+  int64_t equivalence_checks = 0;
+};
+
+/// Searches all base-algebra expressions over e's names/patterns with at
+/// most `max_candidate_ops` operators, cheapest first, and returns the
+/// first bounded-equivalent one. Falls back to e itself when no cheaper
+/// candidate is equivalent. Errors only on malformed inputs (extended
+/// operators are fine in `e` — candidates are still base algebra, so a
+/// successful result is also a lowering).
+Result<ExhaustiveOptimizeOutcome> OptimizeByEnumeration(
+    const ExprPtr& e, const ExhaustiveOptimizeOptions& options);
+
+}  // namespace regal
+
+#endif  // REGAL_OPT_EXHAUSTIVE_H_

@@ -1,0 +1,174 @@
+#include "opt/optimizer.h"
+
+#include "core/extended.h"
+#include "opt/chain.h"
+#include "rig/rig.h"
+
+namespace regal {
+
+namespace {
+
+// Rewrites every ⊃_d / ⊂_d node into its Prop 5.2 bounded expansion.
+// Sound for instances satisfying the (acyclic) RIG, whose nesting depth is
+// bounded by `depth`.
+ExprPtr LowerExtended(const ExprPtr& expr, int depth,
+                      const std::vector<std::string>& catalog, int* applied) {
+  std::vector<ExprPtr> children;
+  bool changed = false;
+  for (const ExprPtr& c : expr->children()) {
+    ExprPtr nc = LowerExtended(c, depth, catalog, applied);
+    changed |= (nc.get() != c.get());
+    children.push_back(std::move(nc));
+  }
+  switch (expr->kind()) {
+    case OpKind::kDirectIncluding:
+      ++*applied;
+      return DirectIncludingBounded(children[0], children[1], depth, catalog);
+    case OpKind::kDirectIncluded:
+      ++*applied;
+      return DirectIncludedBounded(children[0], children[1], depth, catalog);
+    default:
+      break;
+  }
+  if (!changed) return expr;
+  switch (expr->kind()) {
+    case OpKind::kSelect:
+      return Expr::Select(expr->pattern(), children[0]);
+    case OpKind::kBothIncluded:
+      return Expr::BothIncluded(children[0], children[1], children[2]);
+    default:
+      return Expr::Binary(expr->kind(), children[0], children[1]);
+  }
+}
+
+// One bottom-up rewrite pass. Increments *applied per rule firing.
+ExprPtr RewriteOnce(const ExprPtr& expr, const OptimizerOptions& options,
+                    int* applied) {
+  // Rewrite children first.
+  ExprPtr node = expr;
+  if (!node->children().empty()) {
+    std::vector<ExprPtr> new_children;
+    bool changed = false;
+    for (const ExprPtr& c : node->children()) {
+      ExprPtr nc = RewriteOnce(c, options, applied);
+      changed |= (nc.get() != c.get());
+      new_children.push_back(std::move(nc));
+    }
+    if (changed) {
+      switch (node->kind()) {
+        case OpKind::kSelect:
+          node = Expr::Select(node->pattern(), new_children[0]);
+          break;
+        case OpKind::kBothIncluded:
+          node = Expr::BothIncluded(new_children[0], new_children[1],
+                                    new_children[2]);
+          break;
+        default:
+          node = Expr::Binary(node->kind(), new_children[0], new_children[1]);
+          break;
+      }
+    }
+  }
+
+  // Rule 1: identity set operations. Sound for all instances: the set
+  // operations are idempotent and σ_p is a filter (σ_p∘σ_p = σ_p).
+  if ((node->kind() == OpKind::kUnion || node->kind() == OpKind::kIntersect) &&
+      node->child(0)->Equals(*node->child(1))) {
+    ++*applied;
+    return node->child(0);
+  }
+  if (node->kind() == OpKind::kSelect &&
+      node->child(0)->kind() == OpKind::kSelect &&
+      node->pattern().CacheKey() == node->child(0)->pattern().CacheKey()) {
+    ++*applied;
+    return node->child(0);
+  }
+
+  // Rule 2: RIG chain shortening (sound w.r.t. instances satisfying the
+  // RIG; see opt/chain.h for the separator argument).
+  if (options.rig != nullptr) {
+    std::optional<InclusionChain> chain = ParseInclusionChain(node);
+    if (chain.has_value() && chain->names.size() > 2) {
+      InclusionChain optimized = OptimizeInclusionChain(*options.rig, *chain);
+      if (optimized.names.size() < chain->names.size()) {
+        *applied +=
+            static_cast<int>(chain->names.size() - optimized.names.size());
+        return ChainToExpr(optimized);
+      }
+    }
+  }
+  return node;
+}
+
+}  // namespace
+
+OptimizeOutcome Optimize(const ExprPtr& expr, const OptimizerOptions& options) {
+  OptimizeOutcome outcome;
+  outcome.cost_before = EstimateCost(expr, options.stats);
+  ExprPtr current = expr;
+  int total_applied = 0;
+  if (options.lower_extended_operators && options.rig != nullptr) {
+    auto bound = RigNestingBound(*options.rig);
+    if (bound.ok()) {
+      int applied = 0;
+      current =
+          LowerExtended(current, *bound, options.rig->Labels(), &applied);
+      total_applied += applied;
+    }
+  }
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    int applied = 0;
+    ExprPtr next = RewriteOnce(current, options, &applied);
+    // Rule 3: cost guard.
+    if (applied == 0) break;
+    CostEstimate next_cost = EstimateCost(next, options.stats);
+    CostEstimate current_cost = EstimateCost(current, options.stats);
+    if (next_cost.cost > current_cost.cost) break;
+    current = next;
+    total_applied += applied;
+  }
+  outcome.expr = current;
+  outcome.rules_applied = total_applied;
+  outcome.cost_after = EstimateCost(current, options.stats);
+  return outcome;
+}
+
+std::vector<ExprPtr> EnumerateExpressions(
+    const std::vector<std::string>& names,
+    const std::vector<Pattern>& patterns, int max_ops) {
+  // by_size[s] = all expressions with exactly s operators.
+  std::vector<std::vector<ExprPtr>> by_size(static_cast<size_t>(max_ops + 1));
+  for (const std::string& name : names) {
+    by_size[0].push_back(Expr::Name(name));
+  }
+  const OpKind kBinaryOps[] = {
+      OpKind::kUnion,    OpKind::kIntersect, OpKind::kDifference,
+      OpKind::kIncluding, OpKind::kIncluded, OpKind::kPrecedes,
+      OpKind::kFollows};
+  for (int s = 1; s <= max_ops; ++s) {
+    auto& out = by_size[static_cast<size_t>(s)];
+    // Selections over size s-1.
+    for (const Pattern& p : patterns) {
+      for (const ExprPtr& e : by_size[static_cast<size_t>(s - 1)]) {
+        out.push_back(Expr::Select(p, e));
+      }
+    }
+    // Binary operators over size pairs (i, s-1-i).
+    for (int i = 0; i <= s - 1; ++i) {
+      for (const ExprPtr& a : by_size[static_cast<size_t>(i)]) {
+        for (const ExprPtr& b : by_size[static_cast<size_t>(s - 1 - i)]) {
+          for (OpKind op : kBinaryOps) {
+            out.push_back(Expr::Binary(op, a, b));
+          }
+        }
+      }
+    }
+  }
+  std::vector<ExprPtr> all;
+  for (const auto& bucket : by_size) {
+    all.insert(all.end(), bucket.begin(), bucket.end());
+  }
+  return all;
+}
+
+}  // namespace regal

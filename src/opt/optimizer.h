@@ -1,0 +1,58 @@
+#ifndef REGAL_OPT_OPTIMIZER_H_
+#define REGAL_OPT_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/expr.h"
+#include "graph/digraph.h"
+#include "opt/cost.h"
+#include "text/pattern.h"
+
+namespace regal {
+
+/// The rule-based + cost-guided optimizer. Each rewrite rule is sound by
+/// construction (documented per rule in optimizer.cc); the RIG-dependent
+/// rules are sound w.r.t. instances satisfying the RIG (equivalence in the
+/// sense of Definition 2.5), and the randomized equivalence tester in the
+/// test suite cross-checks them.
+struct OptimizerOptions {
+  const Digraph* rig = nullptr;  // Enables RIG-dependent rules when set.
+  CatalogStats stats;            // Cardinalities for cost comparison.
+  int max_passes = 8;
+  /// When true and the RIG is acyclic, ⊃_d / ⊂_d nodes are *lowered* into
+  /// the pure base-algebra expansions of Prop 5.2 (nesting depth bounded
+  /// by the RIG's longest path). This lets a backend without native direct
+  /// operators run such queries; it is exempt from the cost guard because
+  /// the expansion is intentionally larger.
+  bool lower_extended_operators = false;
+};
+
+struct OptimizeOutcome {
+  ExprPtr expr;
+  int rules_applied = 0;
+  CostEstimate cost_before;
+  CostEstimate cost_after;
+};
+
+/// Rewrites `expr` into a cheaper equivalent. Rules:
+///  1. Identity set ops:  e∪e → e,  e∩e → e,  e−e → (empty via e∩(e−e))...
+///     implemented as e∪e→e, e∩e→e, σ_p(σ_p(e))→σ_p(e).
+///  2. RIG chain shortening: redundant middle names of uniform ⊂/⊃ chains
+///     removed when the RIG proves them implied (opt/chain.h). Applied to
+///     every chain-shaped subexpression.
+///  3. Cost guard: a rewrite is kept only if the estimated cost does not
+///     increase.
+OptimizeOutcome Optimize(const ExprPtr& expr, const OptimizerOptions& options);
+
+/// All base-algebra expressions over the given names/patterns with at most
+/// `max_ops` operators, for exhaustive-search harnesses (the Theorem 5.1
+/// empirical inexpressibility check and brute-force optimization tests).
+/// Grows super-exponentially; keep max_ops <= 3 for 2-3 names.
+std::vector<ExprPtr> EnumerateExpressions(
+    const std::vector<std::string>& names,
+    const std::vector<Pattern>& patterns, int max_ops);
+
+}  // namespace regal
+
+#endif  // REGAL_OPT_OPTIMIZER_H_

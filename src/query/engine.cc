@@ -1,0 +1,164 @@
+#include "query/engine.h"
+
+#include "core/construct.h"
+#include "doc/sgml.h"
+#include "doc/srccode.h"
+#include "opt/optimizer.h"
+#include "query/parser.h"
+#include "rig/rig.h"
+#include "util/timer.h"
+
+namespace regal {
+
+std::vector<std::string> QueryAnswer::Rows(const Instance& instance,
+                                           int limit) const {
+  std::vector<std::string> out;
+  for (const Region& r : regions) {
+    if (static_cast<int>(out.size()) >= limit) {
+      out.push_back("... (" +
+                    std::to_string(regions.size() - out.size()) + " more)");
+      break;
+    }
+    std::string row = regal::ToString(r);
+    if (instance.text() != nullptr) {
+      row += "  \"" + instance.text()->Snippet(r.left, r.right) + "\"";
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+QueryEngine::QueryEngine(Instance instance, std::optional<Digraph> rig)
+    : instance_(std::move(instance)), rig_(std::move(rig)) {
+  stats_ = StatsFromInstance(instance_);
+}
+
+Result<QueryEngine> QueryEngine::FromProgramSource(const std::string& source) {
+  REGAL_ASSIGN_OR_RETURN(Instance instance, ParseProgram(source));
+  return QueryEngine(std::move(instance), SourceCodeRig());
+}
+
+Result<QueryEngine> QueryEngine::FromSgmlSource(const std::string& source) {
+  REGAL_ASSIGN_OR_RETURN(Instance instance, ParseSgml(source));
+  return QueryEngine(std::move(instance), std::nullopt);
+}
+
+Status QueryEngine::Validate() const {
+  REGAL_RETURN_NOT_OK(instance_.Validate());
+  if (rig_.has_value()) {
+    REGAL_RETURN_NOT_OK(InstanceSatisfiesRig(instance_, *rig_));
+  }
+  return Status::OK();
+}
+
+Result<QueryAnswer> QueryEngine::Run(const std::string& query, bool optimize) {
+  REGAL_ASSIGN_OR_RETURN(ExprPtr expr, ParseQuery(query));
+  return RunExpr(expr, optimize);
+}
+
+Result<QueryAnswer> QueryEngine::RunExpr(const ExprPtr& expr, bool optimize) {
+  ExprPtr resolved = ResolveViews(expr);
+  for (const std::string& name : resolved->NamesUsed()) {
+    if (!instance_.Has(name) && materialized_views_.count(name) == 0) {
+      return Status::NotFound("unknown region name '" + name + "'");
+    }
+  }
+  QueryAnswer answer;
+  answer.parsed = expr;
+  answer.executed = resolved;
+  if (optimize) {
+    OptimizerOptions options;
+    options.stats = stats_;
+    if (rig_.has_value()) options.rig = &*rig_;
+    OptimizeOutcome outcome = Optimize(resolved, options);
+    answer.executed = outcome.expr;
+    answer.rewrite_rules_applied = outcome.rules_applied;
+  }
+  Timer timer;
+  EvalOptions eval_options;
+  eval_options.bindings = &materialized_views_;
+  Evaluator evaluator(&instance_, eval_options);
+  REGAL_ASSIGN_OR_RETURN(answer.regions, evaluator.Evaluate(answer.executed));
+  answer.elapsed_ms = timer.Millis();
+  answer.eval_stats = evaluator.stats();
+  return answer;
+}
+
+Status QueryEngine::CheckViewName(const std::string& name) const {
+  if (instance_.Has(name)) {
+    return Status::AlreadyExists("'" + name + "' is a region name");
+  }
+  if (expression_views_.count(name) > 0 ||
+      materialized_views_.count(name) > 0) {
+    return Status::AlreadyExists("view '" + name + "' already defined");
+  }
+  return Status::OK();
+}
+
+ExprPtr QueryEngine::ResolveViews(const ExprPtr& expr) const {
+  if (expr->kind() == OpKind::kName) {
+    auto it = expression_views_.find(expr->name());
+    return it == expression_views_.end() ? expr : it->second;
+  }
+  std::vector<ExprPtr> children;
+  bool changed = false;
+  for (const ExprPtr& c : expr->children()) {
+    ExprPtr nc = ResolveViews(c);
+    changed |= (nc.get() != c.get());
+    children.push_back(std::move(nc));
+  }
+  if (!changed) return expr;
+  switch (expr->kind()) {
+    case OpKind::kSelect:
+      return Expr::Select(expr->pattern(), children[0]);
+    case OpKind::kBothIncluded:
+      return Expr::BothIncluded(children[0], children[1], children[2]);
+    default:
+      return Expr::Binary(expr->kind(), children[0], children[1]);
+  }
+}
+
+Status QueryEngine::DefineView(const std::string& name,
+                               const std::string& query) {
+  REGAL_RETURN_NOT_OK(CheckViewName(name));
+  REGAL_ASSIGN_OR_RETURN(ExprPtr expr, ParseQuery(query));
+  // Splice existing views now, so later definitions cannot create cycles.
+  ExprPtr resolved = ResolveViews(expr);
+  for (const std::string& used : resolved->NamesUsed()) {
+    if (!instance_.Has(used) && materialized_views_.count(used) == 0) {
+      return Status::NotFound("view references unknown name '" + used + "'");
+    }
+  }
+  expression_views_[name] = std::move(resolved);
+  return Status::OK();
+}
+
+Status QueryEngine::DefineSpanView(const std::string& name,
+                                   const std::string& starts_query,
+                                   const std::string& ends_query) {
+  REGAL_RETURN_NOT_OK(CheckViewName(name));
+  REGAL_ASSIGN_OR_RETURN(QueryAnswer starts, Run(starts_query));
+  REGAL_ASSIGN_OR_RETURN(QueryAnswer ends, Run(ends_query));
+  RegionSet spans = SpanJoin(starts.regions, ends.regions);
+  stats_.cardinality[name] = static_cast<double>(spans.size());
+  materialized_views_[name] = std::move(spans);
+  return Status::OK();
+}
+
+Status QueryEngine::DefineWindowView(const std::string& name,
+                                     const Pattern& pattern, Offset before,
+                                     Offset after) {
+  REGAL_RETURN_NOT_OK(CheckViewName(name));
+  if (instance_.text() == nullptr || instance_.word_index() == nullptr) {
+    return Status::FailedPrecondition(
+        "window views need a text-backed catalog");
+  }
+  RegionSet windows =
+      Windows(instance_.word_index()->Matches(pattern), before, after,
+              instance_.text()->size());
+  stats_.cardinality[name] = static_cast<double>(windows.size());
+  materialized_views_[name] = std::move(windows);
+  return Status::OK();
+}
+
+}  // namespace regal

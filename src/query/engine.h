@@ -1,0 +1,93 @@
+#ifndef REGAL_QUERY_ENGINE_H_
+#define REGAL_QUERY_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/eval.h"
+#include "core/instance.h"
+#include "graph/digraph.h"
+#include "opt/cost.h"
+#include "util/status.h"
+
+namespace regal {
+
+/// A materialized query answer plus execution diagnostics.
+struct QueryAnswer {
+  RegionSet regions;
+  ExprPtr parsed;          // The query as parsed.
+  ExprPtr executed;        // After optimization (== parsed if disabled).
+  int rewrite_rules_applied = 0;
+  EvalStats eval_stats;
+  double elapsed_ms = 0;
+
+  /// Result rows rendered with text snippets (text-backed catalogs) or
+  /// offset pairs (synthetic ones). At most `limit` rows.
+  std::vector<std::string> Rows(const Instance& instance, int limit = 10) const;
+};
+
+/// The end-to-end engine: a region catalog (instance + optional RIG/schema
+/// + statistics) with parse -> validate -> optimize -> evaluate execution.
+class QueryEngine {
+ public:
+  /// Takes ownership of the instance. The RIG, when provided, enables
+  /// schema validation and RIG-based rewrites.
+  explicit QueryEngine(Instance instance,
+                       std::optional<Digraph> rig = std::nullopt);
+
+  /// Convenience constructors for the bundled corpus formats.
+  static Result<QueryEngine> FromProgramSource(const std::string& source);
+  static Result<QueryEngine> FromSgmlSource(const std::string& source);
+
+  const Instance& instance() const { return instance_; }
+  const std::optional<Digraph>& rig() const { return rig_; }
+
+  /// Checks the hierarchy invariant and (when a RIG is present) schema
+  /// conformance.
+  Status Validate() const;
+
+  /// Parses and runs `query`. Unknown region names fail with NotFound
+  /// before evaluation. `optimize` toggles the rewrite pass.
+  Result<QueryAnswer> Run(const std::string& query, bool optimize = true);
+
+  /// Runs an already-built expression.
+  Result<QueryAnswer> RunExpr(const ExprPtr& expr, bool optimize = true);
+
+  // --- Views (footnote 1 of the paper: dynamically constructed region
+  // sets treated as names) ---
+
+  /// An *expression view*: `name` becomes a macro for the query; uses are
+  /// spliced in before optimization. Errors if the name collides with a
+  /// region name or another view.
+  Status DefineView(const std::string& name, const std::string& query);
+
+  /// A *materialized span view* (PAT's `A .. B` constructor): evaluates
+  /// both queries and binds `name` to the set of minimal spans from each
+  /// start-region to the nearest following end-region.
+  Status DefineSpanView(const std::string& name,
+                        const std::string& starts_query,
+                        const std::string& ends_query);
+
+  /// A *window view*: regions of ±(before, after) bytes around each token
+  /// matching the pattern. Requires a text-backed catalog.
+  Status DefineWindowView(const std::string& name, const Pattern& pattern,
+                          Offset before, Offset after);
+
+ private:
+  Status CheckViewName(const std::string& name) const;
+  /// Splices expression views into `expr` (views may reference earlier
+  /// views; definition-time splicing keeps this acyclic).
+  ExprPtr ResolveViews(const ExprPtr& expr) const;
+
+  Instance instance_;
+  std::optional<Digraph> rig_;
+  CatalogStats stats_;
+  std::map<std::string, ExprPtr> expression_views_;
+  std::map<std::string, RegionSet> materialized_views_;
+};
+
+}  // namespace regal
+
+#endif  // REGAL_QUERY_ENGINE_H_

@@ -1,0 +1,76 @@
+#include "query/lexer.h"
+
+#include "util/stringutil.h"
+
+namespace regal {
+
+Result<std::vector<QueryToken>> LexQuery(const std::string& query) {
+  std::vector<QueryToken> tokens;
+  size_t i = 0;
+  const size_t n = query.size();
+  while (i < n) {
+    char c = query[i];
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      ++i;
+      continue;
+    }
+    int position = static_cast<int>(i);
+    switch (c) {
+      case '|':
+        tokens.push_back({QueryTokenKind::kPipe, "|", position});
+        ++i;
+        continue;
+      case '&':
+        tokens.push_back({QueryTokenKind::kAmp, "&", position});
+        ++i;
+        continue;
+      case '-':
+        tokens.push_back({QueryTokenKind::kMinus, "-", position});
+        ++i;
+        continue;
+      case '(':
+        tokens.push_back({QueryTokenKind::kLParen, "(", position});
+        ++i;
+        continue;
+      case ')':
+        tokens.push_back({QueryTokenKind::kRParen, ")", position});
+        ++i;
+        continue;
+      case ',':
+        tokens.push_back({QueryTokenKind::kComma, ",", position});
+        ++i;
+        continue;
+      case '~':
+        tokens.push_back({QueryTokenKind::kTilde, "~", position});
+        ++i;
+        continue;
+      case '"': {
+        size_t close = query.find('"', i + 1);
+        if (close == std::string::npos) {
+          return Status::InvalidArgument("unterminated string at offset " +
+                                         std::to_string(i));
+        }
+        tokens.push_back({QueryTokenKind::kString,
+                          query.substr(i + 1, close - i - 1), position});
+        i = close + 1;
+        continue;
+      }
+      default:
+        break;
+    }
+    if (IsIdentChar(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(query[i])) ++i;
+      tokens.push_back(
+          {QueryTokenKind::kIdent, query.substr(start, i - start), position});
+      continue;
+    }
+    return Status::InvalidArgument("unexpected character '" +
+                                   std::string(1, c) + "' at offset " +
+                                   std::to_string(i));
+  }
+  tokens.push_back({QueryTokenKind::kEnd, "", static_cast<int>(n)});
+  return tokens;
+}
+
+}  // namespace regal

@@ -1,0 +1,38 @@
+#ifndef REGAL_QUERY_LEXER_H_
+#define REGAL_QUERY_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace regal {
+
+/// Token kinds of the PAT-style query language (see parser.h for the
+/// grammar).
+enum class QueryTokenKind {
+  kIdent,    // Region name or keyword (keywords resolved by the parser).
+  kString,   // "pattern" (quotes stripped).
+  kPipe,     // |
+  kAmp,      // &
+  kMinus,    // -
+  kLParen,   // (
+  kRParen,   // )
+  kComma,    // ,
+  kTilde,    // ~
+  kEnd,
+};
+
+struct QueryToken {
+  QueryTokenKind kind;
+  std::string text;
+  int position;  // Byte offset in the query, for error messages.
+};
+
+/// Splits a query string into tokens. Errors on unterminated strings or
+/// unexpected characters, with the offending position.
+Result<std::vector<QueryToken>> LexQuery(const std::string& query);
+
+}  // namespace regal
+
+#endif  // REGAL_QUERY_LEXER_H_

@@ -1,0 +1,158 @@
+#include "query/parser.h"
+
+#include "query/lexer.h"
+
+namespace regal {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<QueryToken> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  Result<ExprPtr> Parse() {
+    REGAL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    if (Peek().kind != QueryTokenKind::kEnd) {
+      return Fail("trailing input");
+    }
+    return e;
+  }
+
+ private:
+  const QueryToken& Peek() const { return tokens_[pos_]; }
+
+  bool ConsumeIf(QueryTokenKind kind) {
+    if (Peek().kind != kind) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ConsumeKeyword(const std::string& word) {
+    if (Peek().kind != QueryTokenKind::kIdent || Peek().text != word) {
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  Status Fail(const std::string& message) const {
+    return Status::InvalidArgument(
+        message + " at offset " + std::to_string(Peek().position) +
+        (Peek().text.empty() ? "" : " (near '" + Peek().text + "')"));
+  }
+
+  Result<ExprPtr> ParseExpr() {
+    REGAL_ASSIGN_OR_RETURN(ExprPtr left, ParseTerm());
+    while (ConsumeIf(QueryTokenKind::kPipe)) {
+      REGAL_ASSIGN_OR_RETURN(ExprPtr right, ParseTerm());
+      left = Expr::Union(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseTerm() {
+    REGAL_ASSIGN_OR_RETURN(ExprPtr left, ParseStruct());
+    while (true) {
+      if (ConsumeIf(QueryTokenKind::kAmp)) {
+        REGAL_ASSIGN_OR_RETURN(ExprPtr right, ParseStruct());
+        left = Expr::Intersect(std::move(left), std::move(right));
+      } else if (ConsumeIf(QueryTokenKind::kMinus)) {
+        REGAL_ASSIGN_OR_RETURN(ExprPtr right, ParseStruct());
+        left = Expr::Difference(std::move(left), std::move(right));
+      } else {
+        return left;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseStruct() {
+    REGAL_ASSIGN_OR_RETURN(ExprPtr left, ParsePostfix());
+    struct OpName {
+      const char* word;
+      OpKind kind;
+    };
+    static constexpr OpName kOps[] = {
+        {"including", OpKind::kIncluding},
+        {"within", OpKind::kIncluded},
+        {"before", OpKind::kPrecedes},
+        {"after", OpKind::kFollows},
+        {"dincluding", OpKind::kDirectIncluding},
+        {"dwithin", OpKind::kDirectIncluded},
+    };
+    for (const OpName& op : kOps) {
+      if (ConsumeKeyword(op.word)) {
+        // Right associative: the whole remaining struct binds to the right,
+        // matching the paper's right-grouping convention.
+        REGAL_ASSIGN_OR_RETURN(ExprPtr right, ParseStruct());
+        return Expr::Binary(op.kind, std::move(left), std::move(right));
+      }
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParsePostfix() {
+    REGAL_ASSIGN_OR_RETURN(ExprPtr e, ParsePrimary());
+    while (ConsumeKeyword("matching")) {
+      bool case_insensitive = ConsumeIf(QueryTokenKind::kTilde);
+      if (Peek().kind != QueryTokenKind::kString) {
+        return Fail("expected a quoted pattern after 'matching'");
+      }
+      REGAL_ASSIGN_OR_RETURN(Pattern p,
+                             Pattern::Parse(Peek().text, case_insensitive));
+      ++pos_;
+      e = Expr::Select(std::move(p), std::move(e));
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    if (ConsumeIf(QueryTokenKind::kLParen)) {
+      REGAL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      if (!ConsumeIf(QueryTokenKind::kRParen)) return Fail("expected ')'");
+      return e;
+    }
+    if (Peek().kind == QueryTokenKind::kIdent && Peek().text == "bi" &&
+        tokens_[pos_ + 1].kind == QueryTokenKind::kLParen) {
+      pos_ += 2;
+      REGAL_ASSIGN_OR_RETURN(ExprPtr r, ParseExpr());
+      if (!ConsumeIf(QueryTokenKind::kComma)) return Fail("expected ','");
+      REGAL_ASSIGN_OR_RETURN(ExprPtr s, ParseExpr());
+      if (!ConsumeIf(QueryTokenKind::kComma)) return Fail("expected ','");
+      REGAL_ASSIGN_OR_RETURN(ExprPtr t, ParseExpr());
+      if (!ConsumeIf(QueryTokenKind::kRParen)) return Fail("expected ')'");
+      return Expr::BothIncluded(std::move(r), std::move(s), std::move(t));
+    }
+    if (Peek().kind == QueryTokenKind::kIdent && Peek().text == "word" &&
+        (tokens_[pos_ + 1].kind == QueryTokenKind::kString ||
+         tokens_[pos_ + 1].kind == QueryTokenKind::kTilde)) {
+      ++pos_;
+      bool case_insensitive = ConsumeIf(QueryTokenKind::kTilde);
+      if (Peek().kind != QueryTokenKind::kString) {
+        return Fail("expected a quoted pattern after 'word'");
+      }
+      REGAL_ASSIGN_OR_RETURN(Pattern p,
+                             Pattern::Parse(Peek().text, case_insensitive));
+      ++pos_;
+      return Expr::WordMatch(std::move(p));
+    }
+    if (Peek().kind == QueryTokenKind::kIdent) {
+      std::string name = Peek().text;
+      ++pos_;
+      return Expr::Name(std::move(name));
+    }
+    return Fail("expected a region name, '(', 'bi(' or 'word \"...\"'");
+  }
+
+  std::vector<QueryToken> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ExprPtr> ParseQuery(const std::string& query) {
+  REGAL_ASSIGN_OR_RETURN(std::vector<QueryToken> tokens, LexQuery(query));
+  return Parser(std::move(tokens)).Parse();
+}
+
+}  // namespace regal

@@ -1,0 +1,33 @@
+#ifndef REGAL_QUERY_PARSER_H_
+#define REGAL_QUERY_PARSER_H_
+
+#include <string>
+
+#include "core/expr.h"
+#include "util/status.h"
+
+namespace regal {
+
+/// Recursive-descent parser for the PAT-style query language.
+///
+/// Grammar (lowest precedence first):
+///   expr    := term ('|' term)*                      -- union, left assoc
+///   term    := struct (('&' | '-') struct)*          -- ∩ / −, left assoc
+///   struct  := postfix (STRUCTOP struct)?            -- right assoc, like
+///                                                       the paper's
+///                                                       right-grouping
+///   postfix := primary ('matching' '~'? STRING)*     -- σ_p; '~' = case-
+///                                                       insensitive
+///   primary := IDENT
+///            | '(' expr ')'
+///            | 'bi' '(' expr ',' expr ',' expr ')'   -- both-included
+///   STRUCTOP := 'including' | 'within' | 'before' | 'after'
+///             | 'dincluding' | 'dwithin'
+///
+/// Expr::ToString() emits this syntax (fully parenthesized), so
+/// ParseQuery(e->ToString()) reproduces e.
+Result<ExprPtr> ParseQuery(const std::string& query);
+
+}  // namespace regal
+
+#endif  // REGAL_QUERY_PARSER_H_

@@ -1,0 +1,28 @@
+#ifndef REGAL_REDUCE_DELETION_H_
+#define REGAL_REDUCE_DELETION_H_
+
+#include "core/instance.h"
+#include "core/region_set.h"
+
+namespace regal {
+
+/// Section 4.1 machinery. An instance I' is an *S-deleted version* of I if
+/// it was obtained from I by deleting some regions while keeping all the
+/// regions of S (Theorem 4.1). Note that deleting a region removes only
+/// that region's identity, never the text it spans, so the remaining
+/// regions keep their endpoints; synthetic pattern tables are restricted to
+/// the survivors.
+
+/// Deletes `to_delete` from every region set of `instance` (regions not
+/// present are ignored).
+Instance DeleteRegions(const Instance& instance, const RegionSet& to_delete);
+
+/// True iff `deleted` is an S-deleted version of `original`: its regions
+/// are a subset of the original's with unchanged names and pattern
+/// memberships, and every region of S survives.
+bool IsSDeletedVersion(const Instance& original, const Instance& deleted,
+                       const RegionSet& s);
+
+}  // namespace regal
+
+#endif  // REGAL_REDUCE_DELETION_H_

@@ -1,0 +1,74 @@
+#ifndef REGAL_REDUCE_REDUCE_H_
+#define REGAL_REDUCE_REDUCE_H_
+
+#include <map>
+#include <vector>
+
+#include "core/instance.h"
+#include "text/pattern.h"
+#include "util/status.h"
+
+namespace regal {
+
+/// Section 4.2 machinery: region isomorphism, the reduce operation, and the
+/// order-preservation condition behind k-reduced versions (Definition 4.3).
+
+/// The mapping h defined by a sequence of reduce operations: deleted
+/// regions map to their isomorphic images, surviving regions to themselves.
+using RegionMapping = std::map<Region, Region, RegionDocumentOrder>;
+
+/// True iff r1 and r2 are isomorphic w.r.t. `patterns` (Definition 4.2):
+/// their subtrees match as ordered trees preserving region names and
+/// W(·, p) for every p, and their ancestor chains coincide (so the
+/// surrounding context S_r agrees; for the sibling configurations used in
+/// the paper's proofs the chains are literally the same regions).
+bool AreIsomorphic(const Instance& instance, const Region& r1,
+                   const Region& r2, const std::vector<Pattern>& patterns);
+
+struct ReduceResult {
+  Instance instance;      // I with S_{r1}'s subtree removed.
+  RegionMapping mapping;  // h: deleted regions -> their images under τ.
+};
+
+/// reduce(I, r1, r2): tests isomorphism and, if it holds, deletes r1's
+/// subtree (r1 and all regions included in it), returning the reduced
+/// instance and the mapping h. FailedPrecondition if not isomorphic.
+Result<ReduceResult> Reduce(const Instance& instance, const Region& r1,
+                            const Region& r2,
+                            const std::vector<Pattern>& patterns);
+
+/// Applies h (identity on regions missing from the mapping).
+Region ApplyMapping(const RegionMapping& h, const Region& r);
+
+/// How strictly to check Definition 4.3's order condition.
+enum class OrderCheckMode {
+  /// Only the forward direction: r < s in I implies a witness
+  /// t ~ s with h_k(r) < t in I'. This is the direction the Theorem 4.4
+  /// induction consumes (order facts of I are recoverable in I').
+  kForwardOnly,
+  /// The literal biconditional of Definition 4.3.
+  ///
+  /// REPRODUCTION FINDING (see EXPERIMENTS.md): taken literally, the
+  /// biconditional FAILS on the paper's own Figure 3 construction — with
+  /// s = the first twin A, the equivalence class of s under h_{k-1}
+  /// contains the A of the *next* C container, so regions like the middle
+  /// B acquire a witness (B < A_next in I') for the false fact
+  /// "B < firstA in I". The extended abstract's definition appears to
+  /// over-quantify; the forward direction is what the proofs need and it
+  /// holds.
+  kBiconditional,
+};
+
+/// Checks Definition 4.3's order condition for one step: I' was obtained
+/// from I with mapping h_k, and I'' further reduces I' with mapping
+/// h_prime. The class of s is {t ∈ I' : h_prime(t) == h_prime(h_k(s))};
+/// the check is brute force over all region pairs of I.
+Status CheckKReducedOrderCondition(const Instance& original,
+                                   const Instance& reduced,
+                                   const RegionMapping& h_k,
+                                   const RegionMapping& h_prime,
+                                   OrderCheckMode mode);
+
+}  // namespace regal
+
+#endif  // REGAL_REDUCE_REDUCE_H_

@@ -1,0 +1,51 @@
+#include "relational/extended_via_relational.h"
+
+namespace regal {
+
+Result<RegionSet> DirectIncludingRelational(const Instance& instance,
+                                            const RegionSet& r,
+                                            const RegionSet& s) {
+  RegionTable rt = RegionTable::FromSet("r", r);
+  RegionTable st = RegionTable::FromSet("s", s);
+  RegionTable all = RegionTable::FromSet("t", instance.AllRegions());
+
+  REGAL_ASSIGN_OR_RETURN(
+      RegionTable pairs, Join(rt, st, "r", RegionPredicate::kIncludes, "s"));
+  // Bad: r ⊃ t and t ⊃ s, projected to (r, s).
+  REGAL_ASSIGN_OR_RETURN(
+      RegionTable rt_pairs,
+      Join(rt, all, "r", RegionPredicate::kIncludes, "t"));
+  REGAL_ASSIGN_OR_RETURN(
+      RegionTable rts,
+      Join(rt_pairs, st, "t", RegionPredicate::kIncludes, "s"));
+  REGAL_ASSIGN_OR_RETURN(RegionTable bad, Project(rts, {"r", "s"}));
+  REGAL_ASSIGN_OR_RETURN(RegionTable direct, TableDifference(pairs, bad));
+  REGAL_ASSIGN_OR_RETURN(RegionTable result, Project(direct, {"r"}));
+  return result.Column("r");
+}
+
+Result<RegionSet> BothIncludedRelational(const RegionSet& r,
+                                         const RegionSet& s,
+                                         const RegionSet& t) {
+  RegionTable rt = RegionTable::FromSet("r", r);
+  RegionTable st = RegionTable::FromSet("s", s);
+  RegionTable tt = RegionTable::FromSet("t", t);
+
+  REGAL_ASSIGN_OR_RETURN(
+      RegionTable rs, Join(rt, st, "r", RegionPredicate::kIncludes, "s"));
+  // Join on equal r: rename to keep columns disjoint, then equate.
+  REGAL_ASSIGN_OR_RETURN(
+      RegionTable rt2,
+      Rename(RegionTable::FromSet("r", r), "r", "r2"));
+  REGAL_ASSIGN_OR_RETURN(
+      RegionTable r2t, Join(rt2, tt, "r2", RegionPredicate::kIncludes, "t"));
+  REGAL_ASSIGN_OR_RETURN(
+      RegionTable quad, Join(rs, r2t, "r", RegionPredicate::kEquals, "r2"));
+  REGAL_ASSIGN_OR_RETURN(
+      RegionTable ordered,
+      SelectWhere(quad, "s", RegionPredicate::kPrecedes, "t"));
+  REGAL_ASSIGN_OR_RETURN(RegionTable result, Project(ordered, {"r"}));
+  return result.Column("r");
+}
+
+}  // namespace regal

@@ -1,0 +1,33 @@
+#ifndef REGAL_RELATIONAL_EXTENDED_VIA_RELATIONAL_H_
+#define REGAL_RELATIONAL_EXTENDED_VIA_RELATIONAL_H_
+
+#include "core/instance.h"
+#include "core/region_set.h"
+#include "relational/table.h"
+#include "util/status.h"
+
+namespace regal {
+
+/// Section 7's claim, made executable: "It is easy to see that direct
+/// inclusion and both-included can be expressed by this extended language."
+/// These functions compute the extended operators purely through the
+/// relational layer (products, θ-joins, projections, differences) so the
+/// tests can check them against the native tree algorithms.
+
+/// R ⊃_d S via relations:
+///   Pairs  = {(r, s) : r ⊃ s}                       (θ-join)
+///   Bad    = π_{r,s} {(r, t, s) : r ⊃ t ∧ t ⊃ s}    (two θ-joins over All)
+///   Result = π_r (Pairs − Bad)
+Result<RegionSet> DirectIncludingRelational(const Instance& instance,
+                                            const RegionSet& r,
+                                            const RegionSet& s);
+
+/// R BI (S, T) via relations:
+///   Result = π_r σ_{s<t} ({(r, s) : r ⊃ s} ⋈_{r=r'} {(r', t) : r' ⊃ t})
+Result<RegionSet> BothIncludedRelational(const RegionSet& r,
+                                         const RegionSet& s,
+                                         const RegionSet& t);
+
+}  // namespace regal
+
+#endif  // REGAL_RELATIONAL_EXTENDED_VIA_RELATIONAL_H_

@@ -1,0 +1,225 @@
+#include "relational/table.h"
+
+#include <algorithm>
+
+namespace regal {
+
+namespace {
+
+struct RowLess {
+  bool operator()(const std::vector<Region>& a,
+                  const std::vector<Region>& b) const {
+    RegionDocumentOrder less;
+    for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+      if (a[i] != b[i]) return less(a[i], b[i]);
+    }
+    return a.size() < b.size();
+  }
+};
+
+std::vector<std::vector<Region>> Normalize(
+    std::vector<std::vector<Region>> rows) {
+  std::sort(rows.begin(), rows.end(), RowLess());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  return rows;
+}
+
+Status CheckDisjointColumns(const RegionTable& a, const RegionTable& b) {
+  for (const std::string& c : a.columns()) {
+    for (const std::string& d : b.columns()) {
+      if (c == d) {
+        return Status::InvalidArgument("duplicate column '" + c +
+                                       "' across operands");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+RegionTable RegionTable::FromSet(const std::string& column,
+                                 const RegionSet& set) {
+  RegionTable t;
+  t.columns_ = {column};
+  t.rows_.reserve(set.size());
+  for (const Region& r : set) t.rows_.push_back({r});
+  return t;
+}
+
+RegionTable RegionTable::FromRows(std::vector<std::string> columns,
+                                  std::vector<std::vector<Region>> rows) {
+  RegionTable t;
+  t.columns_ = std::move(columns);
+  t.rows_ = Normalize(std::move(rows));
+  return t;
+}
+
+Result<size_t> RegionTable::ColumnIndex(const std::string& column) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == column) return i;
+  }
+  return Status::NotFound("no column '" + column + "'");
+}
+
+Result<RegionSet> RegionTable::Column(const std::string& column) const {
+  REGAL_ASSIGN_OR_RETURN(size_t index, ColumnIndex(column));
+  std::vector<Region> out;
+  out.reserve(rows_.size());
+  for (const auto& row : rows_) out.push_back(row[index]);
+  return RegionSet::FromUnsorted(std::move(out));
+}
+
+std::string RegionTable::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i];
+  }
+  out += " |";
+  for (const auto& row : rows_) {
+    out += " (";
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ",";
+      out += regal::ToString(row[i]);
+    }
+    out += ")";
+  }
+  return out;
+}
+
+bool EvalRegionPredicate(RegionPredicate pred, const Region& a,
+                         const Region& b) {
+  switch (pred) {
+    case RegionPredicate::kEquals:
+      return a == b;
+    case RegionPredicate::kIncludes:
+      return StrictlyIncludes(a, b);
+    case RegionPredicate::kIncludedIn:
+      return StrictlyIncludes(b, a);
+    case RegionPredicate::kPrecedes:
+      return Precedes(a, b);
+    case RegionPredicate::kFollows:
+      return Precedes(b, a);
+  }
+  return false;
+}
+
+Result<RegionTable> Product(const RegionTable& a, const RegionTable& b) {
+  REGAL_RETURN_NOT_OK(CheckDisjointColumns(a, b));
+  std::vector<std::string> columns = a.columns();
+  columns.insert(columns.end(), b.columns().begin(), b.columns().end());
+  std::vector<std::vector<Region>> rows;
+  rows.reserve(a.NumRows() * b.NumRows());
+  for (const auto& ra : a.rows()) {
+    for (const auto& rb : b.rows()) {
+      std::vector<Region> row = ra;
+      row.insert(row.end(), rb.begin(), rb.end());
+      rows.push_back(std::move(row));
+    }
+  }
+  return RegionTable::FromRows(std::move(columns), std::move(rows));
+}
+
+Result<RegionTable> Join(const RegionTable& a, const RegionTable& b,
+                         const std::string& left_column, RegionPredicate pred,
+                         const std::string& right_column) {
+  REGAL_RETURN_NOT_OK(CheckDisjointColumns(a, b));
+  REGAL_ASSIGN_OR_RETURN(size_t li, a.ColumnIndex(left_column));
+  REGAL_ASSIGN_OR_RETURN(size_t ri, b.ColumnIndex(right_column));
+  std::vector<std::string> columns = a.columns();
+  columns.insert(columns.end(), b.columns().begin(), b.columns().end());
+  std::vector<std::vector<Region>> rows;
+  // Nested loop; adequate for the extension-demonstration workloads. A
+  // production implementation would sort on the join columns.
+  for (const auto& ra : a.rows()) {
+    for (const auto& rb : b.rows()) {
+      if (EvalRegionPredicate(pred, ra[li], rb[ri])) {
+        std::vector<Region> row = ra;
+        row.insert(row.end(), rb.begin(), rb.end());
+        rows.push_back(std::move(row));
+      }
+    }
+  }
+  return RegionTable::FromRows(std::move(columns), std::move(rows));
+}
+
+Result<RegionTable> SelectWhere(const RegionTable& t,
+                                const std::string& left_column,
+                                RegionPredicate pred,
+                                const std::string& right_column) {
+  REGAL_ASSIGN_OR_RETURN(size_t li, t.ColumnIndex(left_column));
+  REGAL_ASSIGN_OR_RETURN(size_t ri, t.ColumnIndex(right_column));
+  std::vector<std::vector<Region>> rows;
+  for (const auto& row : t.rows()) {
+    if (EvalRegionPredicate(pred, row[li], row[ri])) rows.push_back(row);
+  }
+  return RegionTable::FromRows(t.columns(), std::move(rows));
+}
+
+Result<RegionTable> Project(const RegionTable& t,
+                            const std::vector<std::string>& columns) {
+  std::vector<size_t> indices;
+  for (const std::string& c : columns) {
+    REGAL_ASSIGN_OR_RETURN(size_t i, t.ColumnIndex(c));
+    indices.push_back(i);
+  }
+  std::vector<std::vector<Region>> rows;
+  rows.reserve(t.NumRows());
+  for (const auto& row : t.rows()) {
+    std::vector<Region> projected;
+    projected.reserve(indices.size());
+    for (size_t i : indices) projected.push_back(row[i]);
+    rows.push_back(std::move(projected));
+  }
+  return RegionTable::FromRows(columns, std::move(rows));
+}
+
+namespace {
+
+Status CheckSameSchema(const RegionTable& a, const RegionTable& b) {
+  if (a.columns() != b.columns()) {
+    return Status::InvalidArgument("schemas differ");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<RegionTable> TableUnion(const RegionTable& a, const RegionTable& b) {
+  REGAL_RETURN_NOT_OK(CheckSameSchema(a, b));
+  std::vector<std::vector<Region>> rows = a.rows();
+  rows.insert(rows.end(), b.rows().begin(), b.rows().end());
+  return RegionTable::FromRows(a.columns(), std::move(rows));
+}
+
+Result<RegionTable> TableDifference(const RegionTable& a,
+                                    const RegionTable& b) {
+  REGAL_RETURN_NOT_OK(CheckSameSchema(a, b));
+  std::vector<std::vector<Region>> rows;
+  for (const auto& row : a.rows()) {
+    bool in_b = std::binary_search(b.rows().begin(), b.rows().end(), row,
+                                   [](const std::vector<Region>& x,
+                                      const std::vector<Region>& y) {
+                                     RegionDocumentOrder less;
+                                     for (size_t i = 0;
+                                          i < x.size() && i < y.size(); ++i) {
+                                       if (x[i] != y[i]) return less(x[i], y[i]);
+                                     }
+                                     return x.size() < y.size();
+                                   });
+    if (!in_b) rows.push_back(row);
+  }
+  return RegionTable::FromRows(a.columns(), std::move(rows));
+}
+
+Result<RegionTable> Rename(const RegionTable& t, const std::string& from,
+                           const std::string& to) {
+  REGAL_ASSIGN_OR_RETURN(size_t index, t.ColumnIndex(from));
+  std::vector<std::string> columns = t.columns();
+  columns[index] = to;
+  return RegionTable::FromRows(std::move(columns),
+                               std::vector<std::vector<Region>>(t.rows()));
+}
+
+}  // namespace regal

@@ -1,0 +1,96 @@
+#ifndef REGAL_RELATIONAL_TABLE_H_
+#define REGAL_RELATIONAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/region.h"
+#include "core/region_set.h"
+#include "util/status.h"
+
+namespace regal {
+
+/// The Section 7 extension: "one may allow queries to have n-ary relations
+/// (with attributes over the region domain) as intermediate results, and
+/// support joins and not only semi-joins." A RegionTable is such an n-ary
+/// relation: named columns, each row a tuple of regions. Rows are kept
+/// sorted and deduplicated (set semantics, like the base algebra).
+class RegionTable {
+ public:
+  RegionTable() = default;
+
+  /// A single-column table from a region set.
+  static RegionTable FromSet(const std::string& column, const RegionSet& set);
+
+  /// A table with the given columns and rows (sorted/deduplicated).
+  static RegionTable FromRows(std::vector<std::string> columns,
+                              std::vector<std::vector<Region>> rows);
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<std::vector<Region>>& rows() const { return rows_; }
+  size_t NumRows() const { return rows_.size(); }
+  size_t NumColumns() const { return columns_.size(); }
+
+  /// Index of `column`, or error.
+  Result<size_t> ColumnIndex(const std::string& column) const;
+
+  /// The distinct regions of one column, as a RegionSet.
+  Result<RegionSet> Column(const std::string& column) const;
+
+  bool operator==(const RegionTable& other) const {
+    return columns_ == other.columns_ && rows_ == other.rows_;
+  }
+
+  /// "cols | row; row; ..." for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Region>> rows_;
+};
+
+/// Region-domain comparison predicates for θ-selections and θ-joins.
+enum class RegionPredicate {
+  kEquals,
+  kIncludes,     // left ⊃ right (strict)
+  kIncludedIn,   // right ⊃ left
+  kPrecedes,     // left < right
+  kFollows,      // right < left
+};
+
+/// True iff `a <pred> b`.
+bool EvalRegionPredicate(RegionPredicate pred, const Region& a,
+                         const Region& b);
+
+/// Cartesian product; column names must be disjoint.
+Result<RegionTable> Product(const RegionTable& a, const RegionTable& b);
+
+/// θ-join: tuples of a × b where a.`left_column` <pred> b.`right_column`.
+/// Column names must be disjoint. Nested-loop with a sort-based fast path
+/// for kEquals.
+Result<RegionTable> Join(const RegionTable& a, const RegionTable& b,
+                         const std::string& left_column, RegionPredicate pred,
+                         const std::string& right_column);
+
+/// σ: rows where `left_column` <pred> `right_column` (both in `t`).
+Result<RegionTable> SelectWhere(const RegionTable& t,
+                                const std::string& left_column,
+                                RegionPredicate pred,
+                                const std::string& right_column);
+
+/// π: keeps (and reorders to) `columns`, deduplicating rows.
+Result<RegionTable> Project(const RegionTable& t,
+                            const std::vector<std::string>& columns);
+
+/// Set operations; schemas must match exactly.
+Result<RegionTable> TableUnion(const RegionTable& a, const RegionTable& b);
+Result<RegionTable> TableDifference(const RegionTable& a,
+                                    const RegionTable& b);
+
+/// Renames a column.
+Result<RegionTable> Rename(const RegionTable& t, const std::string& from,
+                           const std::string& to);
+
+}  // namespace regal
+
+#endif  // REGAL_RELATIONAL_TABLE_H_

@@ -1,0 +1,87 @@
+#include "rig/grammar.h"
+
+#include <set>
+
+namespace regal {
+
+void Grammar::AddRule(const std::string& lhs, std::vector<std::string> rhs) {
+  if (rules_.count(lhs) == 0) order_.push_back(lhs);
+  rules_[lhs].push_back(std::move(rhs));
+}
+
+std::vector<std::string> Grammar::Nonterminals() const { return order_; }
+
+Digraph Grammar::DeriveRig() const {
+  Digraph g;
+  for (const std::string& name : order_) g.AddNode(name);
+  for (const auto& [lhs, productions] : rules_) {
+    for (const auto& rhs : productions) {
+      for (const std::string& symbol : rhs) {
+        if (IsNonterminal(symbol)) g.AddEdge(lhs, symbol);
+      }
+    }
+  }
+  return g;
+}
+
+std::vector<std::string> Grammar::EdgeClosure(const std::string& name,
+                                              bool first) const {
+  std::set<std::string> seen;
+  std::vector<std::string> stack{name};
+  std::vector<std::string> out;
+  while (!stack.empty()) {
+    std::string current = stack.back();
+    stack.pop_back();
+    if (!seen.insert(current).second) continue;
+    out.push_back(current);
+    auto it = rules_.find(current);
+    if (it == rules_.end()) continue;
+    for (const auto& rhs : it->second) {
+      // The first/last *nonterminal* of the production (terminals produce
+      // no regions and are transparent for precedence).
+      if (first) {
+        for (const std::string& symbol : rhs) {
+          if (IsNonterminal(symbol)) {
+            stack.push_back(symbol);
+            break;
+          }
+        }
+      } else {
+        for (auto rit = rhs.rbegin(); rit != rhs.rend(); ++rit) {
+          if (IsNonterminal(*rit)) {
+            stack.push_back(*rit);
+            break;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Digraph Grammar::DeriveRog() const {
+  Digraph g;
+  for (const std::string& name : order_) g.AddNode(name);
+  for (const auto& [lhs, productions] : rules_) {
+    (void)lhs;
+    for (const auto& rhs : productions) {
+      // Every ordered pair of nonterminals (u before v) in one production
+      // with only terminals between them contributes Last*(u) x First*(v).
+      std::string prev;
+      for (const std::string& symbol : rhs) {
+        if (!IsNonterminal(symbol)) continue;
+        if (!prev.empty()) {
+          for (const std::string& x : EdgeClosure(prev, /*first=*/false)) {
+            for (const std::string& y : EdgeClosure(symbol, /*first=*/true)) {
+              g.AddEdge(x, y);
+            }
+          }
+        }
+        prev = symbol;
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace regal

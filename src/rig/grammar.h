@@ -1,0 +1,60 @@
+#ifndef REGAL_RIG_GRAMMAR_H_
+#define REGAL_RIG_GRAMMAR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/status.h"
+
+namespace regal {
+
+/// A context-free grammar describing a file format, as in Section 2.2:
+/// "if the structure of the file follows some grammar G, then the RIG can
+/// be automatically derived from G". Nonterminals are the region names;
+/// symbols on a right-hand side that never appear on a left-hand side are
+/// terminals (they produce raw text, not regions).
+class Grammar {
+ public:
+  /// Adds the production `lhs -> rhs`. Empty rhs (epsilon) is allowed.
+  void AddRule(const std::string& lhs, std::vector<std::string> rhs);
+
+  /// All nonterminals, in first-mention order.
+  std::vector<std::string> Nonterminals() const;
+
+  bool IsNonterminal(const std::string& symbol) const {
+    return rules_.count(symbol) > 0;
+  }
+
+  const std::map<std::string, std::vector<std::vector<std::string>>>& rules()
+      const {
+    return rules_;
+  }
+
+  /// The RIG derived from this grammar: nodes are the nonterminals, and
+  /// (A, B) is an edge iff B appears on the right-hand side of a rule for A
+  /// (Section 2.2).
+  Digraph DeriveRig() const;
+
+  /// The ROG derived from this grammar: (X, Y) is an edge iff a region of X
+  /// can directly precede a region of Y. Computed from right-hand-side
+  /// adjacency closed under "last descendant" / "first descendant": if
+  /// A B are adjacent nonterminals in some rule, then every name that can
+  /// end an A-derivation directly precedes every name that can start a
+  /// B-derivation. Terminals between nonterminals are transparent (they
+  /// produce no regions). Assumes non-nullable nonterminals.
+  Digraph DeriveRog() const;
+
+ private:
+  /// Transitive "can be the first/last region-producing child" closure.
+  std::vector<std::string> EdgeClosure(const std::string& name,
+                                       bool first) const;
+
+  std::map<std::string, std::vector<std::vector<std::string>>> rules_;
+  std::vector<std::string> order_;  // First-mention order of nonterminals.
+};
+
+}  // namespace regal
+
+#endif  // REGAL_RIG_GRAMMAR_H_

@@ -1,0 +1,67 @@
+#ifndef REGAL_RIG_MINIMAL_SET_H_
+#define REGAL_RIG_MINIMAL_SET_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/status.h"
+
+namespace regal {
+
+/// The minimal-set problem of Section 6 / Prop 6.1: given a RIG G and a
+/// direct-inclusion chain R_1 ∘ R_2 ∘ ... ∘ R_n, find a smallest subset I'
+/// of region names containing at least one name on every RIG path from R_i
+/// to R_{i+1} (endpoints excluded), for all i. Such an I' can replace the
+/// full ∪_T T in the Section 6 loop program's `All` set.
+///
+/// The decision version is NP-complete (Prop 6.1, by reduction from vertex
+/// cover); the single-operation case (n = 2) is polynomial via minimum
+/// vertex cut.
+
+/// True iff `candidate` hits every path between all consecutive chain
+/// pairs. Chain names themselves are never required to be in the set, and
+/// endpoints do not count as hits.
+bool IsValidSeparatorSet(const Digraph& rig,
+                         const std::vector<std::string>& chain,
+                         const std::vector<std::string>& candidate);
+
+/// Exact minimum separator set, by exhaustive search over subsets in
+/// increasing size (exponential; intended for RIGs with <= ~25 names).
+/// `max_k`, if >= 0, bounds the search and yields ResourceExhausted when no
+/// set of size <= max_k exists. Candidate names are the non-chain-endpoint
+/// nodes of the RIG.
+Result<std::vector<std::string>> MinimalSetExact(
+    const Digraph& rig, const std::vector<std::string>& chain, int max_k = -1);
+
+/// Polynomial special case (n == 2): minimum vertex cut between the two
+/// names ("using a variant of the min-cut problem"). Error if the RIG has a
+/// direct edge R1 -> R2 *and* other paths needing separation — in that case
+/// a direct inclusion cannot be blocked and the result is the cut of the
+/// remaining paths; with only the direct edge the empty set is returned.
+Result<std::vector<std::string>> MinimalSetSingleOp(const Digraph& rig,
+                                                    const std::string& from,
+                                                    const std::string& to);
+
+/// Polynomial heuristic for general chains: union of per-pair minimum
+/// vertex cuts. Always a valid separator set; at most (n-1) times the
+/// optimum.
+Result<std::vector<std::string>> MinimalSetPairwiseCuts(
+    const Digraph& rig, const std::vector<std::string>& chain);
+
+/// The NP-hardness reduction of Prop 6.1, made executable: builds a RIG and
+/// chain whose minimum separator sets are exactly the vertex covers of the
+/// given undirected graph. Vertices are named "v0".."v{n-1}"; the chain
+/// visits auxiliary names "X0".."X{m}" with the two endpoints of edge i as
+/// the parallel paths between X_{i-1} and X_i.
+std::pair<Digraph, std::vector<std::string>> VertexCoverToMinimalSet(
+    int num_vertices, const std::vector<std::pair<int, int>>& edges);
+
+/// Brute-force minimum vertex cover size (test oracle for the reduction).
+int MinVertexCoverSize(int num_vertices,
+                       const std::vector<std::pair<int, int>>& edges);
+
+}  // namespace regal
+
+#endif  // REGAL_RIG_MINIMAL_SET_H_

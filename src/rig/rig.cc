@@ -1,0 +1,85 @@
+#include "rig/rig.h"
+
+#include "graph/algorithms.h"
+
+namespace regal {
+
+namespace {
+
+Status CheckEdgesCovered(const Digraph& derived, const Digraph& schema,
+                         const char* relation) {
+  for (Digraph::NodeId v = 0; v < derived.NumNodes(); ++v) {
+    for (Digraph::NodeId w : derived.OutNeighbors(v)) {
+      auto sv = schema.FindNode(derived.Label(v));
+      if (!sv.ok()) {
+        return Status::FailedPrecondition("region name '" + derived.Label(v) +
+                                          "' is not a schema node");
+      }
+      auto sw = schema.FindNode(derived.Label(w));
+      if (!sw.ok()) {
+        return Status::FailedPrecondition("region name '" + derived.Label(w) +
+                                          "' is not a schema node");
+      }
+      if (!schema.HasEdge(*sv, *sw)) {
+        return Status::FailedPrecondition(
+            "instance violates the schema: " + derived.Label(v) + " " +
+            relation + " " + derived.Label(w) + " has no edge");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status InstanceSatisfiesRig(const Instance& instance, const Digraph& rig) {
+  for (const std::string& name : instance.names()) {
+    auto set = instance.Get(name);
+    if (set.ok() && !(*set)->empty() && !rig.HasNode(name)) {
+      return Status::FailedPrecondition("region name '" + name +
+                                        "' is not a RIG node");
+    }
+  }
+  return CheckEdgesCovered(instance.DeriveRig(), rig, "directly includes");
+}
+
+Status InstanceSatisfiesRog(const Instance& instance, const Digraph& rog) {
+  return CheckEdgesCovered(instance.DeriveRog(), rog, "directly precedes");
+}
+
+Result<int> RigNestingBound(const Digraph& rig) {
+  REGAL_ASSIGN_OR_RETURN(int longest, LongestPathLength(rig));
+  return longest + 1;
+}
+
+Result<int> RogWidthBound(const Digraph& rog) {
+  REGAL_ASSIGN_OR_RETURN(int longest, LongestPathLength(rog));
+  return longest + 1;
+}
+
+std::vector<std::string> NamesNestableInside(const Digraph& rig,
+                                             const std::string& outer) {
+  std::vector<std::string> out;
+  auto id = rig.FindNode(outer);
+  if (!id.ok()) return out;
+  std::vector<bool> seen = Reachable(rig, *id);
+  for (Digraph::NodeId v = 0; v < rig.NumNodes(); ++v) {
+    if (!seen[static_cast<size_t>(v)]) continue;
+    if (v == *id) {
+      // The outer name itself counts only if it can self-nest (a cycle
+      // back to it).
+      bool cyclic = false;
+      for (Digraph::NodeId w : rig.OutNeighbors(v)) {
+        if (Reachable(rig, w)[static_cast<size_t>(v)]) {
+          cyclic = true;
+          break;
+        }
+      }
+      if (!cyclic) continue;
+    }
+    out.push_back(rig.Label(v));
+  }
+  return out;
+}
+
+}  // namespace regal

@@ -1,0 +1,44 @@
+#ifndef REGAL_RIG_RIG_H_
+#define REGAL_RIG_RIG_H_
+
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "graph/digraph.h"
+#include "util/status.h"
+
+namespace regal {
+
+/// Helpers around region inclusion graphs (Definition 2.4). A RIG is just a
+/// Digraph whose node labels are region names; these functions give it the
+/// schema semantics of Section 2.2.
+
+/// OK iff `instance` satisfies `rig`: for every direct inclusion r_i ⊃_d r_j
+/// in the instance, (name(r_i), name(r_j)) is a RIG edge, and every
+/// instance name is a RIG node. The error message pins the first violation.
+Status InstanceSatisfiesRig(const Instance& instance, const Digraph& rig);
+
+/// OK iff `instance` satisfies `rog` (the order analogue): every direct
+/// precedence pair is a ROG edge.
+Status InstanceSatisfiesRog(const Instance& instance, const Digraph& rog);
+
+/// For an acyclic RIG: an upper bound on the region nesting depth of any
+/// satisfying instance — the longest path length + 1 ("files with an
+/// acyclic RIG have nesting depth bounded by the length of the longest path
+/// in the RIG", Section 5.1). Error if the RIG has a cycle (depth is then
+/// unbounded).
+Result<int> RigNestingBound(const Digraph& rig);
+
+/// For an acyclic ROG: an upper bound on the number of pairwise
+/// non-overlapping regions in any satisfying instance (Prop 5.4's bound).
+Result<int> RogWidthBound(const Digraph& rog);
+
+/// Names whose regions can transitively appear inside an `outer` region
+/// according to the RIG (outer excluded unless reachable via a cycle).
+std::vector<std::string> NamesNestableInside(const Digraph& rig,
+                                             const std::string& outer);
+
+}  // namespace regal
+
+#endif  // REGAL_RIG_RIG_H_

@@ -1,0 +1,137 @@
+#include "storage/serialize.h"
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "index/word_index.h"
+
+namespace regal {
+
+namespace {
+
+constexpr char kMagic[] = "REGAL1";
+
+void WriteRegions(const RegionSet& set, std::ostream& out) {
+  for (const Region& r : set) {
+    out << r.left << " " << r.right << "\n";
+  }
+}
+
+Result<RegionSet> ReadRegions(std::istream& in, size_t count) {
+  std::vector<Region> regions;
+  regions.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Region r;
+    if (!(in >> r.left >> r.right)) {
+      return Status::InvalidArgument("truncated region list");
+    }
+    if (r.left > r.right) {
+      return Status::InvalidArgument("region with left > right");
+    }
+    regions.push_back(r);
+  }
+  in.ignore();  // Trailing newline.
+  return RegionSet::FromUnsorted(std::move(regions));
+}
+
+}  // namespace
+
+Status SaveInstance(const Instance& instance, std::ostream& out) {
+  out << kMagic << "\n";
+  if (instance.text() != nullptr) {
+    const std::string& content = instance.text()->content();
+    out << "text " << content.size() << "\n";
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+    out << "\n";
+  }
+  for (const std::string& name : instance.names()) {
+    if (name.find_first_of(" \t\n") != std::string::npos) {
+      return Status::InvalidArgument("region name '" + name +
+                                     "' contains whitespace");
+    }
+    const RegionSet& set = **instance.Get(name);
+    out << "name " << name << " " << set.size() << "\n";
+    WriteRegions(set, out);
+  }
+  for (const auto& [key, set] : instance.synthetic_patterns()) {
+    out << "pattern " << key << " " << set.size() << "\n";
+    WriteRegions(set, out);
+  }
+  out << "end\n";
+  if (!out) return Status::Internal("stream write failed");
+  return Status::OK();
+}
+
+Result<Instance> LoadInstance(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    return Status::InvalidArgument("bad magic: expected " +
+                                   std::string(kMagic));
+  }
+  Instance instance;
+  bool saw_end = false;
+  std::shared_ptr<Text> text;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream header(line);
+    std::string keyword;
+    header >> keyword;
+    if (keyword == "end") {
+      saw_end = true;
+      break;
+    }
+    if (keyword == "text") {
+      size_t size = 0;
+      if (!(header >> size)) {
+        return Status::InvalidArgument("malformed text header");
+      }
+      std::string content(size, '\0');
+      in.read(content.data(), static_cast<std::streamsize>(size));
+      if (in.gcount() != static_cast<std::streamsize>(size)) {
+        return Status::InvalidArgument("truncated text payload");
+      }
+      in.ignore();  // Newline after payload.
+      text = std::make_shared<Text>(std::move(content));
+      continue;
+    }
+    if (keyword == "name" || keyword == "pattern") {
+      std::string name;
+      size_t count = 0;
+      if (!(header >> name >> count)) {
+        return Status::InvalidArgument("malformed '" + keyword + "' header");
+      }
+      REGAL_ASSIGN_OR_RETURN(RegionSet set, ReadRegions(in, count));
+      if (keyword == "name") {
+        REGAL_RETURN_NOT_OK(instance.AddRegionSet(name, std::move(set)));
+      } else {
+        REGAL_ASSIGN_OR_RETURN(Pattern p, Pattern::FromCacheKey(name));
+        instance.SetSyntheticPattern(p, std::move(set));
+      }
+      continue;
+    }
+    return Status::InvalidArgument("unknown record '" + keyword + "'");
+  }
+  if (!saw_end) {
+    return Status::InvalidArgument("missing 'end' record");
+  }
+  if (text != nullptr) {
+    auto index = std::make_shared<SuffixArrayWordIndex>(text.get());
+    instance.BindText(text, std::move(index));
+  }
+  return instance;
+}
+
+Status SaveInstanceToFile(const Instance& instance, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::InvalidArgument("cannot open '" + path + "'");
+  return SaveInstance(instance, out);
+}
+
+Result<Instance> LoadInstanceFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  return LoadInstance(in);
+}
+
+}  // namespace regal

@@ -1,0 +1,37 @@
+#ifndef REGAL_STORAGE_SERIALIZE_H_
+#define REGAL_STORAGE_SERIALIZE_H_
+
+#include <iostream>
+#include <string>
+
+#include "core/instance.h"
+#include "util/status.h"
+
+namespace regal {
+
+/// A simple line-oriented persistence format for region indexes, so an
+/// indexed corpus can be built once and reopened (the workflow of the
+/// commercial system the paper studies). Versioned header "REGAL1".
+///
+///   REGAL1
+///   text <byte-count>
+///   <raw text bytes>
+///   name <region-name> <count>
+///   <left> <right>            (count lines)
+///   pattern <cache-key> <count>
+///   <left> <right>            (count lines; synthetic W tables)
+///   end
+///
+/// Text-backed instances rebuild their suffix-array word index on load.
+/// Region names may contain any non-whitespace characters.
+Status SaveInstance(const Instance& instance, std::ostream& out);
+
+Result<Instance> LoadInstance(std::istream& in);
+
+/// File-path conveniences.
+Status SaveInstanceToFile(const Instance& instance, const std::string& path);
+Result<Instance> LoadInstanceFromFile(const std::string& path);
+
+}  // namespace regal
+
+#endif  // REGAL_STORAGE_SERIALIZE_H_

@@ -1,0 +1,43 @@
+#include "text/text.h"
+
+#include <algorithm>
+
+namespace regal {
+
+Text::Text(std::string content) : content_(std::move(content)) {
+  line_starts_.push_back(0);
+  for (size_t i = 0; i < content_.size(); ++i) {
+    if (content_[i] == '\n' && i + 1 < content_.size()) {
+      line_starts_.push_back(static_cast<Offset>(i + 1));
+    }
+  }
+}
+
+std::string_view Text::Slice(Offset left, Offset right) const {
+  return std::string_view(content_).substr(static_cast<size_t>(left),
+                                           static_cast<size_t>(right - left + 1));
+}
+
+int Text::LineOf(Offset offset) const {
+  auto it = std::upper_bound(line_starts_.begin(), line_starts_.end(), offset);
+  return static_cast<int>(it - line_starts_.begin());
+}
+
+int Text::ColumnOf(Offset offset) const {
+  int line = LineOf(offset);
+  return static_cast<int>(offset - line_starts_[static_cast<size_t>(line - 1)]) + 1;
+}
+
+std::string Text::Snippet(Offset left, Offset right, int max_len) const {
+  std::string out(Slice(left, right));
+  for (char& c : out) {
+    if (c == '\n' || c == '\t' || c == '\r') c = ' ';
+  }
+  if (static_cast<int>(out.size()) > max_len) {
+    out.resize(static_cast<size_t>(max_len - 3));
+    out += "...";
+  }
+  return out;
+}
+
+}  // namespace regal

@@ -1,0 +1,59 @@
+#ifndef REGAL_UTIL_RANDOM_H_
+#define REGAL_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace regal {
+
+/// Deterministic xorshift128+ pseudo-random generator. Used by synthetic
+/// corpus generators and randomized property tests so that runs are
+/// reproducible from the seed alone (no dependence on std::random_device or
+/// libstdc++ distribution implementations).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 seeding avoids weak all-zero / low-entropy states.
+    uint64_t z = seed;
+    for (uint64_t* s : {&s0_, &s1_}) {
+      z += 0x9e3779b97f4a7c15ULL;
+      uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      *s = x ^ (x >> 31);
+    }
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform value in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Between(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// True with probability p (clamped to [0,1]).
+  bool Chance(double p) {
+    if (p <= 0) return false;
+    if (p >= 1) return true;
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0) < p;
+  }
+
+ private:
+  uint64_t s0_ = 0;
+  uint64_t s1_ = 0;
+};
+
+}  // namespace regal
+
+#endif  // REGAL_UTIL_RANDOM_H_

@@ -1,0 +1,61 @@
+#ifndef REGAL_UTIL_RMQ_H_
+#define REGAL_UTIL_RMQ_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace regal {
+
+/// Sparse-table range query over a static array: O(n log n) build,
+/// O(1) query. `Cmp` selects the winner (std::less -> range minimum).
+///
+/// Used by the region algebra operators to answer "minimum right endpoint
+/// among regions whose left endpoint falls in [i, j)" style questions.
+template <typename T, typename Cmp = std::less<T>>
+class SparseTable {
+ public:
+  SparseTable() = default;
+
+  explicit SparseTable(std::vector<T> values, Cmp cmp = Cmp())
+      : cmp_(cmp) {
+    const size_t n = values.size();
+    levels_.push_back(std::move(values));
+    for (size_t len = 2; len <= n; len *= 2) {
+      const std::vector<T>& prev = levels_.back();
+      std::vector<T> next(n - len + 1);
+      for (size_t i = 0; i + len <= n; ++i) {
+        const T& a = prev[i];
+        const T& b = prev[i + len / 2];
+        next[i] = cmp_(b, a) ? b : a;
+      }
+      levels_.push_back(std::move(next));
+    }
+  }
+
+  size_t size() const { return levels_.empty() ? 0 : levels_[0].size(); }
+
+  /// Best element in the half-open range [lo, hi). Requires lo < hi <= size().
+  T Query(size_t lo, size_t hi) const {
+    const size_t len = hi - lo;
+    const size_t k = FloorLog2(len);
+    const T& a = levels_[k][lo];
+    const T& b = levels_[k][hi - (size_t{1} << k)];
+    return cmp_(b, a) ? b : a;
+  }
+
+ private:
+  static size_t FloorLog2(size_t x) {
+    size_t k = 0;
+    while ((size_t{2} << k) <= x) ++k;
+    return k;
+  }
+
+  std::vector<std::vector<T>> levels_;
+  Cmp cmp_;
+};
+
+}  // namespace regal
+
+#endif  // REGAL_UTIL_RMQ_H_

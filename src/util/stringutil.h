@@ -1,0 +1,32 @@
+#ifndef REGAL_UTIL_STRINGUTIL_H_
+#define REGAL_UTIL_STRINGUTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace regal {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lower-casing (locale independent).
+std::string ToLowerAscii(std::string_view s);
+char ToLowerAscii(char c);
+
+/// True iff `s` starts with / ends with the given affix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view StripAscii(std::string_view s);
+
+/// True iff c is an ASCII letter, digit or underscore (identifier char).
+bool IsIdentChar(char c);
+
+}  // namespace regal
+
+#endif  // REGAL_UTIL_STRINGUTIL_H_

@@ -1,0 +1,30 @@
+#ifndef REGAL_UTIL_TIMER_H_
+#define REGAL_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace regal {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harnesses and the
+/// examples; google-benchmark binaries use their own timing.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace regal
+
+#endif  // REGAL_UTIL_TIMER_H_

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "doc/dictionary.h"
+#include "doc/sgml.h"
+#include "query/engine.h"
+#include "rig/rig.h"
+
+namespace regal {
+namespace {
+
+TEST(DictionaryTest, GeneratedCorpusParses) {
+  DictionaryGeneratorOptions options;
+  options.entries = 20;
+  std::string source = GenerateDictionarySource(options);
+  auto instance = ParseSgml(source);
+  ASSERT_TRUE(instance.ok()) << instance.status();
+  EXPECT_TRUE(instance->Validate().ok());
+  EXPECT_EQ((**instance->Get("entry")).size(), 20u);
+  EXPECT_EQ((**instance->Get("headword")).size(), 20u);
+  EXPECT_GE((**instance->Get("sense")).size(), 20u);
+}
+
+TEST(DictionaryTest, SatisfiesDictionaryRig) {
+  std::string source = GenerateDictionarySource(DictionaryGeneratorOptions{});
+  auto instance = ParseSgml(source);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_TRUE(InstanceSatisfiesRig(*instance, DictionaryRig()).ok());
+}
+
+TEST(DictionaryTest, Deterministic) {
+  DictionaryGeneratorOptions options;
+  options.seed = 5;
+  EXPECT_EQ(GenerateDictionarySource(options),
+            GenerateDictionarySource(options));
+  options.seed = 6;
+  EXPECT_NE(GenerateDictionarySource(DictionaryGeneratorOptions{}),
+            GenerateDictionarySource(options));
+}
+
+TEST(DictionaryTest, OedStyleQueries) {
+  DictionaryGeneratorOptions options;
+  options.entries = 50;
+  options.seed = 9;
+  auto engine =
+      QueryEngine::FromSgmlSource(GenerateDictionarySource(options));
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  // Entries quoting SHAKESPEARE — the classic PAT/OED query.
+  auto quoted = engine->Run(
+      "entry including (author matching \"SHAKESPEARE\")");
+  ASSERT_TRUE(quoted.ok());
+  EXPECT_GT(quoted->regions.size(), 0u);
+  EXPECT_LT(quoted->regions.size(), 50u);
+  // Senses whose definition mentions a term that also appears in a quote
+  // of the same entry (both-included at entry granularity).
+  auto bi = engine->Run(
+      "bi(entry, def matching \"term1\", qtext matching \"term2\")");
+  ASSERT_TRUE(bi.ok());
+  // Headwords of noun entries.
+  auto nouns =
+      engine->Run("headword within (entry including (pos matching \"n\"))");
+  ASSERT_TRUE(nouns.ok());
+  EXPECT_GT(nouns->regions.size(), 0u);
+}
+
+}  // namespace
+}  // namespace regal

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "core/eval.h"
+#include "core/expr.h"
+#include "doc/synthetic.h"
+#include "util/random.h"
+
+namespace regal {
+namespace {
+
+Instance DocInstance() {
+  Instance instance;
+  EXPECT_TRUE(instance.AddRegionSet("Doc", RegionSet{Region{0, 11}}).ok());
+  EXPECT_TRUE(
+      instance.AddRegionSet("Sec", RegionSet{Region{1, 4}, Region{6, 10}}).ok());
+  EXPECT_TRUE(
+      instance.AddRegionSet("Par", RegionSet{Region{2, 3}, Region{7, 8}}).ok());
+  return instance;
+}
+
+TEST(ExprTest, CountsOps) {
+  ExprPtr e = Expr::Including(
+      Expr::Name("A"),
+      Expr::Precedes(Expr::Name("B"), Expr::Follows(Expr::Name("C"),
+                                                    Expr::Name("D"))));
+  EXPECT_EQ(e->NumOps(), 3);
+  EXPECT_EQ(e->NumOrderOps(), 2);
+}
+
+TEST(ExprTest, NamesUsedDeduplicated) {
+  ExprPtr e = Expr::Union(Expr::Name("A"),
+                          Expr::Intersect(Expr::Name("B"), Expr::Name("A")));
+  EXPECT_EQ(e->NamesUsed(), (std::vector<std::string>{"A", "B"}));
+}
+
+TEST(ExprTest, PatternsUsed) {
+  Pattern p = *Pattern::Parse("x");
+  Pattern q = *Pattern::Parse("y");
+  ExprPtr e = Expr::Union(Expr::Select(p, Expr::Name("A")),
+                          Expr::Select(q, Expr::Select(p, Expr::Name("B"))));
+  EXPECT_EQ(e->PatternsUsed().size(), 2u);
+}
+
+TEST(ExprTest, ToStringRendering) {
+  ExprPtr e = Expr::Including(Expr::Name("A"), Expr::Name("B"));
+  EXPECT_EQ(e->ToString(), "(A including B)");
+  ExprPtr sel = Expr::Select(*Pattern::Parse("x*"), Expr::Name("V"));
+  EXPECT_EQ(sel->ToString(), "(V matching \"x*\")");
+  ExprPtr bi = Expr::BothIncluded(Expr::Name("A"), Expr::Name("B"),
+                                  Expr::Name("C"));
+  EXPECT_EQ(bi->ToString(), "bi(A, B, C)");
+}
+
+TEST(ExprTest, ChainGroupsFromRight) {
+  ExprPtr e = Expr::Chain(OpKind::kIncluded, {"A", "B", "C"});
+  EXPECT_EQ(e->ToString(), "(A within (B within C))");
+}
+
+TEST(ExprTest, StructuralEquality) {
+  ExprPtr a = Expr::Chain(OpKind::kIncluded, {"A", "B", "C"});
+  ExprPtr b = Expr::Included(Expr::Name("A"),
+                             Expr::Included(Expr::Name("B"), Expr::Name("C")));
+  EXPECT_TRUE(a->Equals(*b));
+  ExprPtr c = Expr::Chain(OpKind::kIncluding, {"A", "B", "C"});
+  EXPECT_FALSE(a->Equals(*c));
+}
+
+TEST(ExprTest, IsBaseAlgebra) {
+  EXPECT_TRUE(Expr::Chain(OpKind::kIncluded, {"A", "B"})->IsBaseAlgebra());
+  EXPECT_FALSE(
+      Expr::DirectIncluding(Expr::Name("A"), Expr::Name("B"))->IsBaseAlgebra());
+  EXPECT_FALSE(Expr::Union(Expr::Name("A"),
+                           Expr::BothIncluded(Expr::Name("A"), Expr::Name("B"),
+                                              Expr::Name("C")))
+                   ->IsBaseAlgebra());
+}
+
+TEST(EvalTest, NameLookup) {
+  Instance instance = DocInstance();
+  auto result = Evaluate(instance, Expr::Name("Sec"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);
+  EXPECT_FALSE(Evaluate(instance, Expr::Name("Nope")).ok());
+}
+
+TEST(EvalTest, MotivatingQuery) {
+  Instance instance = DocInstance();
+  // Par within Sec within Doc.
+  ExprPtr e = Expr::Chain(OpKind::kIncluded, {"Par", "Sec", "Doc"});
+  auto result = Evaluate(instance, e);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);
+}
+
+TEST(EvalTest, SelectUsesSyntheticW) {
+  Instance instance = DocInstance();
+  Pattern p = *Pattern::Parse("x");
+  instance.SetSyntheticPattern(p, RegionSet{Region{7, 8}});
+  auto result = Evaluate(instance, Expr::Select(p, Expr::Name("Par")));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, (RegionSet{Region{7, 8}}));
+}
+
+TEST(EvalTest, ExtendedOperatorsViaAst) {
+  Instance instance = DocInstance();
+  auto direct = Evaluate(
+      instance, Expr::DirectIncluding(Expr::Name("Doc"), Expr::Name("Par")));
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(direct->empty());
+  auto bi = Evaluate(instance, Expr::BothIncluded(Expr::Name("Doc"),
+                                                  Expr::Name("Sec"),
+                                                  Expr::Name("Sec")));
+  ASSERT_TRUE(bi.ok());
+  EXPECT_EQ(bi->size(), 1u);  // Doc contains Sec [1,4] < Sec [6,10].
+}
+
+TEST(EvalTest, StatsCountOperators) {
+  Instance instance = DocInstance();
+  Evaluator evaluator(&instance);
+  ExprPtr e = Expr::Chain(OpKind::kIncluded, {"Par", "Sec", "Doc"});
+  ASSERT_TRUE(evaluator.Evaluate(e).ok());
+  EXPECT_EQ(evaluator.stats().operator_evals, 2);
+  evaluator.ResetStats();
+  EXPECT_EQ(evaluator.stats().operator_evals, 0);
+}
+
+TEST(EvalTest, SharedSubtreesEvaluatedOnce) {
+  Instance instance = DocInstance();
+  ExprPtr shared = Expr::Included(Expr::Name("Par"), Expr::Name("Sec"));
+  ExprPtr e = Expr::Union(shared, shared);
+  Evaluator evaluator(&instance);
+  ASSERT_TRUE(evaluator.Evaluate(e).ok());
+  // One ⊂ plus one ∪, not two ⊂.
+  EXPECT_EQ(evaluator.stats().operator_evals, 2);
+}
+
+TEST(EvalTest, NaiveModeAgrees) {
+  Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomInstanceOptions options;
+    options.num_regions = 25;
+    Instance instance = RandomLaminarInstance(rng, options);
+    ExprPtr e = Expr::Difference(
+        Expr::Including(Expr::Name("R0"),
+                        Expr::Precedes(Expr::Name("R1"), Expr::Name("R2"))),
+        Expr::Follows(Expr::Name("R0"), Expr::Name("R1")));
+    EvalOptions naive_options;
+    naive_options.use_naive = true;
+    auto fast = Evaluate(instance, e);
+    auto slow = Evaluate(instance, e, naive_options);
+    ASSERT_TRUE(fast.ok() && slow.ok());
+    EXPECT_EQ(*fast, *slow);
+  }
+}
+
+TEST(EvalTest, PaperGrammarRightGrouping) {
+  // The paper's e2 = Name ⊂ Proc_header ⊂ Program groups from the right:
+  // Name ⊂ (Proc_header ⊂ Program).
+  ExprPtr e2 = Expr::Chain(OpKind::kIncluded,
+                           {"Name", "Proc_header", "Program"});
+  EXPECT_EQ(e2->NumOps(), 2);
+  EXPECT_EQ(e2->child(0)->name(), "Name");
+  EXPECT_EQ(e2->child(1)->kind(), OpKind::kIncluded);
+}
+
+}  // namespace
+}  // namespace regal

@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include "core/algebra.h"
+#include "core/eval.h"
+#include "core/extended.h"
+#include "doc/synthetic.h"
+#include "util/random.h"
+
+namespace regal {
+namespace {
+
+// A fixed instance exercising the Section 5.1 motivation: nested procs.
+//   P1=[0,19] ⊃ (B1=[1,18] ⊃ (P2=[2,9] ⊃ B2=[3,8] ⊃ V2=[4,5]), V1=[11,12])
+Instance ProcInstance() {
+  Instance instance;
+  EXPECT_TRUE(
+      instance.AddRegionSet("Proc", RegionSet{Region{0, 19}, Region{2, 9}}).ok());
+  EXPECT_TRUE(
+      instance.AddRegionSet("Body", RegionSet{Region{1, 18}, Region{3, 8}}).ok());
+  EXPECT_TRUE(
+      instance.AddRegionSet("Var", RegionSet{Region{4, 5}, Region{11, 12}}).ok());
+  return instance;
+}
+
+TEST(DirectIncludingTest, SkipsIndirect) {
+  Instance instance = ProcInstance();
+  RegionSet proc = **instance.Get("Proc");
+  RegionSet var = **instance.Get("Var");
+  // Proc ⊃ Var selects both procs (outer proc transitively contains V2).
+  EXPECT_EQ(Including(proc, var).size(), 2u);
+  // Proc ⊃_d Var selects none: vars sit directly inside bodies.
+  EXPECT_TRUE(DirectIncluding(instance, proc, var).empty());
+  RegionSet body = **instance.Get("Body");
+  // Body ⊃_d Var selects both bodies.
+  EXPECT_EQ(DirectIncluding(instance, body, var).size(), 2u);
+  // Proc ⊃_d Body selects both procs.
+  EXPECT_EQ(DirectIncluding(instance, proc, body).size(), 2u);
+}
+
+TEST(DirectIncludedTest, ParentMustBeInS) {
+  Instance instance = ProcInstance();
+  RegionSet proc = **instance.Get("Proc");
+  RegionSet body = **instance.Get("Body");
+  RegionSet var = **instance.Get("Var");
+  EXPECT_EQ(DirectIncluded(instance, var, body).size(), 2u);
+  EXPECT_TRUE(DirectIncluded(instance, var, proc).empty());
+  EXPECT_EQ(DirectIncluded(instance, body, proc), body);
+}
+
+TEST(BothIncludedTest, RequiresSameContainerOrdering) {
+  // c1=[0,9] contains a=[1,2]; c2=[10,19] contains b=[11,12].
+  // a < b but they sit in different containers.
+  RegionSet c{Region{0, 9}, Region{10, 19}};
+  RegionSet s{Region{1, 2}};
+  RegionSet t{Region{11, 12}};
+  EXPECT_TRUE(BothIncluded(c, s, t).empty());
+  // The naive ⊃(S<T) formulation wrongly selects c1.
+  EXPECT_EQ(Including(c, Precedes(s, t)), (RegionSet{Region{0, 9}}));
+}
+
+TEST(BothIncludedTest, SelectsWhenPairInside) {
+  RegionSet c{Region{0, 9}};
+  RegionSet s{Region{1, 2}};
+  RegionSet t{Region{4, 5}};
+  EXPECT_EQ(BothIncluded(c, s, t), c);
+  EXPECT_TRUE(BothIncluded(c, t, s).empty());  // Order matters.
+}
+
+TEST(BothIncludedTest, SelfWitnessDoesNotCount) {
+  // r itself matching S or T (non-strict containment) is not a witness.
+  RegionSet c{Region{0, 9}};
+  EXPECT_TRUE(BothIncluded(c, c, c).empty());
+}
+
+TEST(BothIncludedTest, Figure3OnlyMiddle) {
+  for (int k : {1, 2, 4}) {
+    Instance instance = MakeFigure3Instance(k);
+    RegionSet c = **instance.Get("C");
+    RegionSet a = **instance.Get("A");
+    RegionSet b = **instance.Get("B");
+    RegionSet result = BothIncluded(c, b, a);
+    ASSERT_EQ(result.size(), 1u) << "k=" << k;
+    EXPECT_EQ(result[0], c[static_cast<size_t>(2 * k)]);
+    EXPECT_EQ(naive::BothIncluded(c, b, a), result);
+  }
+}
+
+class ExtendedPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExtendedPropertyTest, NativeMatchesNaive) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 15; ++trial) {
+    RandomInstanceOptions options;
+    options.num_regions = 30;
+    options.max_names = 3;
+    Instance instance = RandomLaminarInstance(rng, options);
+    RegionSet r0 = **instance.Get("R0");
+    RegionSet r1 = **instance.Get("R1");
+    RegionSet r2 = **instance.Get("R2");
+    EXPECT_EQ(DirectIncluding(instance, r0, r1),
+              naive::DirectIncluding(instance, r0, r1));
+    EXPECT_EQ(DirectIncluded(instance, r0, r1),
+              naive::DirectIncluded(instance, r0, r1));
+    EXPECT_EQ(BothIncluded(r0, r1, r2), naive::BothIncluded(r0, r1, r2));
+    EXPECT_EQ(BothIncluded(r2, r0, r1), naive::BothIncluded(r2, r0, r1));
+  }
+}
+
+TEST_P(ExtendedPropertyTest, LoopProgramMatchesNative) {
+  Rng rng(GetParam() * 7 + 1);
+  for (int trial = 0; trial < 15; ++trial) {
+    RandomInstanceOptions options;
+    options.num_regions = 30;
+    options.max_names = 3;
+    Instance instance = RandomLaminarInstance(rng, options);
+    RegionSet r0 = **instance.Get("R0");
+    RegionSet r1 = **instance.Get("R1");
+    int iterations = 0;
+    EXPECT_EQ(DirectIncludingLoop(instance, r0, r1, &iterations),
+              DirectIncluding(instance, r0, r1));
+    EXPECT_LE(iterations, instance.TreeDepth());
+  }
+}
+
+// Two-name chains carry no middle names, so the literal paper program is
+// exact on arbitrary instances.
+TEST_P(ExtendedPropertyTest, ChainLoopMatchesStepwiseForTwoNames) {
+  Rng rng(GetParam() * 13 + 5);
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomInstanceOptions options;
+    options.num_regions = 40;
+    options.max_names = 3;
+    Instance instance = RandomLaminarInstance(rng, options);
+    for (const std::vector<std::string>& chain :
+         {std::vector<std::string>{"R0", "R1"},
+          std::vector<std::string>{"R1", "R1"}}) {
+      auto single = DirectChainLoop(instance, chain);
+      auto stepwise = DirectChainStepwise(instance, chain);
+      ASSERT_TRUE(single.ok());
+      ASSERT_TRUE(stepwise.ok());
+      EXPECT_EQ(*single, *stepwise);
+    }
+  }
+}
+
+// On the program's validity class (middle names neither self-nesting nor
+// containing R1 regions) the single-loop program is exact. The RIG below
+// guarantees the class: R0 self-nests freely, M and X never do, and no
+// middle ever contains an R0 region.
+TEST_P(ExtendedPropertyTest, ChainLoopMatchesStepwiseOnValidClass) {
+  Rng rng(GetParam() * 13 + 5);
+  Digraph rig;
+  rig.AddEdge("R0", "R0");
+  rig.AddEdge("R0", "M");
+  rig.AddEdge("M", "L");
+  rig.AddEdge("M", "X");
+  rig.AddEdge("X", "L");
+  for (int trial = 0; trial < 10; ++trial) {
+    Instance instance = RandomInstanceForRig(rng, rig, 60, 8, {"R0"});
+    for (const std::vector<std::string>& chain :
+         {std::vector<std::string>{"R0", "M", "L"},
+          std::vector<std::string>{"R0", "M", "X", "L"}}) {
+      auto single = DirectChainLoop(instance, chain);
+      auto stepwise = DirectChainStepwise(instance, chain);
+      ASSERT_TRUE(single.ok());
+      ASSERT_TRUE(stepwise.ok());
+      EXPECT_EQ(*single, *stepwise) << "chain size " << chain.size();
+    }
+  }
+}
+
+TEST_P(ExtendedPropertyTest, BoundedExpansionMatchesNative) {
+  Rng rng(GetParam() * 3 + 11);
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomInstanceOptions options;
+    options.num_regions = 25;
+    options.max_names = 3;
+    options.max_depth = 5;
+    Instance instance = RandomLaminarInstance(rng, options);
+    ExprPtr r0 = Expr::Name("R0");
+    ExprPtr r1 = Expr::Name("R1");
+    ExprPtr bounded = DirectIncludingBounded(
+        r0, r1, instance.TreeDepth(), instance.names());
+    auto via_expr = Evaluate(instance, bounded);
+    ASSERT_TRUE(via_expr.ok()) << via_expr.status();
+    EXPECT_EQ(*via_expr, DirectIncluding(instance, **instance.Get("R0"),
+                                         **instance.Get("R1")));
+  }
+}
+
+TEST_P(ExtendedPropertyTest, BothIncludedBoundedOnAntichains) {
+  Rng rng(GetParam() * 17 + 29);
+  for (int trial = 0; trial < 10; ++trial) {
+    // Flat instances: C containers with leaf children S/T — the antichain
+    // precondition of the Prop 5.4 construction.
+    std::vector<NodeSpec> forest;
+    int containers = static_cast<int>(1 + rng.Below(5));
+    int width = 0;
+    for (int i = 0; i < containers; ++i) {
+      NodeSpec c{"C", {}};
+      int kids = static_cast<int>(rng.Below(5));
+      width += kids;
+      for (int j = 0; j < kids; ++j) {
+        c.children.push_back(NodeSpec{rng.Chance(0.5) ? "S" : "T", {}});
+      }
+      forest.push_back(std::move(c));
+    }
+    Instance instance = FromForest(forest);
+    for (const char* name : {"C", "S", "T"}) {
+      if (!instance.Has(name)) instance.SetRegionSet(name, RegionSet());
+    }
+    ExprPtr bounded = BothIncludedBounded(
+        Expr::Name("C"), Expr::Name("S"), Expr::Name("T"), width + 1);
+    auto via_expr = Evaluate(instance, bounded);
+    ASSERT_TRUE(via_expr.ok()) << via_expr.status();
+    EXPECT_EQ(*via_expr, BothIncluded(**instance.Get("C"), **instance.Get("S"),
+                                      **instance.Get("T")));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtendedPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(ChainLoopTest, InvalidInputs) {
+  Instance instance = ProcInstance();
+  EXPECT_FALSE(DirectChainLoop(instance, {"Proc"}).ok());
+  EXPECT_FALSE(DirectChainLoop(instance, {"Proc", "Nope"}).ok());
+  EXPECT_FALSE(DirectChainStepwise(instance, {"Proc"}).ok());
+}
+
+TEST(ChainLoopTest, ProcBodyVarChainExactSemantics) {
+  Instance instance = ProcInstance();
+  auto result = DirectChainStepwise(instance, {"Proc", "Body", "Var"});
+  ASSERT_TRUE(result.ok());
+  // Both procs directly include a body that directly includes a var.
+  EXPECT_EQ(result->size(), 2u);
+}
+
+// REPRODUCTION FINDING: outside its validity class the literal paper
+// program under-approximates. ProcInstance nests Body inside Body (via the
+// nested proc), and the program loses the inner proc. See extended.h and
+// EXPERIMENTS.md.
+TEST(ChainLoopTest, PaperProgramDivergesOnSelfNestingMiddles) {
+  Instance instance = ProcInstance();
+  auto single = DirectChainLoop(instance, {"Proc", "Body", "Var"});
+  auto stepwise = DirectChainStepwise(instance, {"Proc", "Body", "Var"});
+  ASSERT_TRUE(single.ok());
+  ASSERT_TRUE(stepwise.ok());
+  EXPECT_EQ(stepwise->size(), 2u);  // Exact ⊃_d-chain semantics.
+  EXPECT_EQ(single->size(), 1u);    // The program drops the inner proc.
+  EXPECT_TRUE(Difference(*single, *stepwise).empty());  // Under-approximation.
+}
+
+TEST(ChainLoopTest, SingleLoopUsesFewerIterations) {
+  // A deep P-spine where each P directly holds one B holding one V: the
+  // validity class, with many R1 layers. Stepwise pays a loop per chain
+  // step; the paper program pays one.
+  NodeSpec node{"P", {NodeSpec{"B", {NodeSpec{"V", {}}}}}};
+  for (int i = 0; i < 6; ++i) {
+    NodeSpec p{"P", {NodeSpec{"B", {NodeSpec{"V", {}}}}, std::move(node)}};
+    node = std::move(p);
+  }
+  Instance instance = FromForest({std::move(node)});
+  int single_iters = 0;
+  int stepwise_iters = 0;
+  auto single = DirectChainLoop(instance, {"P", "B", "V"}, &single_iters);
+  auto stepwise =
+      DirectChainStepwise(instance, {"P", "B", "V"}, &stepwise_iters);
+  ASSERT_TRUE(single.ok());
+  ASSERT_TRUE(stepwise.ok());
+  EXPECT_EQ(*single, *stepwise);
+  EXPECT_EQ(single->size(), 7u);  // Every P qualifies.
+  EXPECT_LT(single_iters, stepwise_iters);
+}
+
+}  // namespace
+}  // namespace regal

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "core/eval.h"
+#include "core/extended.h"
+#include "doc/synthetic.h"
+#include "fmft/general.h"
+#include "fmft/translate.h"
+#include "util/random.h"
+
+namespace regal {
+namespace {
+
+TEST(GeneralFormulaTest, AtomsAndConnectives) {
+  // Model: one A containing one B.
+  FmftModel model({"A", "B"}, 2);
+  ASSERT_TRUE(model.AddWord("0", {0}).ok());
+  ASSERT_TRUE(model.AddWord("00", {1}).ok());
+  using G = GeneralFormula;
+  std::map<std::string, size_t> env{{"x", 0}, {"y", 1}};
+  EXPECT_TRUE(G::Pred("A", "x")->Holds(model, env));
+  EXPECT_FALSE(G::Pred("B", "x")->Holds(model, env));
+  EXPECT_TRUE(G::Prefix("x", "y")->Holds(model, env));
+  EXPECT_FALSE(G::Prefix("y", "x")->Holds(model, env));
+  EXPECT_FALSE(G::Before("x", "y")->Holds(model, env));
+  EXPECT_TRUE(G::Equals("x", "x")->Holds(model, env));
+  EXPECT_TRUE(G::Not(G::Pred("B", "x"))->Holds(model, env));
+  EXPECT_TRUE(G::And(G::Pred("A", "x"), G::Pred("B", "y"))->Holds(model, env));
+  EXPECT_TRUE(G::Or(G::Pred("B", "x"), G::Pred("A", "x"))->Holds(model, env));
+}
+
+TEST(GeneralFormulaTest, Quantifiers) {
+  FmftModel model({"A", "B"}, 2);
+  ASSERT_TRUE(model.AddWord("0", {0}).ok());
+  ASSERT_TRUE(model.AddWord("00", {1}).ok());
+  ASSERT_TRUE(model.AddWord("10", {1}).ok());
+  using G = GeneralFormula;
+  std::map<std::string, size_t> empty_env;
+  // ∃x A(x).
+  EXPECT_TRUE(G::Exists("x", G::Pred("A", "x"))->Holds(model, empty_env));
+  // ∀x (A(x) ∨ B(x)).
+  EXPECT_TRUE(G::Forall("x", G::Or(G::Pred("A", "x"), G::Pred("B", "x")))
+                  ->Holds(model, empty_env));
+  // ∀x B(x) fails (the A word).
+  EXPECT_FALSE(G::Forall("x", G::Pred("B", "x"))->Holds(model, empty_env));
+  // Shadowing: ∃x (B(x) ∧ ∃x A(x)).
+  EXPECT_TRUE(G::Exists("x", G::And(G::Pred("B", "x"),
+                                    G::Exists("x", G::Pred("A", "x"))))
+                  ->Holds(model, empty_env));
+}
+
+TEST(GeneralFormulaTest, FreeVariables) {
+  using G = GeneralFormula;
+  auto f = G::And(G::Pred("A", "x"),
+                  G::Exists("y", G::Prefix("x", "y")));
+  EXPECT_EQ(f->FreeVariables(), (std::vector<std::string>{"x"}));
+  auto g = G::Before("u", "v");
+  EXPECT_EQ(g->FreeVariables(), (std::vector<std::string>{"u", "v"}));
+  EXPECT_NE(f->ToString().find("(E y)"), std::string::npos);
+}
+
+// The embedding of restricted formulas agrees with the restricted
+// evaluator on random instances.
+TEST(GeneralFormulaTest, FromRestrictedAgrees) {
+  Rng rng(21);
+  std::vector<ExprPtr> exprs = {
+      Expr::Including(Expr::Name("R0"), Expr::Name("R1")),
+      Expr::Chain(OpKind::kIncluded, {"R2", "R1", "R0"}),
+      Expr::Difference(Expr::Name("R0"),
+                       Expr::Precedes(Expr::Name("R0"), Expr::Name("R1"))),
+  };
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomInstanceOptions options;
+    options.num_regions = 15;
+    Instance instance = RandomLaminarInstance(rng, options);
+    FmftModel model = ModelFromInstance(instance, {});
+    for (const ExprPtr& e : exprs) {
+      auto restricted = AlgebraToFormula(e);
+      ASSERT_TRUE(restricted.ok());
+      GeneralFormulaPtr general = FromRestricted(*restricted, "x");
+      EXPECT_EQ(general->Satisfiers(model, "x"),
+                (*restricted)->Evaluate(model))
+          << e->ToString();
+    }
+  }
+}
+
+// Sections 5.1/5.2: ⊃_d and BI are general-FMFT definable (while
+// translate.cc rejects them for the restricted fragment).
+class GeneralDefinabilityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneralDefinabilityTest, DirectIncludingDefinable) {
+  Rng rng(GetParam());
+  GeneralFormulaPtr phi = DirectIncludingFormula("R0", "R1");
+  for (int trial = 0; trial < 8; ++trial) {
+    RandomInstanceOptions options;
+    options.num_regions = 18;
+    Instance instance = RandomLaminarInstance(rng, options);
+    std::vector<Region> region_of;
+    FmftModel model = ModelFromInstance(instance, {}, &region_of);
+    std::vector<Region> from_formula;
+    for (size_t w : phi->Satisfiers(model, "x")) {
+      from_formula.push_back(region_of[w]);
+    }
+    RegionSet native = DirectIncluding(instance, **instance.Get("R0"),
+                                       **instance.Get("R1"));
+    EXPECT_EQ(RegionSet::FromUnsorted(std::move(from_formula)), native);
+  }
+}
+
+TEST_P(GeneralDefinabilityTest, BothIncludedDefinable) {
+  Rng rng(GetParam() * 5 + 2);
+  GeneralFormulaPtr phi = BothIncludedFormula("R0", "R1", "R2");
+  for (int trial = 0; trial < 8; ++trial) {
+    RandomInstanceOptions options;
+    options.num_regions = 18;
+    Instance instance = RandomLaminarInstance(rng, options);
+    std::vector<Region> region_of;
+    FmftModel model = ModelFromInstance(instance, {}, &region_of);
+    std::vector<Region> from_formula;
+    for (size_t w : phi->Satisfiers(model, "x")) {
+      from_formula.push_back(region_of[w]);
+    }
+    RegionSet native = BothIncluded(**instance.Get("R0"),
+                                    **instance.Get("R1"),
+                                    **instance.Get("R2"));
+    EXPECT_EQ(RegionSet::FromUnsorted(std::move(from_formula)), native);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneralDefinabilityTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(GeneralDefinabilityTest, Figure3ViaFormula) {
+  Instance instance = MakeFigure3Instance(2);
+  std::vector<Region> region_of;
+  FmftModel model = ModelFromInstance(instance, {}, &region_of);
+  GeneralFormulaPtr phi = BothIncludedFormula("C", "B", "A");
+  EXPECT_EQ(phi->Satisfiers(model, "x").size(), 1u);
+}
+
+}  // namespace
+}  // namespace regal

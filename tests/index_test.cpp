@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "index/suffix_array.h"
+#include "index/word_index.h"
+#include "util/random.h"
+
+namespace regal {
+namespace {
+
+std::vector<int32_t> NaiveOccurrences(const std::string& text,
+                                      const std::string& pattern) {
+  std::vector<int32_t> out;
+  if (pattern.empty()) return out;
+  size_t pos = 0;
+  while ((pos = text.find(pattern, pos)) != std::string::npos) {
+    out.push_back(static_cast<int32_t>(pos));
+    ++pos;
+  }
+  return out;
+}
+
+TEST(SuffixArrayTest, Banana) {
+  SuffixArray sa("banana");
+  EXPECT_EQ(sa.sa().size(), 6u);
+  EXPECT_EQ(sa.Count("ana"), 2);
+  EXPECT_EQ(sa.Occurrences("ana"), (std::vector<int32_t>{1, 3}));
+  EXPECT_EQ(sa.Count("nan"), 1);
+  EXPECT_EQ(sa.Count("xyz"), 0);
+}
+
+TEST(SuffixArrayTest, SortedProperty) {
+  SuffixArray sa("mississippi");
+  const std::string& text = sa.text();
+  for (size_t i = 1; i < sa.sa().size(); ++i) {
+    EXPECT_LT(text.substr(static_cast<size_t>(sa.sa()[i - 1])),
+              text.substr(static_cast<size_t>(sa.sa()[i])));
+  }
+}
+
+TEST(SuffixArrayTest, LcpMatchesDefinition) {
+  SuffixArray sa("abracadabra");
+  const std::string& text = sa.text();
+  for (size_t i = 1; i < sa.sa().size(); ++i) {
+    std::string a = text.substr(static_cast<size_t>(sa.sa()[i - 1]));
+    std::string b = text.substr(static_cast<size_t>(sa.sa()[i]));
+    size_t l = 0;
+    while (l < a.size() && l < b.size() && a[l] == b[l]) ++l;
+    EXPECT_EQ(sa.lcp()[i], static_cast<int32_t>(l)) << "slot " << i;
+  }
+}
+
+TEST(SuffixArrayTest, EmptyText) {
+  SuffixArray sa("");
+  EXPECT_TRUE(sa.sa().empty());
+  EXPECT_EQ(sa.Count("a"), 0);
+}
+
+TEST(SuffixArrayTest, RandomTextsMatchNaiveSearch) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::string text;
+    int len = static_cast<int>(20 + rng.Below(200));
+    for (int i = 0; i < len; ++i) {
+      text += static_cast<char>('a' + rng.Below(3));
+    }
+    SuffixArray sa(text);
+    for (int q = 0; q < 20; ++q) {
+      std::string pattern;
+      int plen = static_cast<int>(1 + rng.Below(4));
+      for (int i = 0; i < plen; ++i) {
+        pattern += static_cast<char>('a' + rng.Below(3));
+      }
+      EXPECT_EQ(sa.Occurrences(pattern), NaiveOccurrences(text, pattern))
+          << "text=" << text << " pattern=" << pattern;
+    }
+  }
+}
+
+class WordIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    text_ = std::make_unique<Text>(
+        "the quick brown fox jumps over the lazy dog; "
+        "the Quick fox_trot quip equip Quixote");
+    sa_index_ = std::make_unique<SuffixArrayWordIndex>(text_.get());
+    inv_index_ = std::make_unique<InvertedWordIndex>(text_.get());
+  }
+
+  std::unique_ptr<Text> text_;
+  std::unique_ptr<SuffixArrayWordIndex> sa_index_;
+  std::unique_ptr<InvertedWordIndex> inv_index_;
+};
+
+TEST_F(WordIndexTest, ExactWord) {
+  auto p = *Pattern::Parse("fox");
+  auto matches = sa_index_->Matches(p);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(TokenText(text_->content(), matches[0]), "fox");
+}
+
+TEST_F(WordIndexTest, PrefixWord) {
+  auto p = *Pattern::Parse("qui*");
+  auto matches = sa_index_->Matches(p);
+  // quick, quip (case-sensitive: Quick and Quixote excluded).
+  EXPECT_EQ(matches.size(), 2u);
+}
+
+TEST_F(WordIndexTest, CaseInsensitivePrefix) {
+  auto p = *Pattern::Parse("qui*", /*case_insensitive=*/true);
+  EXPECT_EQ(sa_index_->Matches(p).size(), 4u);
+}
+
+TEST_F(WordIndexTest, InfixPattern) {
+  auto p = *Pattern::Parse("*ui*");
+  // quick, Quick(no: case-sensitive ui present: Q-u-i yes 'ui' at 1), quip,
+  // equip, Quixote: all contain "ui".
+  EXPECT_EQ(sa_index_->Matches(p).size(), 5u);
+}
+
+TEST_F(WordIndexTest, ImplementationsAgree) {
+  Rng rng(17);
+  const char* specs[] = {"the", "qui*", "*ip", "*ui*", "q???k",
+                         "fox_trot", "dog", "zebra", "f?x"};
+  for (const char* spec : specs) {
+    for (bool ci : {false, true}) {
+      auto p = *Pattern::Parse(spec, ci);
+      auto a = sa_index_->Matches(p);
+      auto b = inv_index_->Matches(p);
+      EXPECT_EQ(a.size(), b.size()) << spec << " ci=" << ci;
+      EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+          << spec << " ci=" << ci;
+    }
+  }
+}
+
+TEST_F(WordIndexTest, ContainsRespectsRange) {
+  auto p = *Pattern::Parse("fox");
+  // First "fox" token is at offsets 16..18.
+  EXPECT_TRUE(sa_index_->Contains(0, 25, p));
+  EXPECT_FALSE(sa_index_->Contains(0, 15, p));
+  EXPECT_FALSE(sa_index_->Contains(17, 30, p));  // Token only partially inside.
+}
+
+TEST_F(WordIndexTest, TokenCountsAgree) {
+  EXPECT_EQ(sa_index_->NumTokens(), inv_index_->NumTokens());
+  EXPECT_GT(inv_index_->VocabularySize(), 0);
+  EXPECT_LE(inv_index_->VocabularySize(), inv_index_->NumTokens());
+}
+
+TEST(WordIndexRandomTest, ImplementationsAgreeOnRandomText) {
+  Rng rng(23);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::string content;
+    int words = static_cast<int>(30 + rng.Below(100));
+    for (int i = 0; i < words; ++i) {
+      int len = static_cast<int>(1 + rng.Below(5));
+      for (int j = 0; j < len; ++j) {
+        content += static_cast<char>('a' + rng.Below(4));
+      }
+      content += ' ';
+    }
+    Text text(content);
+    SuffixArrayWordIndex sa(&text);
+    InvertedWordIndex inv(&text);
+    for (const char* spec : {"a*", "*b", "*ab*", "ab", "a?c", "????"}) {
+      auto p = *Pattern::Parse(spec);
+      auto ma = sa.Matches(p);
+      auto mb = inv.Matches(p);
+      ASSERT_EQ(ma.size(), mb.size()) << spec << " text=" << content;
+      EXPECT_TRUE(std::equal(ma.begin(), ma.end(), mb.begin(), mb.end()));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace regal

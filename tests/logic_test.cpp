@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "logic/cnf.h"
+#include "logic/dpll.h"
+#include "util/random.h"
+
+namespace regal {
+namespace {
+
+TEST(CnfTest, ToStringFormat) {
+  Cnf cnf;
+  cnf.num_vars = 3;
+  cnf.clauses = {{1, -2, 3}, {-1}};
+  EXPECT_EQ(cnf.ToString(), "(x1 | !x2 | x3) & (!x1)");
+}
+
+TEST(CnfTest, IsSatisfiedBy) {
+  Cnf cnf;
+  cnf.num_vars = 2;
+  cnf.clauses = {{1, 2}, {-1, 2}};
+  EXPECT_TRUE(cnf.IsSatisfiedBy({false, false, true}));   // x2 = true.
+  EXPECT_FALSE(cnf.IsSatisfiedBy({false, false, false}));  // Both need x2.
+  EXPECT_FALSE(cnf.IsSatisfiedBy({false, true, false}));
+}
+
+TEST(CnfTest, RandomShape) {
+  Rng rng(1);
+  Cnf cnf = RandomKCnf(rng, 5, 12, 3);
+  EXPECT_EQ(cnf.num_vars, 5);
+  EXPECT_EQ(cnf.clauses.size(), 12u);
+  for (const Clause& c : cnf.clauses) {
+    EXPECT_EQ(c.size(), 3u);
+    // Distinct variables within a clause.
+    for (size_t i = 0; i < c.size(); ++i) {
+      for (size_t j = i + 1; j < c.size(); ++j) {
+        EXPECT_NE(std::abs(c[i]), std::abs(c[j]));
+      }
+    }
+  }
+}
+
+TEST(DpllTest, TrivialCases) {
+  Cnf empty;
+  empty.num_vars = 0;
+  EXPECT_TRUE(DpllSolve(empty).has_value());
+
+  Cnf contradiction;
+  contradiction.num_vars = 1;
+  contradiction.clauses = {{1}, {-1}};
+  EXPECT_FALSE(DpllSolve(contradiction).has_value());
+}
+
+TEST(DpllTest, SatisfyingAssignmentIsValid) {
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    Cnf cnf = RandomKCnf(rng, 6, 15, 3);
+    auto assignment = DpllSolve(cnf);
+    if (assignment.has_value()) {
+      EXPECT_TRUE(cnf.IsSatisfiedBy(*assignment)) << cnf.ToString();
+    }
+  }
+}
+
+TEST(DpllTest, AgreesWithBruteForce) {
+  Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    int vars = static_cast<int>(2 + rng.Below(7));
+    int clauses = static_cast<int>(1 + rng.Below(20));
+    Cnf cnf = RandomKCnf(rng, vars, clauses,
+                         static_cast<int>(1 + rng.Below(std::min(3, vars))));
+    EXPECT_EQ(DpllSolve(cnf).has_value(), BruteForceSat(cnf))
+        << cnf.ToString();
+  }
+}
+
+TEST(DpllTest, StatsAccumulate) {
+  Rng rng(4);
+  Cnf cnf = RandomKCnf(rng, 12, 50, 3);
+  DpllStats stats;
+  DpllSolve(cnf, &stats);
+  EXPECT_GE(stats.decisions + stats.unit_propagations, 1);
+}
+
+TEST(DpllTest, UnitPropagationChains) {
+  // x1, x1->x2, x2->x3 ... forces everything without decisions.
+  Cnf cnf;
+  cnf.num_vars = 5;
+  cnf.clauses = {{1}, {-1, 2}, {-2, 3}, {-3, 4}, {-4, 5}};
+  DpllStats stats;
+  auto assignment = DpllSolve(cnf, &stats);
+  ASSERT_TRUE(assignment.has_value());
+  for (int v = 1; v <= 5; ++v) EXPECT_TRUE((*assignment)[static_cast<size_t>(v)]);
+  EXPECT_EQ(stats.decisions, 0);
+  EXPECT_GE(stats.unit_propagations, 5);
+}
+
+}  // namespace
+}  // namespace regal

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "core/eval.h"
+#include "core/extended.h"
+#include "doc/synthetic.h"
+#include "opt/optimizer.h"
+#include "util/random.h"
+
+namespace regal {
+namespace {
+
+// An acyclic RIG: Doc -> Sec -> Par -> Word, plus Sec -> Note -> Word.
+Digraph AcyclicRig() {
+  Digraph rig;
+  rig.AddEdge("Doc", "Sec");
+  rig.AddEdge("Sec", "Par");
+  rig.AddEdge("Par", "Word");
+  rig.AddEdge("Sec", "Note");
+  rig.AddEdge("Note", "Word");
+  return rig;
+}
+
+class LoweringTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LoweringTest, DirectIncludedBoundedMatchesNative) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomInstanceOptions options;
+    options.num_regions = 25;
+    options.max_depth = 5;
+    Instance instance = RandomLaminarInstance(rng, options);
+    ExprPtr bounded = DirectIncludedBounded(
+        Expr::Name("R0"), Expr::Name("R1"), instance.TreeDepth(),
+        instance.names());
+    auto via_expr = Evaluate(instance, bounded);
+    ASSERT_TRUE(via_expr.ok()) << via_expr.status();
+    EXPECT_EQ(*via_expr, DirectIncluded(instance, **instance.Get("R0"),
+                                        **instance.Get("R1")));
+  }
+}
+
+TEST_P(LoweringTest, OptimizerLowersUnderAcyclicRig) {
+  Rng rng(GetParam() * 7 + 3);
+  Digraph rig = AcyclicRig();
+  OptimizerOptions options;
+  options.rig = &rig;
+  options.lower_extended_operators = true;
+  ExprPtr query = Expr::DirectIncluding(
+      Expr::Name("Sec"),
+      Expr::DirectIncluded(Expr::Name("Word"), Expr::Name("Par")));
+  OptimizeOutcome outcome = Optimize(query, options);
+  EXPECT_TRUE(outcome.expr->IsBaseAlgebra());
+  EXPECT_GE(outcome.rules_applied, 2);
+
+  // Semantics preserved on RIG-conforming instances.
+  for (int trial = 0; trial < 10; ++trial) {
+    Instance instance = RandomInstanceForRig(rng, rig, 40, 5, {"Doc"});
+    auto before = Evaluate(instance, query);
+    auto after = Evaluate(instance, outcome.expr);
+    ASSERT_TRUE(before.ok() && after.ok());
+    EXPECT_EQ(*before, *after);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LoweringTest, ::testing::Values(1, 2, 3));
+
+TEST(LoweringTest, NoLoweringWithoutOptIn) {
+  Digraph rig = AcyclicRig();
+  OptimizerOptions options;
+  options.rig = &rig;
+  ExprPtr query = Expr::DirectIncluding(Expr::Name("Sec"), Expr::Name("Par"));
+  EXPECT_FALSE(Optimize(query, options).expr->IsBaseAlgebra());
+}
+
+TEST(LoweringTest, CyclicRigDisablesLowering) {
+  Digraph rig;
+  rig.AddEdge("A", "B");
+  rig.AddEdge("B", "A");  // Unbounded nesting: Prop 5.2 does not apply.
+  OptimizerOptions options;
+  options.rig = &rig;
+  options.lower_extended_operators = true;
+  ExprPtr query = Expr::DirectIncluding(Expr::Name("A"), Expr::Name("B"));
+  EXPECT_FALSE(Optimize(query, options).expr->IsBaseAlgebra());
+}
+
+}  // namespace
+}  // namespace regal

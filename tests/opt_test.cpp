@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include "core/eval.h"
+#include "core/extended.h"
+#include "doc/srccode.h"
+#include "doc/synthetic.h"
+#include "fmft/emptiness.h"
+#include "opt/chain.h"
+#include "opt/cost.h"
+#include "opt/optimizer.h"
+#include "util/random.h"
+
+namespace regal {
+namespace {
+
+TEST(CostTest, EveryOperatorAddsCost) {
+  CatalogStats stats;
+  stats.default_cardinality = 100;
+  ExprPtr name = Expr::Name("A");
+  EXPECT_EQ(EstimateCost(name, stats).cost, 0);
+  ExprPtr e = name;
+  double last = 0;
+  for (int i = 0; i < 5; ++i) {
+    e = Expr::Including(e, Expr::Name("B"));
+    double cost = EstimateCost(e, stats).cost;
+    EXPECT_GT(cost, last);
+    last = cost;
+  }
+}
+
+TEST(CostTest, UsesCatalogCardinalities) {
+  CatalogStats stats;
+  stats.cardinality["Big"] = 1e6;
+  stats.cardinality["Small"] = 10;
+  ExprPtr big = Expr::Including(Expr::Name("Big"), Expr::Name("Big"));
+  ExprPtr small = Expr::Including(Expr::Name("Small"), Expr::Name("Small"));
+  EXPECT_GT(EstimateCost(big, stats).cost, EstimateCost(small, stats).cost);
+}
+
+TEST(CostTest, StatsFromInstance) {
+  Instance instance = MakeFigure3Instance(1);
+  CatalogStats stats = StatsFromInstance(instance);
+  EXPECT_EQ(stats.Cardinality("C"), 5);
+  EXPECT_EQ(stats.Cardinality("A"), 6);
+  EXPECT_EQ(stats.Cardinality("Undefined"), 0);
+}
+
+TEST(ChainTest, ParseRecognizesUniformChains) {
+  ExprPtr e = Expr::Chain(OpKind::kIncluded,
+                          {"Name", "Proc_header", "Proc", "Program"});
+  auto chain = ParseInclusionChain(e);
+  ASSERT_TRUE(chain.has_value());
+  EXPECT_EQ(chain->op, OpKind::kIncluded);
+  EXPECT_EQ(chain->names,
+            (std::vector<std::string>{"Name", "Proc_header", "Proc",
+                                      "Program"}));
+  EXPECT_TRUE(ChainToExpr(*chain)->Equals(*e));
+}
+
+TEST(ChainTest, ParseRejectsMixedChains) {
+  ExprPtr mixed = Expr::Included(
+      Expr::Name("A"), Expr::Including(Expr::Name("B"), Expr::Name("C")));
+  EXPECT_FALSE(ParseInclusionChain(mixed).has_value());
+  EXPECT_FALSE(ParseInclusionChain(Expr::Name("A")).has_value());
+  // Left operand must be a plain name.
+  ExprPtr deep_left = Expr::Included(
+      Expr::Union(Expr::Name("A"), Expr::Name("B")), Expr::Name("C"));
+  EXPECT_FALSE(ParseInclusionChain(deep_left).has_value());
+}
+
+TEST(ChainTest, Section22ExampleShortens) {
+  // e1 = Name ⊂ Proc_header ⊂ Proc ⊂ Program shortens to
+  // e2 = Name ⊂ Proc_header ⊂ Program w.r.t. Figure 1's RIG: every path
+  // from Program down to Proc_header passes through Proc.
+  Digraph rig = SourceCodeRig();
+  InclusionChain chain;
+  chain.op = OpKind::kIncluded;
+  chain.names = {"Name", "Proc_header", "Proc", "Program"};
+  // Proc is a separator between Program and Proc_header (the paper's e2).
+  EXPECT_TRUE(IsRedundantChainElement(rig, chain, 2));
+  // Proc_header is *also* a separator between Proc and Name (every path
+  // from Proc to a Name goes through some Proc_header), so
+  // Name ⊂ Proc ⊂ Program is an equally valid minimal form; the paper's
+  // remark about keeping Proc_header concerns dropping BOTH middles.
+  EXPECT_TRUE(IsRedundantChainElement(rig, chain, 1));
+  InclusionChain optimized = OptimizeInclusionChain(rig, chain);
+  ASSERT_EQ(optimized.names.size(), 3u);
+  EXPECT_EQ(optimized.names.front(), "Name");
+  EXPECT_EQ(optimized.names.back(), "Program");
+  // Dropping down to Name ⊂ Program would also admit program names — the
+  // optimizer must stop at length 3.
+  InclusionChain two;
+  two.op = OpKind::kIncluded;
+  two.names = {"Name", "Program"};
+  EXPECT_FALSE(IsRedundantChainElement(rig, optimized, 1) &&
+               OptimizeInclusionChain(rig, optimized).names.size() < 3);
+}
+
+TEST(ChainTest, IncludingDirectionMirrors) {
+  Digraph rig = SourceCodeRig();
+  InclusionChain chain;
+  chain.op = OpKind::kIncluding;
+  chain.names = {"Program", "Proc", "Proc_header", "Name"};
+  // Dropping Proc_header: paths Proc -> Name all pass through Proc_header.
+  EXPECT_TRUE(IsRedundantChainElement(rig, chain, 2));
+  InclusionChain optimized = OptimizeInclusionChain(rig, chain);
+  EXPECT_LT(optimized.names.size(), chain.names.size());
+}
+
+TEST(ChainTest, OptimizedChainIsEquivalentUnderRig) {
+  // Soundness of chain shortening, verified by the bounded equivalence
+  // tester constrained to the RIG.
+  Digraph rig = SourceCodeRig();
+  InclusionChain chain;
+  chain.op = OpKind::kIncluded;
+  chain.names = {"Name", "Proc_header", "Proc", "Program"};
+  InclusionChain optimized = OptimizeInclusionChain(rig, chain);
+  EmptinessOptions options;
+  options.max_nodes = 6;
+  options.max_depth = 5;
+  options.random_samples = 100;
+  auto report = CheckEquivalence(ChainToExpr(chain), ChainToExpr(optimized),
+                                 options, &rig);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->witness_found);
+}
+
+TEST(ChainTest, NonSeparatorNotDropped) {
+  // Diamond: Doc -> {SecA, SecB} -> Par. Neither Sec is a separator.
+  Digraph rig;
+  rig.AddEdge("Doc", "SecA");
+  rig.AddEdge("Doc", "SecB");
+  rig.AddEdge("SecA", "Par");
+  rig.AddEdge("SecB", "Par");
+  InclusionChain chain;
+  chain.op = OpKind::kIncluded;
+  chain.names = {"Par", "SecA", "Doc"};
+  EXPECT_FALSE(IsRedundantChainElement(rig, chain, 1));
+  EXPECT_EQ(OptimizeInclusionChain(rig, chain).names.size(), 3u);
+}
+
+TEST(OptimizerTest, IdentityRules) {
+  ExprPtr a = Expr::Name("A");
+  OptimizerOptions options;
+  auto outcome = Optimize(Expr::Union(a, a), options);
+  EXPECT_TRUE(outcome.expr->Equals(*a));
+  EXPECT_GE(outcome.rules_applied, 1);
+
+  Pattern p = *Pattern::Parse("x");
+  ExprPtr nested_select = Expr::Select(p, Expr::Select(p, a));
+  auto outcome2 = Optimize(nested_select, options);
+  EXPECT_EQ(outcome2.expr->NumOps(), 1);
+}
+
+TEST(OptimizerTest, ChainRuleAppliedInsideLargerExpr) {
+  Digraph rig = SourceCodeRig();
+  OptimizerOptions options;
+  options.rig = &rig;
+  ExprPtr chain = Expr::Chain(OpKind::kIncluded,
+                              {"Name", "Proc_header", "Proc", "Program"});
+  ExprPtr e = Expr::Union(chain, Expr::Name("Var"));
+  auto outcome = Optimize(e, options);
+  EXPECT_LT(outcome.expr->NumOps(), e->NumOps());
+  EXPECT_LE(outcome.cost_after.cost, outcome.cost_before.cost);
+}
+
+TEST(OptimizerTest, OptimizedQueryAgreesOnRealCorpus) {
+  ProgramGeneratorOptions gen;
+  gen.num_procs = 15;
+  gen.max_nesting = 4;
+  gen.seed = 11;
+  auto instance = ParseProgram(GenerateProgramSource(gen));
+  ASSERT_TRUE(instance.ok());
+  Digraph rig = SourceCodeRig();
+  OptimizerOptions options;
+  options.rig = &rig;
+  options.stats = StatsFromInstance(*instance);
+  ExprPtr e1 = Expr::Chain(OpKind::kIncluded,
+                           {"Name", "Proc_header", "Proc", "Program"});
+  auto outcome = Optimize(e1, options);
+  EXPECT_LT(outcome.expr->NumOps(), e1->NumOps());
+  auto before = Evaluate(*instance, e1);
+  auto after = Evaluate(*instance, outcome.expr);
+  ASSERT_TRUE(before.ok() && after.ok());
+  EXPECT_EQ(*before, *after);
+  EXPECT_EQ(before->size(), 15u);  // One Name per proc.
+}
+
+TEST(OptimizerTest, NoRigNoChainRule) {
+  OptimizerOptions options;  // rig == nullptr.
+  ExprPtr e = Expr::Chain(OpKind::kIncluded,
+                          {"Name", "Proc_header", "Proc", "Program"});
+  auto outcome = Optimize(e, options);
+  EXPECT_TRUE(outcome.expr->Equals(*e));
+  EXPECT_EQ(outcome.rules_applied, 0);
+}
+
+TEST(EnumerateTest, CountsAndShapes) {
+  auto size0 = EnumerateExpressions({"A", "B"}, {}, 0);
+  EXPECT_EQ(size0.size(), 2u);
+  auto size1 = EnumerateExpressions({"A", "B"}, {}, 1);
+  // 2 names + 7 ops * 2 * 2 = 30.
+  EXPECT_EQ(size1.size(), 30u);
+  Pattern p = *Pattern::Parse("x");
+  auto with_select = EnumerateExpressions({"A"}, {p}, 1);
+  // 1 name + 1 selection + 7 ops * 1 * 1 = 9.
+  EXPECT_EQ(with_select.size(), 9u);
+  for (const ExprPtr& e : with_select) {
+    EXPECT_LE(e->NumOps(), 1);
+    EXPECT_TRUE(e->IsBaseAlgebra());
+  }
+}
+
+// Theorem 5.1, empirically: no small base-algebra expression computes
+// B ⊃_d A on the Figure 2 family. (The theorem covers all sizes; the
+// harness checks every expression with <= 2 operators and, in the bench,
+// <= 3.)
+TEST(InexpressibilityTest, NoSmallExpressionComputesDirectInclusion) {
+  std::vector<Instance> family;
+  for (int depth : {4, 6, 8}) {
+    family.push_back(MakeFigure2Instance(depth));
+  }
+  std::vector<RegionSet> truths;
+  for (Instance& instance : family) {
+    truths.push_back(DirectIncluding(instance, **instance.Get("B"),
+                                     **instance.Get("A")));
+  }
+  int matching = 0;
+  for (const ExprPtr& e : EnumerateExpressions({"A", "B"}, {}, 2)) {
+    bool matches_all = true;
+    for (size_t i = 0; i < family.size(); ++i) {
+      auto result = Evaluate(family[i], e);
+      if (!result.ok() || !(*result == truths[i])) {
+        matches_all = false;
+        break;
+      }
+    }
+    if (matches_all) ++matching;
+  }
+  EXPECT_EQ(matching, 0);
+}
+
+// Theorem 5.3, empirically: no small expression computes C BI (B, A) on
+// the Figure 3 family.
+TEST(InexpressibilityTest, NoSmallExpressionComputesBothIncluded) {
+  std::vector<Instance> family;
+  for (int k : {1, 2}) {
+    family.push_back(MakeFigure3Instance(k));
+  }
+  std::vector<RegionSet> truths;
+  for (Instance& instance : family) {
+    truths.push_back(BothIncluded(**instance.Get("C"), **instance.Get("B"),
+                                  **instance.Get("A")));
+  }
+  int matching = 0;
+  for (const ExprPtr& e : EnumerateExpressions({"A", "B", "C"}, {}, 2)) {
+    bool matches_all = true;
+    for (size_t i = 0; i < family.size(); ++i) {
+      auto result = Evaluate(family[i], e);
+      if (!result.ok() || !(*result == truths[i])) {
+        matches_all = false;
+        break;
+      }
+    }
+    if (matches_all) ++matching;
+  }
+  EXPECT_EQ(matching, 0);
+}
+
+}  // namespace
+}  // namespace regal

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "core/region.h"
+#include "core/region_set.h"
+
+namespace regal {
+namespace {
+
+TEST(RegionTest, StrictInclusionPerPaperFormula) {
+  // r ⊃ s iff (l(r)<l(s) and r(r)>=r(s)) or (l(r)<=l(s) and r(r)>r(s)).
+  Region r{0, 10};
+  EXPECT_TRUE(StrictlyIncludes(r, Region{1, 9}));
+  EXPECT_TRUE(StrictlyIncludes(r, Region{0, 9}));   // Shared left endpoint.
+  EXPECT_TRUE(StrictlyIncludes(r, Region{1, 10}));  // Shared right endpoint.
+  EXPECT_FALSE(StrictlyIncludes(r, Region{0, 10}));  // Equal is not strict.
+  EXPECT_FALSE(StrictlyIncludes(r, Region{0, 11}));
+  EXPECT_FALSE(StrictlyIncludes(r, Region{5, 15}));
+  EXPECT_FALSE(StrictlyIncludes(Region{1, 9}, r));
+}
+
+TEST(RegionTest, PrecedesIsStrict) {
+  EXPECT_TRUE(Precedes(Region{0, 4}, Region{5, 9}));
+  EXPECT_FALSE(Precedes(Region{0, 5}, Region{5, 9}));  // Touching offsets.
+  EXPECT_FALSE(Precedes(Region{5, 9}, Region{0, 4}));
+}
+
+TEST(RegionTest, PartialOverlap) {
+  EXPECT_TRUE(PartiallyOverlaps(Region{0, 5}, Region{3, 8}));
+  EXPECT_FALSE(PartiallyOverlaps(Region{0, 5}, Region{1, 4}));
+  EXPECT_FALSE(PartiallyOverlaps(Region{0, 5}, Region{6, 8}));
+  EXPECT_FALSE(PartiallyOverlaps(Region{0, 5}, Region{0, 5}));
+}
+
+TEST(RegionTest, DocumentOrderAncestorsFirst) {
+  RegionDocumentOrder less;
+  EXPECT_TRUE(less(Region{0, 10}, Region{0, 5}));  // Parent before child.
+  EXPECT_TRUE(less(Region{0, 5}, Region{1, 3}));
+  EXPECT_TRUE(less(Region{0, 2}, Region{3, 5}));
+  EXPECT_FALSE(less(Region{0, 5}, Region{0, 5}));
+}
+
+TEST(RegionSetTest, FromUnsortedSortsAndDedups) {
+  RegionSet s = RegionSet::FromUnsorted(
+      {Region{5, 6}, Region{0, 10}, Region{5, 6}, Region{0, 3}});
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], (Region{0, 10}));
+  EXPECT_EQ(s[1], (Region{0, 3}));
+  EXPECT_EQ(s[2], (Region{5, 6}));
+  EXPECT_TRUE(s.IsValid());
+}
+
+TEST(RegionSetTest, Member) {
+  RegionSet s{Region{0, 10}, Region{2, 4}, Region{6, 8}};
+  EXPECT_TRUE(s.Member(Region{2, 4}));
+  EXPECT_FALSE(s.Member(Region{2, 5}));
+  EXPECT_FALSE(RegionSet().Member(Region{0, 1}));
+}
+
+TEST(RegionSetTest, LaminarAcceptsNesting) {
+  RegionSet s{Region{0, 10}, Region{1, 4}, Region{2, 3}, Region{5, 9}};
+  EXPECT_TRUE(s.IsLaminar());
+}
+
+TEST(RegionSetTest, LaminarRejectsPartialOverlap) {
+  RegionSet s{Region{0, 5}, Region{3, 8}};
+  EXPECT_FALSE(s.IsLaminar());
+}
+
+TEST(RegionSetTest, LaminarDeepStack) {
+  // Overlap detectable only against a non-immediate predecessor:
+  // [0,100] ⊃ [1,2], then [3,50] nests in [0,100] but overlaps... build a
+  // case where the open-ancestor stack must be consulted after pops.
+  RegionSet s{Region{0, 100}, Region{1, 10}, Region{2, 3}, Region{8, 20}};
+  EXPECT_FALSE(s.IsLaminar());  // [8,20] overlaps [1,10].
+}
+
+TEST(RegionSetTest, ToStringFormat) {
+  RegionSet s{Region{1, 2}};
+  EXPECT_EQ(s.ToString(), "{[1,2]}");
+  EXPECT_EQ(RegionSet().ToString(), "{}");
+}
+
+TEST(RegionSetTest, EqualityIsStructural) {
+  RegionSet a{Region{0, 1}, Region{2, 3}};
+  RegionSet b = RegionSet::FromUnsorted({Region{2, 3}, Region{0, 1}});
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace regal

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "core/extended.h"
+#include "doc/synthetic.h"
+#include "relational/extended_via_relational.h"
+#include "relational/table.h"
+#include "util/random.h"
+
+namespace regal {
+namespace {
+
+RegionTable TwoColumn() {
+  return RegionTable::FromRows(
+      {"a", "b"},
+      {{Region{0, 5}, Region{1, 2}}, {Region{0, 5}, Region{3, 4}},
+       {Region{6, 9}, Region{7, 8}}});
+}
+
+TEST(RegionTableTest, FromSetRoundTrip) {
+  RegionSet set{Region{0, 5}, Region{6, 9}};
+  RegionTable t = RegionTable::FromSet("x", set);
+  EXPECT_EQ(t.NumRows(), 2u);
+  EXPECT_EQ(t.NumColumns(), 1u);
+  auto back = t.Column("x");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, set);
+  EXPECT_FALSE(t.Column("nope").ok());
+}
+
+TEST(RegionTableTest, FromRowsDeduplicates) {
+  RegionTable t = RegionTable::FromRows(
+      {"a"}, {{Region{0, 1}}, {Region{0, 1}}, {Region{2, 3}}});
+  EXPECT_EQ(t.NumRows(), 2u);
+}
+
+TEST(RegionTableTest, ProductShapes) {
+  RegionTable a = RegionTable::FromSet("a", RegionSet{Region{0, 1}, Region{2, 3}});
+  RegionTable b = RegionTable::FromSet("b", RegionSet{Region{4, 5}});
+  auto p = Product(a, b);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->NumRows(), 2u);
+  EXPECT_EQ(p->columns(), (std::vector<std::string>{"a", "b"}));
+  // Duplicate columns rejected.
+  EXPECT_FALSE(Product(a, a).ok());
+}
+
+TEST(RegionTableTest, ThetaJoin) {
+  RegionTable outer = RegionTable::FromSet("o", RegionSet{Region{0, 9}, Region{10, 19}});
+  RegionTable inner = RegionTable::FromSet("i", RegionSet{Region{1, 2}, Region{11, 12}, Region{30, 31}});
+  auto joined = Join(outer, inner, "o", RegionPredicate::kIncludes, "i");
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->NumRows(), 2u);  // Each outer matches its own inner.
+}
+
+TEST(RegionTableTest, SelectWhereAndProject) {
+  RegionTable t = TwoColumn();
+  auto sel = SelectWhere(t, "b", RegionPredicate::kPrecedes, "a");
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->NumRows(), 0u);  // b's are inside a's, never before.
+  auto proj = Project(t, {"a"});
+  ASSERT_TRUE(proj.ok());
+  EXPECT_EQ(proj->NumRows(), 2u);  // Deduplicated.
+  auto reorder = Project(t, {"b", "a"});
+  ASSERT_TRUE(reorder.ok());
+  EXPECT_EQ(reorder->columns(), (std::vector<std::string>{"b", "a"}));
+}
+
+TEST(RegionTableTest, UnionDifferenceSchemaChecked) {
+  RegionTable t = TwoColumn();
+  auto u = TableUnion(t, t);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(*u, t);
+  auto d = TableDifference(t, t);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->NumRows(), 0u);
+  RegionTable other = RegionTable::FromSet("z", RegionSet{});
+  EXPECT_FALSE(TableUnion(t, other).ok());
+  EXPECT_FALSE(TableDifference(t, other).ok());
+}
+
+TEST(RegionTableTest, RenameKeepsRows) {
+  RegionTable t = TwoColumn();
+  auto renamed = Rename(t, "a", "alpha");
+  ASSERT_TRUE(renamed.ok());
+  EXPECT_EQ(renamed->columns(), (std::vector<std::string>{"alpha", "b"}));
+  EXPECT_EQ(renamed->rows(), t.rows());
+  EXPECT_FALSE(Rename(t, "missing", "x").ok());
+}
+
+TEST(RegionTableTest, PredicateSemantics) {
+  Region outer{0, 9};
+  Region inner{2, 4};
+  Region after{12, 14};
+  EXPECT_TRUE(EvalRegionPredicate(RegionPredicate::kIncludes, outer, inner));
+  EXPECT_TRUE(EvalRegionPredicate(RegionPredicate::kIncludedIn, inner, outer));
+  EXPECT_TRUE(EvalRegionPredicate(RegionPredicate::kPrecedes, inner, after));
+  EXPECT_TRUE(EvalRegionPredicate(RegionPredicate::kFollows, after, inner));
+  EXPECT_TRUE(EvalRegionPredicate(RegionPredicate::kEquals, outer, outer));
+  EXPECT_FALSE(EvalRegionPredicate(RegionPredicate::kIncludes, outer, outer));
+}
+
+// Section 7's expressibility claim, verified against the native operators.
+class RelationalExtensionTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RelationalExtensionTest, DirectIncludingMatchesNative) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomInstanceOptions options;
+    options.num_regions = 25;
+    Instance instance = RandomLaminarInstance(rng, options);
+    RegionSet r0 = **instance.Get("R0");
+    RegionSet r1 = **instance.Get("R1");
+    auto relational = DirectIncludingRelational(instance, r0, r1);
+    ASSERT_TRUE(relational.ok()) << relational.status();
+    EXPECT_EQ(*relational, DirectIncluding(instance, r0, r1));
+  }
+}
+
+TEST_P(RelationalExtensionTest, BothIncludedMatchesNative) {
+  Rng rng(GetParam() * 11 + 3);
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomInstanceOptions options;
+    options.num_regions = 25;
+    Instance instance = RandomLaminarInstance(rng, options);
+    RegionSet r0 = **instance.Get("R0");
+    RegionSet r1 = **instance.Get("R1");
+    RegionSet r2 = **instance.Get("R2");
+    auto relational = BothIncludedRelational(r0, r1, r2);
+    ASSERT_TRUE(relational.ok()) << relational.status();
+    EXPECT_EQ(*relational, BothIncluded(r0, r1, r2));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RelationalExtensionTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(RelationalExtensionTest, Figure3ViaRelations) {
+  Instance instance = MakeFigure3Instance(2);
+  auto result = BothIncludedRelational(
+      **instance.Get("C"), **instance.Get("B"), **instance.Get("A"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 1u);
+}
+
+}  // namespace
+}  // namespace regal

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "core/eval.h"
+#include "doc/sgml.h"
+
+namespace regal {
+namespace {
+
+TEST(SgmlTest, ParsesNestedTags) {
+  auto instance = ParseSgml("<a><b>hello</b><b>world</b></a>");
+  ASSERT_TRUE(instance.ok()) << instance.status();
+  EXPECT_TRUE(instance->Validate().ok());
+  EXPECT_EQ((*instance->Get("a"))->size(), 1u);
+  EXPECT_EQ((*instance->Get("b"))->size(), 2u);
+}
+
+TEST(SgmlTest, RegionSpansTags) {
+  auto instance = ParseSgml("<a>xy</a>");
+  ASSERT_TRUE(instance.ok());
+  const RegionSet& a = **instance->Get("a");
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a[0], (Region{0, 8}));  // '<' of <a> .. '>' of </a>.
+}
+
+TEST(SgmlTest, AttributesTolerated) {
+  auto instance = ParseSgml("<a id=1 class='x'>text</a>");
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ((*instance->Get("a"))->size(), 1u);
+}
+
+TEST(SgmlTest, Malformed) {
+  EXPECT_FALSE(ParseSgml("<a>text").ok());
+  EXPECT_FALSE(ParseSgml("<a></b>").ok());
+  EXPECT_FALSE(ParseSgml("</a>").ok());
+  EXPECT_FALSE(ParseSgml("<a").ok());
+  EXPECT_FALSE(ParseSgml("<>x</>").ok());
+}
+
+TEST(SgmlTest, SelectionOverContent) {
+  auto instance = ParseSgml(
+      "<doc><sec>alpha beta</sec><sec>gamma delta</sec></doc>");
+  ASSERT_TRUE(instance.ok());
+  Pattern p = *Pattern::Parse("gamma");
+  auto result = Evaluate(*instance, Expr::Select(p, Expr::Name("sec")));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  auto doc = Evaluate(*instance, Expr::Select(p, Expr::Name("doc")));
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->size(), 1u);
+}
+
+TEST(SgmlTest, GeneratedPlayParses) {
+  PlayGeneratorOptions options;
+  options.acts = 2;
+  options.scenes_per_act = 2;
+  options.speeches_per_scene = 3;
+  std::string source = GeneratePlaySource(options);
+  auto instance = ParseSgml(source);
+  ASSERT_TRUE(instance.ok()) << instance.status();
+  EXPECT_TRUE(instance->Validate().ok());
+  EXPECT_EQ((*instance->Get("act"))->size(), 2u);
+  EXPECT_EQ((*instance->Get("scene"))->size(), 4u);
+  EXPECT_EQ((*instance->Get("speech"))->size(), 12u);
+}
+
+TEST(SgmlTest, PlaySatisfiesPlayRig) {
+  std::string source = GeneratePlaySource(PlayGeneratorOptions{});
+  auto instance = ParseSgml(source);
+  ASSERT_TRUE(instance.ok());
+  Digraph rig = PlayRig();
+  Digraph derived = instance->DeriveRig();
+  for (Digraph::NodeId v = 0; v < derived.NumNodes(); ++v) {
+    for (Digraph::NodeId w : derived.OutNeighbors(v)) {
+      auto rv = rig.FindNode(derived.Label(v));
+      auto rw = rig.FindNode(derived.Label(w));
+      ASSERT_TRUE(rv.ok() && rw.ok());
+      EXPECT_TRUE(rig.HasEdge(*rv, *rw));
+    }
+  }
+}
+
+TEST(SgmlTest, SpeechesBySpeaker) {
+  std::string source = GeneratePlaySource(PlayGeneratorOptions{});
+  auto instance = ParseSgml(source);
+  ASSERT_TRUE(instance.ok());
+  Pattern hamlet = *Pattern::Parse("HAMLET");
+  // speech ⊃ σ_HAMLET(speaker).
+  ExprPtr e = Expr::Including(Expr::Name("speech"),
+                              Expr::Select(hamlet, Expr::Name("speaker")));
+  auto result = Evaluate(*instance, e);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->size(), 0u);
+  EXPECT_LT(result->size(), (*instance->Get("speech"))->size());
+}
+
+}  // namespace
+}  // namespace regal

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "core/eval.h"
+#include "core/extended.h"
+#include "doc/srccode.h"
+#include "graph/algorithms.h"
+
+namespace regal {
+namespace {
+
+constexpr char kSample[] =
+    "program Main;\n"
+    "var v1;\n"
+    "var v2;\n"
+    "proc p0;\n"
+    "  var v3;\n"
+    "  proc p1; var v1; begin write v1 end;\n"
+    "begin call p1 end;\n"
+    "begin call p0 end.\n";
+
+TEST(SrcCodeTest, ParsesSample) {
+  auto instance = ParseProgram(kSample);
+  ASSERT_TRUE(instance.ok()) << instance.status();
+  EXPECT_TRUE(instance->Validate().ok()) << instance->Validate();
+  EXPECT_EQ((*instance->Get("Program"))->size(), 1u);
+  EXPECT_EQ((*instance->Get("Proc"))->size(), 2u);
+  EXPECT_EQ((*instance->Get("Proc_header"))->size(), 2u);
+  EXPECT_EQ((*instance->Get("Proc_body"))->size(), 2u);
+  EXPECT_EQ((*instance->Get("Var"))->size(), 4u);
+  EXPECT_EQ((*instance->Get("Name"))->size(), 3u);  // Main, p0, p1.
+}
+
+TEST(SrcCodeTest, SatisfiesFigure1Rig) {
+  auto instance = ParseProgram(kSample);
+  ASSERT_TRUE(instance.ok());
+  Digraph figure1 = SourceCodeRig();
+  Digraph derived = instance->DeriveRig();
+  for (Digraph::NodeId v = 0; v < derived.NumNodes(); ++v) {
+    for (Digraph::NodeId w : derived.OutNeighbors(v)) {
+      auto fv = figure1.FindNode(derived.Label(v));
+      auto fw = figure1.FindNode(derived.Label(w));
+      ASSERT_TRUE(fv.ok() && fw.ok()) << derived.Label(v);
+      EXPECT_TRUE(figure1.HasEdge(*fv, *fw))
+          << derived.Label(v) << " -> " << derived.Label(w);
+    }
+  }
+}
+
+TEST(SrcCodeTest, Section22EquivalentQueries) {
+  // e1 = Name ⊂ Proc_header ⊂ Proc ⊂ Program
+  // e2 = Name ⊂ Proc_header ⊂ Program — equal on program files.
+  auto instance = ParseProgram(kSample);
+  ASSERT_TRUE(instance.ok());
+  ExprPtr e1 = Expr::Chain(OpKind::kIncluded,
+                           {"Name", "Proc_header", "Proc", "Program"});
+  ExprPtr e2 =
+      Expr::Chain(OpKind::kIncluded, {"Name", "Proc_header", "Program"});
+  auto r1 = Evaluate(*instance, e1);
+  auto r2 = Evaluate(*instance, e2);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(*r1, *r2);
+  EXPECT_EQ(r1->size(), 2u);  // p0 and p1, not Main.
+}
+
+TEST(SrcCodeTest, Section51DirectInclusionQuery) {
+  auto instance = ParseProgram(kSample);
+  ASSERT_TRUE(instance.ok());
+  // Procs that *contain* (transitively) a Var defining v1: both p0 and p1
+  // via the naive ⊃ query, since p0 nests p1.
+  Pattern v1 = *Pattern::Parse("v1");
+  ExprPtr transitive = Expr::Including(
+      Expr::Name("Proc"),
+      Expr::Including(Expr::Name("Proc_body"),
+                      Expr::Select(v1, Expr::Name("Var"))));
+  auto loose = Evaluate(*instance, transitive);
+  ASSERT_TRUE(loose.ok());
+  EXPECT_EQ(loose->size(), 2u);
+  // Procs that *directly* define v1: only p1.
+  ExprPtr direct = Expr::DirectIncluding(
+      Expr::Name("Proc"),
+      Expr::DirectIncluding(Expr::Name("Proc_body"),
+                            Expr::Select(v1, Expr::Name("Var"))));
+  auto tight = Evaluate(*instance, direct);
+  ASSERT_TRUE(tight.ok());
+  ASSERT_EQ(tight->size(), 1u);
+  // The surviving proc is the nested one (p1): in document order it is the
+  // second Proc region.
+  const RegionSet& procs = **instance->Get("Proc");
+  ASSERT_EQ(procs.size(), 2u);
+  EXPECT_EQ((*tight)[0], procs[1]);
+}
+
+TEST(SrcCodeTest, SelectFindsVariable) {
+  auto instance = ParseProgram(kSample);
+  ASSERT_TRUE(instance.ok());
+  Pattern v3 = *Pattern::Parse("v3");
+  auto result = Evaluate(*instance, Expr::Select(v3, Expr::Name("Var")));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 1u);
+}
+
+TEST(SrcCodeTest, MalformedPrograms) {
+  EXPECT_FALSE(ParseProgram("").ok());
+  EXPECT_FALSE(ParseProgram("program ;").ok());
+  EXPECT_FALSE(ParseProgram("program Main; begin end").ok());  // Missing '.'.
+  EXPECT_FALSE(ParseProgram("program Main; begin end. extra").ok());
+  EXPECT_FALSE(ParseProgram("program Main; proc p; begin end.").ok());
+  EXPECT_FALSE(ParseProgram("program Main; var ; begin end.").ok());
+}
+
+TEST(SrcCodeTest, GeneratedProgramsParse) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    ProgramGeneratorOptions options;
+    options.num_procs = 12;
+    options.max_nesting = 4;
+    options.seed = seed;
+    std::string source = GenerateProgramSource(options);
+    auto instance = ParseProgram(source);
+    ASSERT_TRUE(instance.ok()) << instance.status() << "\n" << source;
+    EXPECT_TRUE(instance->Validate().ok());
+    EXPECT_EQ((*instance->Get("Proc"))->size(), 12u) << source;
+  }
+}
+
+TEST(SrcCodeTest, GeneratorDeterministic) {
+  ProgramGeneratorOptions options;
+  options.seed = 3;
+  EXPECT_EQ(GenerateProgramSource(options), GenerateProgramSource(options));
+}
+
+}  // namespace
+}  // namespace regal

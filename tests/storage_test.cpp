@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/eval.h"
+#include "doc/sgml.h"
+#include "doc/synthetic.h"
+#include "storage/serialize.h"
+
+namespace regal {
+namespace {
+
+TEST(StorageTest, SyntheticRoundTrip) {
+  Instance instance = MakeFigure3Instance(2);
+  Pattern p = *Pattern::Parse("q*");
+  instance.SetSyntheticPattern(
+      p, RegionSet{(**instance.Get("C"))[0], (**instance.Get("A"))[1]});
+
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveInstance(instance, buffer).ok());
+  auto loaded = LoadInstance(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  EXPECT_EQ(loaded->names(), instance.names());
+  for (const std::string& name : instance.names()) {
+    EXPECT_EQ(**loaded->Get(name), **instance.Get(name)) << name;
+  }
+  // Synthetic W survives.
+  RegionSet c = **instance.Get("C");
+  EXPECT_EQ(loaded->Select(c, p), instance.Select(c, p));
+}
+
+TEST(StorageTest, TextBackedRoundTrip) {
+  auto original = ParseSgml("<doc><sec>alpha beta</sec><sec>gamma</sec></doc>");
+  ASSERT_TRUE(original.ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveInstance(*original, buffer).ok());
+  auto loaded = LoadInstance(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_NE(loaded->text(), nullptr);
+  EXPECT_EQ(loaded->text()->content(), original->text()->content());
+  // The rebuilt word index answers selections identically.
+  Pattern p = *Pattern::Parse("gamma");
+  ExprPtr q = Expr::Select(p, Expr::Name("sec"));
+  auto before = Evaluate(*original, q);
+  auto after = Evaluate(*loaded, q);
+  ASSERT_TRUE(before.ok() && after.ok());
+  EXPECT_EQ(*before, *after);
+  EXPECT_EQ(before->size(), 1u);
+}
+
+TEST(StorageTest, FileRoundTrip) {
+  Instance instance = MakeFigure2Instance(5);
+  std::string path = testing::TempDir() + "/regal_storage_test.regal";
+  ASSERT_TRUE(SaveInstanceToFile(instance, path).ok());
+  auto loaded = LoadInstanceFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->NumRegions(), instance.NumRegions());
+  EXPECT_FALSE(LoadInstanceFromFile(path + ".missing").ok());
+}
+
+TEST(StorageTest, MalformedInputs) {
+  auto expect_bad = [](const std::string& payload) {
+    std::stringstream in(payload);
+    EXPECT_FALSE(LoadInstance(in).ok()) << payload;
+  };
+  expect_bad("");
+  expect_bad("WRONG\nend\n");
+  expect_bad("REGAL1\nname A 2\n0 1\n");          // Truncated regions.
+  expect_bad("REGAL1\nname A 1\n5 2\nend\n");      // left > right.
+  expect_bad("REGAL1\nname A 0\n");                // Missing end.
+  expect_bad("REGAL1\nbogus X 0\nend\n");          // Unknown record.
+  expect_bad("REGAL1\nname A 0\nname A 0\nend\n"); // Duplicate name.
+  expect_bad("REGAL1\ntext 100\nshort\nend\n");    // Truncated text.
+  expect_bad("REGAL1\npattern nokey 0\nend\n");    // Bad pattern key.
+}
+
+TEST(StorageTest, WhitespaceNameRejectedOnSave) {
+  Instance instance;
+  ASSERT_TRUE(instance.AddRegionSet("bad name", RegionSet{Region{0, 1}}).ok());
+  std::stringstream buffer;
+  EXPECT_FALSE(SaveInstance(instance, buffer).ok());
+}
+
+}  // namespace
+}  // namespace regal

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/random.h"
+#include "util/rmq.h"
+#include "util/status.h"
+#include "util/stringutil.h"
+
+namespace regal {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad thing");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad thing");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kFailedPrecondition,
+        StatusCode::kOutOfRange, StatusCode::kUnimplemented,
+        StatusCode::kResourceExhausted, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeToString(code), "UNKNOWN");
+  }
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Result<int> DoublePositive(int x) {
+  REGAL_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(ResultTest, ValuePath) {
+  Result<int> r = DoublePositive(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, ErrorPath) {
+  Result<int> r = DoublePositive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, BelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Below(13), 13u);
+}
+
+TEST(RngTest, BetweenInclusive) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.Between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(SparseTableTest, MinMatchesBruteForce) {
+  Rng rng(3);
+  std::vector<int> values;
+  for (int i = 0; i < 200; ++i) values.push_back(static_cast<int>(rng.Below(1000)));
+  SparseTable<int> table(values);
+  for (int trial = 0; trial < 500; ++trial) {
+    size_t lo = rng.Below(values.size());
+    size_t hi = lo + 1 + rng.Below(values.size() - lo);
+    int expected = *std::min_element(values.begin() + static_cast<long>(lo),
+                                     values.begin() + static_cast<long>(hi));
+    EXPECT_EQ(table.Query(lo, hi), expected);
+  }
+}
+
+TEST(SparseTableTest, MaxMatchesBruteForce) {
+  Rng rng(4);
+  std::vector<int> values;
+  for (int i = 0; i < 100; ++i) values.push_back(static_cast<int>(rng.Below(50)));
+  SparseTable<int, std::greater<int>> table(values);
+  for (int trial = 0; trial < 300; ++trial) {
+    size_t lo = rng.Below(values.size());
+    size_t hi = lo + 1 + rng.Below(values.size() - lo);
+    int expected = *std::max_element(values.begin() + static_cast<long>(lo),
+                                     values.begin() + static_cast<long>(hi));
+    EXPECT_EQ(table.Query(lo, hi), expected);
+  }
+}
+
+TEST(SparseTableTest, SingleElement) {
+  SparseTable<int> table(std::vector<int>{5});
+  EXPECT_EQ(table.Query(0, 1), 5);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(SparseTableTest, EmptyHasZeroSize) {
+  SparseTable<int> table;
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, ToLowerAscii) {
+  EXPECT_EQ(ToLowerAscii("AbC_1"), "abc_1");
+}
+
+TEST(StringUtilTest, Affixes) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_FALSE(StartsWith("hello", "el"));
+  EXPECT_TRUE(EndsWith("hello", "lo"));
+  EXPECT_FALSE(EndsWith("hello", "he"));
+}
+
+TEST(StringUtilTest, StripAscii) {
+  EXPECT_EQ(StripAscii("  x \t\n"), "x");
+  EXPECT_EQ(StripAscii(""), "");
+  EXPECT_EQ(StripAscii(" \t "), "");
+}
+
+}  // namespace
+}  // namespace regal

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "doc/srccode.h"
+#include "fmft/translate.h"
+#include "opt/exhaustive.h"
+#include "query/engine.h"
+#include "query/parser.h"
+
+namespace regal {
+namespace {
+
+constexpr char kDoc[] =
+    "<doc><p>alpha beta gamma</p><p>beta delta</p></doc>";
+
+TEST(WordMatchTest, ParsesAndRoundTrips) {
+  auto e = ParseQuery("word \"beta\" within p");
+  ASSERT_TRUE(e.ok()) << e.status();
+  EXPECT_EQ((*e)->kind(), OpKind::kIncluded);
+  EXPECT_EQ((*e)->child(0)->kind(), OpKind::kWordMatch);
+  auto again = ParseQuery((*e)->ToString());
+  ASSERT_TRUE(again.ok()) << (*e)->ToString();
+  EXPECT_TRUE((*e)->Equals(**again));
+  auto ci = ParseQuery("word ~\"BETA\"");
+  ASSERT_TRUE(ci.ok());
+  EXPECT_TRUE((*ci)->pattern().case_insensitive());
+}
+
+TEST(WordMatchTest, WordNamedRegionStillUsable) {
+  // 'word' not followed by a string is an ordinary region name.
+  auto e = ParseQuery("word within p");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->child(0)->kind(), OpKind::kName);
+  EXPECT_EQ((*e)->child(0)->name(), "word");
+}
+
+TEST(WordMatchTest, EvaluatesAgainstWordIndex) {
+  auto engine = QueryEngine::FromSgmlSource(kDoc);
+  ASSERT_TRUE(engine.ok());
+  auto matches = engine->Run("word \"beta\"");
+  ASSERT_TRUE(matches.ok()) << matches.status();
+  EXPECT_EQ(matches->regions.size(), 2u);
+  // Match points compose with structural operators: betas in the second
+  // paragraph only.
+  auto second = engine->Run("word \"beta\" within (p after p)");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->regions.size(), 1u);
+  // And with ordering: gamma tokens before a delta token.
+  auto ordered = engine->Run("word \"gamma\" before word \"delta\"");
+  ASSERT_TRUE(ordered.ok());
+  EXPECT_EQ(ordered->regions.size(), 1u);
+}
+
+TEST(WordMatchTest, RequiresTextBackedInstance) {
+  Instance synthetic;
+  ASSERT_TRUE(synthetic.AddRegionSet("A", RegionSet{Region{0, 5}}).ok());
+  QueryEngine engine(std::move(synthetic));
+  auto result = engine.Run("word \"x\"");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(WordMatchTest, NotBaseAlgebraAndNotTranslatable) {
+  ExprPtr e = Expr::WordMatch(*Pattern::Parse("x"));
+  EXPECT_FALSE(e->IsBaseAlgebra());
+  EXPECT_EQ(e->NumOps(), 1);
+  EXPECT_FALSE(AlgebraToFormula(e).ok());
+}
+
+TEST(ExhaustiveOptimizerTest, FindsThePaperRewrite) {
+  // The §3 procedure rediscovers a 2-operator equivalent of the paper's
+  // 3-operator e1, w.r.t. Figure 1's RIG.
+  Digraph rig = SourceCodeRig();
+  ExprPtr e1 = Expr::Chain(OpKind::kIncluded,
+                           {"Name", "Proc_header", "Proc", "Program"});
+  ExhaustiveOptimizeOptions options;
+  options.rig = &rig;
+  options.max_candidate_ops = 2;
+  options.stats.default_cardinality = 1000;
+  options.equivalence.max_nodes = 6;
+  options.equivalence.max_depth = 5;
+  options.equivalence.random_samples = 60;
+  auto outcome = OptimizeByEnumeration(e1, options);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_LE(outcome->expr->NumOps(), 2);
+  EXPECT_GT(outcome->equivalence_checks, 0);
+  EXPECT_LT(outcome->cost,
+            EstimateCost(e1, options.stats).cost);
+  // The found expression is an inclusion chain ending at Program.
+  auto names = outcome->expr->NamesUsed();
+  EXPECT_EQ(names.front(), "Name");
+}
+
+TEST(ExhaustiveOptimizerTest, KeepsInputWhenNothingCheaperIsEquivalent) {
+  ExprPtr e = Expr::Including(Expr::Name("A"), Expr::Name("B"));
+  ExhaustiveOptimizeOptions options;
+  options.max_candidate_ops = 0;  // Only bare names as candidates.
+  options.equivalence.random_samples = 50;
+  auto outcome = OptimizeByEnumeration(e, options);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->expr->Equals(*e));
+}
+
+TEST(ExhaustiveOptimizerTest, CollapsesTautology) {
+  // (A ∪ A) ∩ A is just A; the procedure finds the zero-operator form.
+  ExprPtr a = Expr::Name("A");
+  ExprPtr e = Expr::Intersect(Expr::Union(a, a), a);
+  ExhaustiveOptimizeOptions options;
+  options.max_candidate_ops = 1;
+  options.equivalence.random_samples = 50;
+  auto outcome = OptimizeByEnumeration(e, options);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->expr->NumOps(), 0);
+  EXPECT_EQ(outcome->expr->name(), "A");
+}
+
+TEST(ExhaustiveOptimizerTest, LowersExtendedOperatorWhenBoundedSpaceAllows) {
+  // B ⊃_d A on a flat RIG (no nesting of B): equivalent to B ⊃ A, which
+  // the enumeration finds — an exhaustive-search counterpart of Prop 5.2.
+  Digraph rig;
+  rig.AddEdge("B", "A");
+  ExprPtr e = Expr::DirectIncluding(Expr::Name("B"), Expr::Name("A"));
+  ExhaustiveOptimizeOptions options;
+  options.rig = &rig;
+  options.max_candidate_ops = 1;
+  options.stats.default_cardinality = 1000;
+  options.equivalence.random_samples = 80;
+  auto outcome = OptimizeByEnumeration(e, options);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->expr->IsBaseAlgebra());
+  EXPECT_TRUE(outcome->expr->Equals(
+      *Expr::Including(Expr::Name("B"), Expr::Name("A"))));
+}
+
+}  // namespace
+}  // namespace regal
