@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_both_included.dir/bench_both_included.cpp.o"
+  "CMakeFiles/bench_both_included.dir/bench_both_included.cpp.o.d"
+  "bench_both_included"
+  "bench_both_included.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_both_included.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_both_included.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_both_included.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chain_optimizer.dir/bench_chain_optimizer.cpp.o"
+  "CMakeFiles/bench_chain_optimizer.dir/bench_chain_optimizer.cpp.o.d"
+  "bench_chain_optimizer"
+  "bench_chain_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chain_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

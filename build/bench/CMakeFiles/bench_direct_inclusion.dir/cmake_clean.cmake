@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_direct_inclusion.dir/bench_direct_inclusion.cpp.o"
+  "CMakeFiles/bench_direct_inclusion.dir/bench_direct_inclusion.cpp.o.d"
+  "bench_direct_inclusion"
+  "bench_direct_inclusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_direct_inclusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

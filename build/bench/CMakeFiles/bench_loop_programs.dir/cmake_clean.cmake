@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_loop_programs.dir/bench_loop_programs.cpp.o"
+  "CMakeFiles/bench_loop_programs.dir/bench_loop_programs.cpp.o.d"
+  "bench_loop_programs"
+  "bench_loop_programs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_loop_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

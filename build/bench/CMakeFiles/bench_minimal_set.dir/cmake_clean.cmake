@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_minimal_set.dir/bench_minimal_set.cpp.o"
+  "CMakeFiles/bench_minimal_set.dir/bench_minimal_set.cpp.o.d"
+  "bench_minimal_set"
+  "bench_minimal_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_minimal_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rig_rewrite.dir/bench_rig_rewrite.cpp.o"
+  "CMakeFiles/bench_rig_rewrite.dir/bench_rig_rewrite.cpp.o.d"
+  "bench_rig_rewrite"
+  "bench_rig_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rig_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

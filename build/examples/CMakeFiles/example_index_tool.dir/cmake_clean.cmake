@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_index_tool.dir/index_tool.cpp.o"
+  "CMakeFiles/example_index_tool.dir/index_tool.cpp.o.d"
+  "example_index_tool"
+  "example_index_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_index_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sgml_query.dir/sgml_query.cpp.o"
+  "CMakeFiles/example_sgml_query.dir/sgml_query.cpp.o.d"
+  "example_sgml_query"
+  "example_sgml_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sgml_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_source_browser.dir/source_browser.cpp.o"
+  "CMakeFiles/example_source_browser.dir/source_browser.cpp.o.d"
+  "example_source_browser"
+  "example_source_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_source_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

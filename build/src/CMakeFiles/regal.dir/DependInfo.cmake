@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/algebra.cc" "src/CMakeFiles/regal.dir/core/algebra.cc.o" "gcc" "src/CMakeFiles/regal.dir/core/algebra.cc.o.d"
+  "/root/repo/src/core/construct.cc" "src/CMakeFiles/regal.dir/core/construct.cc.o" "gcc" "src/CMakeFiles/regal.dir/core/construct.cc.o.d"
+  "/root/repo/src/core/eval.cc" "src/CMakeFiles/regal.dir/core/eval.cc.o" "gcc" "src/CMakeFiles/regal.dir/core/eval.cc.o.d"
+  "/root/repo/src/core/expr.cc" "src/CMakeFiles/regal.dir/core/expr.cc.o" "gcc" "src/CMakeFiles/regal.dir/core/expr.cc.o.d"
+  "/root/repo/src/core/extended.cc" "src/CMakeFiles/regal.dir/core/extended.cc.o" "gcc" "src/CMakeFiles/regal.dir/core/extended.cc.o.d"
+  "/root/repo/src/core/instance.cc" "src/CMakeFiles/regal.dir/core/instance.cc.o" "gcc" "src/CMakeFiles/regal.dir/core/instance.cc.o.d"
+  "/root/repo/src/core/region_set.cc" "src/CMakeFiles/regal.dir/core/region_set.cc.o" "gcc" "src/CMakeFiles/regal.dir/core/region_set.cc.o.d"
+  "/root/repo/src/doc/dictionary.cc" "src/CMakeFiles/regal.dir/doc/dictionary.cc.o" "gcc" "src/CMakeFiles/regal.dir/doc/dictionary.cc.o.d"
+  "/root/repo/src/doc/sgml.cc" "src/CMakeFiles/regal.dir/doc/sgml.cc.o" "gcc" "src/CMakeFiles/regal.dir/doc/sgml.cc.o.d"
+  "/root/repo/src/doc/srccode.cc" "src/CMakeFiles/regal.dir/doc/srccode.cc.o" "gcc" "src/CMakeFiles/regal.dir/doc/srccode.cc.o.d"
+  "/root/repo/src/doc/synthetic.cc" "src/CMakeFiles/regal.dir/doc/synthetic.cc.o" "gcc" "src/CMakeFiles/regal.dir/doc/synthetic.cc.o.d"
+  "/root/repo/src/fmft/emptiness.cc" "src/CMakeFiles/regal.dir/fmft/emptiness.cc.o" "gcc" "src/CMakeFiles/regal.dir/fmft/emptiness.cc.o.d"
+  "/root/repo/src/fmft/formula.cc" "src/CMakeFiles/regal.dir/fmft/formula.cc.o" "gcc" "src/CMakeFiles/regal.dir/fmft/formula.cc.o.d"
+  "/root/repo/src/fmft/general.cc" "src/CMakeFiles/regal.dir/fmft/general.cc.o" "gcc" "src/CMakeFiles/regal.dir/fmft/general.cc.o.d"
+  "/root/repo/src/fmft/model.cc" "src/CMakeFiles/regal.dir/fmft/model.cc.o" "gcc" "src/CMakeFiles/regal.dir/fmft/model.cc.o.d"
+  "/root/repo/src/fmft/reduction3cnf.cc" "src/CMakeFiles/regal.dir/fmft/reduction3cnf.cc.o" "gcc" "src/CMakeFiles/regal.dir/fmft/reduction3cnf.cc.o.d"
+  "/root/repo/src/fmft/translate.cc" "src/CMakeFiles/regal.dir/fmft/translate.cc.o" "gcc" "src/CMakeFiles/regal.dir/fmft/translate.cc.o.d"
+  "/root/repo/src/graph/algorithms.cc" "src/CMakeFiles/regal.dir/graph/algorithms.cc.o" "gcc" "src/CMakeFiles/regal.dir/graph/algorithms.cc.o.d"
+  "/root/repo/src/graph/digraph.cc" "src/CMakeFiles/regal.dir/graph/digraph.cc.o" "gcc" "src/CMakeFiles/regal.dir/graph/digraph.cc.o.d"
+  "/root/repo/src/graph/maxflow.cc" "src/CMakeFiles/regal.dir/graph/maxflow.cc.o" "gcc" "src/CMakeFiles/regal.dir/graph/maxflow.cc.o.d"
+  "/root/repo/src/index/suffix_array.cc" "src/CMakeFiles/regal.dir/index/suffix_array.cc.o" "gcc" "src/CMakeFiles/regal.dir/index/suffix_array.cc.o.d"
+  "/root/repo/src/index/word_index.cc" "src/CMakeFiles/regal.dir/index/word_index.cc.o" "gcc" "src/CMakeFiles/regal.dir/index/word_index.cc.o.d"
+  "/root/repo/src/logic/cnf.cc" "src/CMakeFiles/regal.dir/logic/cnf.cc.o" "gcc" "src/CMakeFiles/regal.dir/logic/cnf.cc.o.d"
+  "/root/repo/src/logic/dpll.cc" "src/CMakeFiles/regal.dir/logic/dpll.cc.o" "gcc" "src/CMakeFiles/regal.dir/logic/dpll.cc.o.d"
+  "/root/repo/src/opt/chain.cc" "src/CMakeFiles/regal.dir/opt/chain.cc.o" "gcc" "src/CMakeFiles/regal.dir/opt/chain.cc.o.d"
+  "/root/repo/src/opt/cost.cc" "src/CMakeFiles/regal.dir/opt/cost.cc.o" "gcc" "src/CMakeFiles/regal.dir/opt/cost.cc.o.d"
+  "/root/repo/src/opt/exhaustive.cc" "src/CMakeFiles/regal.dir/opt/exhaustive.cc.o" "gcc" "src/CMakeFiles/regal.dir/opt/exhaustive.cc.o.d"
+  "/root/repo/src/opt/optimizer.cc" "src/CMakeFiles/regal.dir/opt/optimizer.cc.o" "gcc" "src/CMakeFiles/regal.dir/opt/optimizer.cc.o.d"
+  "/root/repo/src/query/engine.cc" "src/CMakeFiles/regal.dir/query/engine.cc.o" "gcc" "src/CMakeFiles/regal.dir/query/engine.cc.o.d"
+  "/root/repo/src/query/lexer.cc" "src/CMakeFiles/regal.dir/query/lexer.cc.o" "gcc" "src/CMakeFiles/regal.dir/query/lexer.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/regal.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/regal.dir/query/parser.cc.o.d"
+  "/root/repo/src/reduce/deletion.cc" "src/CMakeFiles/regal.dir/reduce/deletion.cc.o" "gcc" "src/CMakeFiles/regal.dir/reduce/deletion.cc.o.d"
+  "/root/repo/src/reduce/reduce.cc" "src/CMakeFiles/regal.dir/reduce/reduce.cc.o" "gcc" "src/CMakeFiles/regal.dir/reduce/reduce.cc.o.d"
+  "/root/repo/src/relational/extended_via_relational.cc" "src/CMakeFiles/regal.dir/relational/extended_via_relational.cc.o" "gcc" "src/CMakeFiles/regal.dir/relational/extended_via_relational.cc.o.d"
+  "/root/repo/src/relational/table.cc" "src/CMakeFiles/regal.dir/relational/table.cc.o" "gcc" "src/CMakeFiles/regal.dir/relational/table.cc.o.d"
+  "/root/repo/src/rig/grammar.cc" "src/CMakeFiles/regal.dir/rig/grammar.cc.o" "gcc" "src/CMakeFiles/regal.dir/rig/grammar.cc.o.d"
+  "/root/repo/src/rig/minimal_set.cc" "src/CMakeFiles/regal.dir/rig/minimal_set.cc.o" "gcc" "src/CMakeFiles/regal.dir/rig/minimal_set.cc.o.d"
+  "/root/repo/src/rig/rig.cc" "src/CMakeFiles/regal.dir/rig/rig.cc.o" "gcc" "src/CMakeFiles/regal.dir/rig/rig.cc.o.d"
+  "/root/repo/src/storage/serialize.cc" "src/CMakeFiles/regal.dir/storage/serialize.cc.o" "gcc" "src/CMakeFiles/regal.dir/storage/serialize.cc.o.d"
+  "/root/repo/src/text/pattern.cc" "src/CMakeFiles/regal.dir/text/pattern.cc.o" "gcc" "src/CMakeFiles/regal.dir/text/pattern.cc.o.d"
+  "/root/repo/src/text/text.cc" "src/CMakeFiles/regal.dir/text/text.cc.o" "gcc" "src/CMakeFiles/regal.dir/text/text.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/regal.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/regal.dir/text/tokenizer.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/regal.dir/util/status.cc.o" "gcc" "src/CMakeFiles/regal.dir/util/status.cc.o.d"
+  "/root/repo/src/util/stringutil.cc" "src/CMakeFiles/regal.dir/util/stringutil.cc.o" "gcc" "src/CMakeFiles/regal.dir/util/stringutil.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

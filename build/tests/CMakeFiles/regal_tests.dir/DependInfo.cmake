@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/algebra_test.cpp" "tests/CMakeFiles/regal_tests.dir/algebra_test.cpp.o" "gcc" "tests/CMakeFiles/regal_tests.dir/algebra_test.cpp.o.d"
+  "/root/repo/tests/construct_views_test.cpp" "tests/CMakeFiles/regal_tests.dir/construct_views_test.cpp.o" "gcc" "tests/CMakeFiles/regal_tests.dir/construct_views_test.cpp.o.d"
+  "/root/repo/tests/dictionary_test.cpp" "tests/CMakeFiles/regal_tests.dir/dictionary_test.cpp.o" "gcc" "tests/CMakeFiles/regal_tests.dir/dictionary_test.cpp.o.d"
+  "/root/repo/tests/differential_test.cpp" "tests/CMakeFiles/regal_tests.dir/differential_test.cpp.o" "gcc" "tests/CMakeFiles/regal_tests.dir/differential_test.cpp.o.d"
+  "/root/repo/tests/expr_eval_test.cpp" "tests/CMakeFiles/regal_tests.dir/expr_eval_test.cpp.o" "gcc" "tests/CMakeFiles/regal_tests.dir/expr_eval_test.cpp.o.d"
+  "/root/repo/tests/extended_test.cpp" "tests/CMakeFiles/regal_tests.dir/extended_test.cpp.o" "gcc" "tests/CMakeFiles/regal_tests.dir/extended_test.cpp.o.d"
+  "/root/repo/tests/fmft_test.cpp" "tests/CMakeFiles/regal_tests.dir/fmft_test.cpp.o" "gcc" "tests/CMakeFiles/regal_tests.dir/fmft_test.cpp.o.d"
+  "/root/repo/tests/general_formula_test.cpp" "tests/CMakeFiles/regal_tests.dir/general_formula_test.cpp.o" "gcc" "tests/CMakeFiles/regal_tests.dir/general_formula_test.cpp.o.d"
+  "/root/repo/tests/graph_test.cpp" "tests/CMakeFiles/regal_tests.dir/graph_test.cpp.o" "gcc" "tests/CMakeFiles/regal_tests.dir/graph_test.cpp.o.d"
+  "/root/repo/tests/index_test.cpp" "tests/CMakeFiles/regal_tests.dir/index_test.cpp.o" "gcc" "tests/CMakeFiles/regal_tests.dir/index_test.cpp.o.d"
+  "/root/repo/tests/instance_test.cpp" "tests/CMakeFiles/regal_tests.dir/instance_test.cpp.o" "gcc" "tests/CMakeFiles/regal_tests.dir/instance_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/regal_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/regal_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/logic_test.cpp" "tests/CMakeFiles/regal_tests.dir/logic_test.cpp.o" "gcc" "tests/CMakeFiles/regal_tests.dir/logic_test.cpp.o.d"
+  "/root/repo/tests/lowering_test.cpp" "tests/CMakeFiles/regal_tests.dir/lowering_test.cpp.o" "gcc" "tests/CMakeFiles/regal_tests.dir/lowering_test.cpp.o.d"
+  "/root/repo/tests/opt_test.cpp" "tests/CMakeFiles/regal_tests.dir/opt_test.cpp.o" "gcc" "tests/CMakeFiles/regal_tests.dir/opt_test.cpp.o.d"
+  "/root/repo/tests/query_test.cpp" "tests/CMakeFiles/regal_tests.dir/query_test.cpp.o" "gcc" "tests/CMakeFiles/regal_tests.dir/query_test.cpp.o.d"
+  "/root/repo/tests/reduce_test.cpp" "tests/CMakeFiles/regal_tests.dir/reduce_test.cpp.o" "gcc" "tests/CMakeFiles/regal_tests.dir/reduce_test.cpp.o.d"
+  "/root/repo/tests/region_test.cpp" "tests/CMakeFiles/regal_tests.dir/region_test.cpp.o" "gcc" "tests/CMakeFiles/regal_tests.dir/region_test.cpp.o.d"
+  "/root/repo/tests/relational_test.cpp" "tests/CMakeFiles/regal_tests.dir/relational_test.cpp.o" "gcc" "tests/CMakeFiles/regal_tests.dir/relational_test.cpp.o.d"
+  "/root/repo/tests/rig_test.cpp" "tests/CMakeFiles/regal_tests.dir/rig_test.cpp.o" "gcc" "tests/CMakeFiles/regal_tests.dir/rig_test.cpp.o.d"
+  "/root/repo/tests/rog_integration_test.cpp" "tests/CMakeFiles/regal_tests.dir/rog_integration_test.cpp.o" "gcc" "tests/CMakeFiles/regal_tests.dir/rog_integration_test.cpp.o.d"
+  "/root/repo/tests/sgml_test.cpp" "tests/CMakeFiles/regal_tests.dir/sgml_test.cpp.o" "gcc" "tests/CMakeFiles/regal_tests.dir/sgml_test.cpp.o.d"
+  "/root/repo/tests/srccode_test.cpp" "tests/CMakeFiles/regal_tests.dir/srccode_test.cpp.o" "gcc" "tests/CMakeFiles/regal_tests.dir/srccode_test.cpp.o.d"
+  "/root/repo/tests/storage_test.cpp" "tests/CMakeFiles/regal_tests.dir/storage_test.cpp.o" "gcc" "tests/CMakeFiles/regal_tests.dir/storage_test.cpp.o.d"
+  "/root/repo/tests/text_test.cpp" "tests/CMakeFiles/regal_tests.dir/text_test.cpp.o" "gcc" "tests/CMakeFiles/regal_tests.dir/text_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/regal_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/regal_tests.dir/util_test.cpp.o.d"
+  "/root/repo/tests/wordmatch_exhaustive_test.cpp" "tests/CMakeFiles/regal_tests.dir/wordmatch_exhaustive_test.cpp.o" "gcc" "tests/CMakeFiles/regal_tests.dir/wordmatch_exhaustive_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/regal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
