@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
 #include "core/algebra.h"
 #include "doc/synthetic.h"
 #include "util/random.h"
@@ -112,4 +113,6 @@ BENCHMARK(BM_SelectByTokens)->Range(1 << 8, 1 << 16);
 }  // namespace
 }  // namespace regal
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return regal::RunBenchmarksWithJson(argc, argv, "BENCH_operators.json");
+}

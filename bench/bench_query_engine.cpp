@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
 #include "doc/dictionary.h"
 #include "doc/sgml.h"
 #include "query/engine.h"
@@ -25,6 +26,20 @@ void BM_StructuralQuery(benchmark::State& state) {
   QueryEngine engine = MakeDictionaryEngine(static_cast<int>(state.range(0)));
   for (auto _ : state) {
     auto answer = engine.Run("sense within entry within dictionary");
+    if (!answer.ok()) state.SkipWithError("query failed");
+    benchmark::DoNotOptimize(answer);
+  }
+}
+
+// BM_StructuralQuery runs with tracing disabled (the null-sink fast path);
+// this is the same query under `explain analyze`. The gap between the two is
+// the full cost of span tracing — the disabled path itself is checked against
+// the seed numbers of bench_operators, which never construct a tracer.
+void BM_StructuralQueryProfiled(benchmark::State& state) {
+  QueryEngine engine = MakeDictionaryEngine(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto answer =
+        engine.Run("explain analyze sense within entry within dictionary");
     if (!answer.ok()) state.SkipWithError("query failed");
     benchmark::DoNotOptimize(answer);
   }
@@ -93,6 +108,7 @@ void BM_IndexBuild(benchmark::State& state) {
 }
 
 BENCHMARK(BM_StructuralQuery)->RangeMultiplier(4)->Range(16, 4096);
+BENCHMARK(BM_StructuralQueryProfiled)->RangeMultiplier(4)->Range(16, 4096);
 BENCHMARK(BM_ContentQuery)->RangeMultiplier(4)->Range(16, 4096);
 BENCHMARK(BM_BothIncludedQuery)->RangeMultiplier(4)->Range(16, 4096);
 BENCHMARK(BM_ViewQuery)->RangeMultiplier(4)->Range(16, 4096);
@@ -102,4 +118,6 @@ BENCHMARK(BM_IndexBuild)->RangeMultiplier(4)->Range(16, 1024);
 }  // namespace
 }  // namespace regal
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return regal::RunBenchmarksWithJson(argc, argv, "BENCH_query_engine.json");
+}

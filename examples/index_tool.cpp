@@ -37,7 +37,8 @@ int Build(const std::string& format, const std::string& input,
           const std::string& output) {
   auto source = ReadFile(input);
   if (!source.ok()) return Fail(source.status());
-  regal::Timer timer;
+  double build_ms = 0;
+  regal::ScopedTimer timed(&build_ms);
   regal::Result<regal::Instance> instance =
       (format == "program") ? regal::ParseProgram(*source)
                             : regal::ParseSgml(*source);
@@ -48,7 +49,7 @@ int Build(const std::string& format, const std::string& input,
   }
   std::cout << "indexed " << source->size() << " bytes into "
             << instance->NumRegions() << " regions ("
-            << instance->names().size() << " names) in " << timer.Millis()
+            << instance->names().size() << " names) in " << timed.Millis()
             << " ms -> " << output << "\n";
   return 0;
 }

@@ -34,7 +34,13 @@ int main() {
   std::cout << "optimized = " << outcome.expr->ToString() << "\n";
   std::cout << "estimated cost: " << outcome.cost_before.cost << " -> "
             << outcome.cost_after.cost << " ("
-            << outcome.rules_applied << " rule applications)\n\n";
+            << outcome.rules_applied << " rule applications)\n";
+  // The outcome reports each rewrite that fired — no need to re-derive the
+  // chain-shortening steps by hand.
+  for (const regal::RewriteEvent& event : outcome.rewrites) {
+    std::cout << "  fired " << event.ToString() << "\n";
+  }
+  std::cout << "\n";
 
   // --- 2. Equivalence checking via bounded emptiness ---
   regal::EmptinessOptions bounds;
@@ -66,14 +72,19 @@ int main() {
   regal::CnfEmptinessReduction reduction = regal::CnfToEmptinessExpr(cnf);
   std::cout << "3-CNF with 12 vars / 50 clauses -> emptiness query with "
             << reduction.expr->NumOps() << " operators\n";
-  regal::Timer timer;
   int64_t checked = 0;
-  bool empty =
-      regal::EmptinessByAssignmentSearch(cnf, reduction.expr, &checked);
-  double search_ms = timer.Millis();
-  timer.Reset();
-  bool sat = regal::DpllSolve(cnf).has_value();
-  double dpll_ms = timer.Millis();
+  double search_ms = 0;
+  double dpll_ms = 0;
+  bool empty = false;
+  bool sat = false;
+  {
+    regal::ScopedTimer timed(&search_ms);
+    empty = regal::EmptinessByAssignmentSearch(cnf, reduction.expr, &checked);
+  }
+  {
+    regal::ScopedTimer timed(&dpll_ms);
+    sat = regal::DpllSolve(cnf).has_value();
+  }
   std::cout << "emptiness search: " << (empty ? "EMPTY" : "non-empty")
             << " after " << checked << " instances in " << search_ms
             << " ms; DPLL says " << (sat ? "SAT" : "UNSAT") << " in "

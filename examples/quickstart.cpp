@@ -65,5 +65,18 @@ int main() {
   // appears in a paragraph before one mentioning 'nightly'.
   Run(*engine,
       "bi(section, para matching \"rebuilt\", para matching \"nightly\")");
+
+  // Observability: `explain analyze` executes the query with span tracing
+  // and returns the annotated plan (per-operator cardinalities, comparison
+  // counters and wall time) in QueryAnswer::profile.
+  std::string query =
+      "explain analyze section including (para matching \"optimizer\")";
+  std::cout << "query> " << query << "\n";
+  auto profiled = engine->Run(query);
+  if (!profiled.ok()) {
+    std::cerr << "  error: " << profiled.status() << "\n";
+    return 1;
+  }
+  std::cout << profiled->profile->Tree();
   return 0;
 }

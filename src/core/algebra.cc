@@ -1,6 +1,9 @@
 #include "core/algebra.h"
 
 #include <algorithm>
+#include <bit>
+
+#include "obs/counters.h"
 
 namespace regal {
 
@@ -14,15 +17,35 @@ RegionSet FilterR(const RegionSet& r, const std::function<bool(const Region&)>& 
   return RegionSet::FromSortedUnique(std::move(out));
 }
 
+// Binary-search depth over an index of n entries: the per-probe comparison
+// charge reported by the structural semi-joins.
+int64_t ProbeDepth(size_t n) {
+  return static_cast<int64_t>(std::bit_width(n) + 1);
+}
+
+// Flushes counters tallied in locals to the thread sink, if one is
+// installed. Operators tally into stack variables (register-resident, no
+// cost) and pay one load + branch here per call — the disabled fast path.
+void ReportCounters(int64_t comparisons, int64_t merge_steps,
+                    int64_t index_probes) {
+  if (obs::OpCounters* sink = obs::CountersSink()) {
+    sink->comparisons += comparisons;
+    sink->merge_steps += merge_steps;
+    sink->index_probes += index_probes;
+  }
+}
+
 }  // namespace
 
 RegionSet Union(const RegionSet& r, const RegionSet& s) {
   std::vector<Region> out;
   out.reserve(r.size() + s.size());
   RegionDocumentOrder less;
+  int64_t comparisons = 0;
   size_t i = 0;
   size_t j = 0;
   while (i < r.size() && j < s.size()) {
+    ++comparisons;
     if (r[i] == s[j]) {
       out.push_back(r[i]);
       ++i;
@@ -35,15 +58,18 @@ RegionSet Union(const RegionSet& r, const RegionSet& s) {
   }
   for (; i < r.size(); ++i) out.push_back(r[i]);
   for (; j < s.size(); ++j) out.push_back(s[j]);
+  ReportCounters(comparisons, static_cast<int64_t>(r.size() + s.size()), 0);
   return RegionSet::FromSortedUnique(std::move(out));
 }
 
 RegionSet Intersect(const RegionSet& r, const RegionSet& s) {
   std::vector<Region> out;
   RegionDocumentOrder less;
+  int64_t comparisons = 0;
   size_t i = 0;
   size_t j = 0;
   while (i < r.size() && j < s.size()) {
+    ++comparisons;
     if (r[i] == s[j]) {
       out.push_back(r[i]);
       ++i;
@@ -54,15 +80,18 @@ RegionSet Intersect(const RegionSet& r, const RegionSet& s) {
       ++j;
     }
   }
+  ReportCounters(comparisons, static_cast<int64_t>(i + j), 0);
   return RegionSet::FromSortedUnique(std::move(out));
 }
 
 RegionSet Difference(const RegionSet& r, const RegionSet& s) {
   std::vector<Region> out;
   RegionDocumentOrder less;
+  int64_t comparisons = 0;
   size_t i = 0;
   size_t j = 0;
   while (i < r.size()) {
+    if (j != s.size()) ++comparisons;
     if (j == s.size() || less(r[i], s[j])) {
       out.push_back(r[i++]);
     } else if (r[i] == s[j]) {
@@ -72,6 +101,7 @@ RegionSet Difference(const RegionSet& r, const RegionSet& s) {
       ++j;
     }
   }
+  ReportCounters(comparisons, static_cast<int64_t>(i + j), 0);
   return RegionSet::FromSortedUnique(std::move(out));
 }
 
@@ -153,15 +183,21 @@ bool ContainmentIndex::MaxLeftContainedIn(const Region& r, Offset* out) const {
 
 RegionSet Including(const RegionSet& r, const RegionSet& s) {
   ContainmentIndex index(s);
+  ReportCounters(static_cast<int64_t>(r.size()) * ProbeDepth(s.size()), 0,
+                 static_cast<int64_t>(r.size()));
   return FilterR(r, [&](const Region& x) { return index.ExistsIncludedIn(x); });
 }
 
 RegionSet Included(const RegionSet& r, const RegionSet& s) {
   ContainmentIndex index(s);
+  ReportCounters(static_cast<int64_t>(r.size()) * ProbeDepth(s.size()), 0,
+                 static_cast<int64_t>(r.size()));
   return FilterR(r, [&](const Region& x) { return index.ExistsIncluding(x); });
 }
 
 RegionSet Precedes(const RegionSet& r, const RegionSet& s) {
+  ReportCounters(static_cast<int64_t>(r.size()),
+                 static_cast<int64_t>(r.size()) + (s.empty() ? 0 : 1), 0);
   if (s.empty()) return RegionSet();
   // r precedes some s iff right(r) < the largest left endpoint in S, which
   // document order puts in the last element.
@@ -170,6 +206,8 @@ RegionSet Precedes(const RegionSet& r, const RegionSet& s) {
 }
 
 RegionSet Follows(const RegionSet& r, const RegionSet& s) {
+  ReportCounters(static_cast<int64_t>(r.size()),
+                 static_cast<int64_t>(r.size() + s.size()), 0);
   if (s.empty()) return RegionSet();
   Offset min_right = s[0].right;
   for (const Region& x : s) min_right = std::min(min_right, x.right);
@@ -181,6 +219,8 @@ RegionSet SelectByTokens(const RegionSet& r, const std::vector<Token>& tokens) {
   as_regions.reserve(tokens.size());
   for (const Token& t : tokens) as_regions.push_back(Region{t.left, t.right});
   ContainmentIndex index(RegionSet::FromUnsorted(std::move(as_regions)));
+  ReportCounters(static_cast<int64_t>(r.size()) * ProbeDepth(tokens.size()), 0,
+                 static_cast<int64_t>(r.size()));
   return FilterR(r, [&](const Region& x) { return index.ExistsContainedIn(x); });
 }
 
@@ -188,59 +228,72 @@ namespace naive {
 
 RegionSet Including(const RegionSet& r, const RegionSet& s) {
   std::vector<Region> out;
+  int64_t comparisons = 0;
   for (const Region& x : r) {
     for (const Region& y : s) {
+      ++comparisons;
       if (StrictlyIncludes(x, y)) {
         out.push_back(x);
         break;
       }
     }
   }
+  ReportCounters(comparisons, 0, 0);
   return RegionSet::FromSortedUnique(std::move(out));
 }
 
 RegionSet Included(const RegionSet& r, const RegionSet& s) {
   std::vector<Region> out;
+  int64_t comparisons = 0;
   for (const Region& x : r) {
     for (const Region& y : s) {
+      ++comparisons;
       if (StrictlyIncludes(y, x)) {
         out.push_back(x);
         break;
       }
     }
   }
+  ReportCounters(comparisons, 0, 0);
   return RegionSet::FromSortedUnique(std::move(out));
 }
 
 RegionSet Precedes(const RegionSet& r, const RegionSet& s) {
   std::vector<Region> out;
+  int64_t comparisons = 0;
   for (const Region& x : r) {
     for (const Region& y : s) {
+      ++comparisons;
       if (regal::Precedes(x, y)) {
         out.push_back(x);
         break;
       }
     }
   }
+  ReportCounters(comparisons, 0, 0);
   return RegionSet::FromSortedUnique(std::move(out));
 }
 
 RegionSet Follows(const RegionSet& r, const RegionSet& s) {
   std::vector<Region> out;
+  int64_t comparisons = 0;
   for (const Region& x : r) {
     for (const Region& y : s) {
+      ++comparisons;
       if (regal::Precedes(y, x)) {
         out.push_back(x);
         break;
       }
     }
   }
+  ReportCounters(comparisons, 0, 0);
   return RegionSet::FromSortedUnique(std::move(out));
 }
 
 RegionSet Union(const RegionSet& r, const RegionSet& s) {
   std::vector<Region> out(r.begin(), r.end());
   out.insert(out.end(), s.begin(), s.end());
+  ReportCounters(0, static_cast<int64_t>(r.size() + s.size()), 0);
   return RegionSet::FromUnsorted(std::move(out));
 }
 
@@ -249,6 +302,8 @@ RegionSet Intersect(const RegionSet& r, const RegionSet& s) {
   for (const Region& x : r) {
     if (s.Member(x)) out.push_back(x);
   }
+  ReportCounters(static_cast<int64_t>(r.size()) * ProbeDepth(s.size()), 0,
+                 static_cast<int64_t>(r.size()));
   return RegionSet::FromSortedUnique(std::move(out));
 }
 
@@ -257,19 +312,24 @@ RegionSet Difference(const RegionSet& r, const RegionSet& s) {
   for (const Region& x : r) {
     if (!s.Member(x)) out.push_back(x);
   }
+  ReportCounters(static_cast<int64_t>(r.size()) * ProbeDepth(s.size()), 0,
+                 static_cast<int64_t>(r.size()));
   return RegionSet::FromSortedUnique(std::move(out));
 }
 
 RegionSet SelectByTokens(const RegionSet& r, const std::vector<Token>& tokens) {
   std::vector<Region> out;
+  int64_t comparisons = 0;
   for (const Region& x : r) {
     for (const Token& t : tokens) {
+      ++comparisons;
       if (x.left <= t.left && t.right <= x.right) {
         out.push_back(x);
         break;
       }
     }
   }
+  ReportCounters(comparisons, 0, 0);
   return RegionSet::FromSortedUnique(std::move(out));
 }
 

@@ -5,16 +5,50 @@
 
 namespace regal {
 
+const char* ExprSpanName(const Expr& e) {
+  switch (e.kind()) {
+    case OpKind::kName:
+      return "scan";
+    case OpKind::kUnion:
+      return "union";
+    case OpKind::kIntersect:
+      return "intersect";
+    case OpKind::kDifference:
+      return "difference";
+    default:
+      return OpKindToken(e.kind());
+  }
+}
+
+std::string ExprSpanDetail(const Expr& e) {
+  switch (e.kind()) {
+    case OpKind::kName:
+      return e.name();
+    case OpKind::kSelect:
+    case OpKind::kWordMatch:
+      return "\"" + e.pattern().body() + "\"";
+    default:
+      return "";
+  }
+}
+
 Result<RegionSet> Evaluator::Evaluate(const ExprPtr& e) {
   memo_.clear();
   return Eval(e);
 }
 
 Result<RegionSet> Evaluator::Eval(const ExprPtr& e) {
+  obs::SpanScope span(options_.tracer, ExprSpanName(*e),
+                      options_.tracer != nullptr ? ExprSpanDetail(*e) : "");
   auto hit = memo_.find(e.get());
-  if (hit != memo_.end()) return hit->second;
+  if (hit != memo_.end()) {
+    span.MarkCached();
+    span.SetRows(0, static_cast<int64_t>(hit->second.size()));
+    return hit->second;
+  }
 
   RegionSet result;
+  int64_t rows_in = 0;
   switch (e->kind()) {
     case OpKind::kName: {
       if (options_.bindings != nullptr) {
@@ -44,7 +78,8 @@ Result<RegionSet> Evaluator::Eval(const ExprPtr& e) {
     case OpKind::kSelect: {
       REGAL_ASSIGN_OR_RETURN(RegionSet child, Eval(e->child(0)));
       ++stats_.operator_evals;
-      stats_.rows_scanned += static_cast<int64_t>(child.size());
+      rows_in = static_cast<int64_t>(child.size());
+      stats_.rows_scanned += rows_in;
       result = instance_->Select(child, e->pattern());
       break;
     }
@@ -53,8 +88,8 @@ Result<RegionSet> Evaluator::Eval(const ExprPtr& e) {
       REGAL_ASSIGN_OR_RETURN(RegionSet s, Eval(e->child(1)));
       REGAL_ASSIGN_OR_RETURN(RegionSet t, Eval(e->child(2)));
       ++stats_.operator_evals;
-      stats_.rows_scanned +=
-          static_cast<int64_t>(r.size() + s.size() + t.size());
+      rows_in = static_cast<int64_t>(r.size() + s.size() + t.size());
+      stats_.rows_scanned += rows_in;
       result = options_.use_naive ? naive::BothIncluded(r, s, t)
                                   : BothIncluded(r, s, t);
       break;
@@ -63,7 +98,8 @@ Result<RegionSet> Evaluator::Eval(const ExprPtr& e) {
       REGAL_ASSIGN_OR_RETURN(RegionSet a, Eval(e->child(0)));
       REGAL_ASSIGN_OR_RETURN(RegionSet b, Eval(e->child(1)));
       ++stats_.operator_evals;
-      stats_.rows_scanned += static_cast<int64_t>(a.size() + b.size());
+      rows_in = static_cast<int64_t>(a.size() + b.size());
+      stats_.rows_scanned += rows_in;
       const bool naive_mode = options_.use_naive;
       switch (e->kind()) {
         case OpKind::kUnion:
@@ -102,6 +138,7 @@ Result<RegionSet> Evaluator::Eval(const ExprPtr& e) {
     }
   }
   stats_.rows_produced += static_cast<int64_t>(result.size());
+  span.SetRows(rows_in, static_cast<int64_t>(result.size()));
   memo_.emplace(e.get(), result);
   return result;
 }

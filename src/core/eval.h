@@ -8,6 +8,7 @@
 #include "core/expr.h"
 #include "core/instance.h"
 #include "core/region_set.h"
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace regal {
@@ -17,9 +18,14 @@ namespace regal {
 /// baseline in bench_operators). `bindings`, when set, resolves region
 /// names before the instance does — the mechanism behind materialized
 /// views (dynamically constructed region sets, footnote 1 of the paper).
+/// `tracer`, when set, records one span per expression node (operator,
+/// input/output cardinalities, operator work counters, wall time) — the
+/// machinery behind `explain analyze`. Null tracer = no tracing work at
+/// all beyond one branch per node.
 struct EvalOptions {
   bool use_naive = false;
   const std::map<std::string, RegionSet>* bindings = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Counters accumulated across Evaluate calls; the optimizer benches read
@@ -59,6 +65,13 @@ class Evaluator {
 /// One-shot convenience wrapper.
 Result<RegionSet> Evaluate(const Instance& instance, const ExprPtr& e,
                            EvalOptions options = {});
+
+/// Span naming used by the evaluator's tracer, shared with the engine's
+/// EXPLAIN plan builder so that estimated and executed plans render alike:
+/// operator nodes use their query keyword; leaves become "scan"/"word" with
+/// the operand in the detail.
+const char* ExprSpanName(const Expr& e);
+std::string ExprSpanDetail(const Expr& e);
 
 }  // namespace regal
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/counters.h"
 #include "util/stringutil.h"
 
 namespace regal {
@@ -41,6 +42,10 @@ std::vector<Token> SuffixArrayWordIndex::Matches(const Pattern& p) const {
     for (const Token& t : tokens_) {
       if (p.MatchesToken(TokenText(original, t))) out.push_back(t);
     }
+    if (obs::OpCounters* sink = obs::CountersSink()) {
+      sink->index_probes += static_cast<int64_t>(tokens_.size());
+      sink->comparisons += static_cast<int64_t>(tokens_.size());
+    }
     return out;
   }
   // The suffix array is over lower-cased text, so search the lower-cased
@@ -48,13 +53,21 @@ std::vector<Token> SuffixArrayWordIndex::Matches(const Pattern& p) const {
   // MatchesToken below.
   std::vector<int32_t> occurrences =
       suffix_array_.Occurrences(ToLowerAscii(core));
+  int64_t verifications = 0;
   int32_t last_token = -1;
   for (int32_t pos : occurrences) {
     int32_t token_id = TokenAt(pos);
     if (token_id < 0 || token_id == last_token) continue;
     last_token = token_id;
     const Token& t = tokens_[static_cast<size_t>(token_id)];
+    ++verifications;
     if (p.MatchesToken(TokenText(original, t))) out.push_back(t);
+  }
+  if (obs::OpCounters* sink = obs::CountersSink()) {
+    // One probe per suffix-array occurrence, one comparison per full-pattern
+    // verification against a candidate token.
+    sink->index_probes += static_cast<int64_t>(occurrences.size());
+    sink->comparisons += verifications;
   }
   // Occurrences are in text order and each token is considered once (its
   // first core hit), so `out` is already sorted; dedup defensively.
@@ -72,10 +85,13 @@ InvertedWordIndex::InvertedWordIndex(const Text* text) : text_(text) {
 
 std::vector<Token> InvertedWordIndex::Matches(const Pattern& p) const {
   std::vector<Token> out;
+  int64_t probes = 0;
+  int64_t comparisons = 0;
   const bool exact = p.anchored_front() && p.anchored_back() &&
                      !p.case_insensitive() &&
                      p.body().find('?') == std::string::npos;
   if (exact) {
+    probes = 1;
     auto it = postings_.find(p.body());
     if (it != postings_.end()) out = it->second;
   } else {
@@ -92,6 +108,8 @@ std::vector<Token> InvertedWordIndex::Matches(const Pattern& p) const {
       end = postings_.lower_bound(upper);
     }
     for (auto it = begin; it != end; ++it) {
+      ++probes;
+      ++comparisons;
       if (p.MatchesToken(it->first)) {
         out.insert(out.end(), it->second.begin(), it->second.end());
       }
@@ -99,6 +117,10 @@ std::vector<Token> InvertedWordIndex::Matches(const Pattern& p) const {
     std::sort(out.begin(), out.end(), [](const Token& a, const Token& b) {
       return a.left != b.left ? a.left < b.left : a.right < b.right;
     });
+  }
+  if (obs::OpCounters* sink = obs::CountersSink()) {
+    sink->index_probes += probes;
+    sink->comparisons += comparisons;
   }
   return out;
 }

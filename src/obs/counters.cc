@@ -1,0 +1,19 @@
+#include "obs/counters.h"
+
+namespace regal {
+namespace obs {
+
+namespace {
+thread_local OpCounters* g_sink = nullptr;
+}  // namespace
+
+OpCounters* CountersSink() { return g_sink; }
+
+OpCounters* SwapCountersSink(OpCounters* sink) {
+  OpCounters* previous = g_sink;
+  g_sink = sink;
+  return previous;
+}
+
+}  // namespace obs
+}  // namespace regal

@@ -1,0 +1,174 @@
+#include "obs/export.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace regal {
+namespace obs {
+
+namespace {
+
+void AppendLabel(const Span& span, std::string* out) {
+  *out += span.name;
+  if (!span.detail.empty()) {
+    *out += ' ';
+    *out += span.detail;
+  }
+  if (span.from_cache) {
+    *out += "  (memo)";
+  }
+  *out += "  rows=" + std::to_string(span.rows_out);
+  if (span.counters.comparisons > 0) {
+    *out += "  cmp=" + std::to_string(span.counters.comparisons);
+  }
+  if (span.counters.merge_steps > 0) {
+    *out += "  merge=" + std::to_string(span.counters.merge_steps);
+  }
+  if (span.counters.index_probes > 0) {
+    *out += "  probes=" + std::to_string(span.counters.index_probes);
+  }
+  if (span.est_rows >= 0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", span.est_rows);
+    *out += "  est=";
+    *out += buf;
+  }
+  if (span.dur_us > 0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", span.dur_us / 1e3);
+    *out += "  ";
+    *out += buf;
+    *out += " ms";
+  }
+  *out += '\n';
+}
+
+void FormatSubtree(const Span& span, const std::string& prefix,
+                   std::string* out) {
+  for (size_t i = 0; i < span.children.size(); ++i) {
+    const bool last = (i + 1 == span.children.size());
+    *out += prefix;
+    *out += last ? "└─ " : "├─ ";
+    AppendLabel(span.children[i], out);
+    FormatSubtree(span.children[i], prefix + (last ? "   " : "│  "), out);
+  }
+}
+
+void WriteSpanJson(const Span& span, JsonWriter* w) {
+  w->BeginObject();
+  w->Key("name").String(span.name);
+  if (!span.detail.empty()) w->Key("detail").String(span.detail);
+  w->Key("rows_in").Int(span.rows_in);
+  w->Key("rows_out").Int(span.rows_out);
+  w->Key("comparisons").Int(span.counters.comparisons);
+  w->Key("merge_steps").Int(span.counters.merge_steps);
+  w->Key("index_probes").Int(span.counters.index_probes);
+  if (span.est_rows >= 0) w->Key("est_rows").Double(span.est_rows);
+  if (span.from_cache) w->Key("from_cache").Bool(true);
+  w->Key("start_us").Double(span.start_us);
+  w->Key("dur_us").Double(span.dur_us);
+  if (!span.children.empty()) {
+    w->Key("children").BeginArray();
+    for (const Span& child : span.children) WriteSpanJson(child, w);
+    w->EndArray();
+  }
+  w->EndObject();
+}
+
+void WriteChromeEvents(const Span& span, JsonWriter* w) {
+  w->BeginObject();
+  std::string name = span.name;
+  if (!span.detail.empty()) name += " " + span.detail;
+  w->Key("name").String(name);
+  w->Key("cat").String("eval");
+  w->Key("ph").String("X");
+  w->Key("ts").Double(span.start_us);
+  w->Key("dur").Double(span.dur_us);
+  w->Key("pid").Int(1);
+  w->Key("tid").Int(1);
+  w->Key("args").BeginObject();
+  w->Key("rows_out").Int(span.rows_out);
+  w->Key("comparisons").Int(span.counters.comparisons);
+  w->Key("index_probes").Int(span.counters.index_probes);
+  w->EndObject();
+  w->EndObject();
+  for (const Span& child : span.children) WriteChromeEvents(child, w);
+}
+
+}  // namespace
+
+std::string FormatSpanTree(const Span& span) {
+  std::string out;
+  AppendLabel(span, &out);
+  FormatSubtree(span, "", &out);
+  return out;
+}
+
+std::string SpanToJson(const Span& span) {
+  JsonWriter w;
+  WriteSpanJson(span, &w);
+  return w.Take();
+}
+
+std::string SpanToChromeTrace(const Span& span) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit").String("ms");
+  w.Key("traceEvents").BeginArray();
+  WriteChromeEvents(span, &w);
+  w.EndArray();
+  w.EndObject();
+  return w.Take();
+}
+
+std::string MetricsToJson(const std::vector<MetricSnapshot>& snapshot) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("metrics").BeginArray();
+  for (const MetricSnapshot& m : snapshot) {
+    w.BeginObject();
+    w.Key("name").String(m.name);
+    switch (m.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        w.Key("type").String("counter");
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        w.Key("type").String("gauge");
+        break;
+      case MetricSnapshot::Kind::kHistogram:
+        w.Key("type").String("histogram");
+        break;
+    }
+    if (!m.labels.empty()) {
+      w.Key("labels").BeginObject();
+      for (const auto& [k, v] : m.labels) w.Key(k).String(v);
+      w.EndObject();
+    }
+    if (m.kind == MetricSnapshot::Kind::kHistogram) {
+      w.Key("count").Int(m.count);
+      w.Key("sum").Double(m.sum);
+      w.Key("buckets").BeginArray();
+      for (size_t i = 0; i < m.bucket_counts.size(); ++i) {
+        w.BeginObject();
+        if (i < m.bucket_bounds.size()) {
+          w.Key("le").Double(m.bucket_bounds[i]);
+        } else {
+          w.Key("le").String("+inf");
+        }
+        w.Key("count").Int(m.bucket_counts[i]);
+        w.EndObject();
+      }
+      w.EndArray();
+    } else {
+      w.Key("value").Double(m.value);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.Take();
+}
+
+}  // namespace obs
+}  // namespace regal

@@ -1,0 +1,52 @@
+#ifndef REGAL_OBS_JSON_H_
+#define REGAL_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace regal {
+namespace obs {
+
+/// Minimal streaming JSON writer used by the exporters (span trees, metric
+/// snapshots, bench reports, chrome://tracing files). Emits compact,
+/// syntactically valid JSON; commas and nesting are managed by the writer so
+/// callers only state structure. Not a general-purpose serializer — just
+/// enough for the observability output formats, with no dependencies.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Object member key; must be followed by exactly one value (or
+  /// Begin{Object,Array}).
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Bool(bool value);
+  /// Non-finite doubles are emitted as null (JSON has no Inf/NaN).
+  JsonWriter& Double(double value);
+
+  /// The document built so far. Call once nesting is balanced.
+  std::string Take() { return std::move(out_); }
+  const std::string& str() const { return out_; }
+
+ private:
+  void Separate();
+
+  std::string out_;
+  // One char of state per open container: '[' / '{' fresh, ',' after the
+  // first element, ':' right after a Key.
+  std::string stack_;
+};
+
+/// JSON string escaping (quotes not included).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace obs
+}  // namespace regal
+
+#endif  // REGAL_OBS_JSON_H_

@@ -1,0 +1,132 @@
+#ifndef REGAL_OBS_METRICS_H_
+#define REGAL_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace regal {
+namespace obs {
+
+/// Label set attached to a metric instance, e.g. {{"op", "including"}}.
+/// Ordered so that equal label sets compare equal regardless of insertion
+/// order.
+using Labels = std::map<std::string, std::string>;
+
+/// Monotone counter. Increment is lock-free; reading is a relaxed load.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-written-wins gauge.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// Fixed-bucket histogram: `buckets` are inclusive upper bounds in ascending
+/// order, with an implicit +inf bucket at the end. Observe() is guarded by a
+/// per-histogram mutex — histograms sit on per-query paths, not per-region
+/// ones, so contention is not a concern.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> buckets);
+
+  void Observe(double value);
+
+  int64_t count() const;
+  double sum() const;
+  const std::vector<double>& bucket_bounds() const { return bounds_; }
+  /// Cumulative counts per bucket (last entry == count()).
+  std::vector<int64_t> CumulativeBucketCounts() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> bounds_;
+  std::vector<int64_t> bucket_counts_;  // bounds_.size() + 1 entries.
+  int64_t count_ = 0;
+  double sum_ = 0;
+};
+
+/// Point-in-time view of one metric, produced by Registry::Snapshot() for
+/// the exporters.
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  Kind kind;
+  std::string name;
+  Labels labels;
+  // Counter / gauge value (counter cast to double for uniformity).
+  double value = 0;
+  // Histogram payload.
+  int64_t count = 0;
+  double sum = 0;
+  std::vector<double> bucket_bounds;
+  std::vector<int64_t> bucket_counts;  // Cumulative.
+};
+
+/// Thread-safe registry of labeled metric families. Get* registers on first
+/// use and returns a stable pointer — callers cache it and update without
+/// touching the registry lock again. A metric name must keep one kind; Get*
+/// with a mismatched kind aborts (it is a programming error, like a type
+/// confusion in a schema).
+class Registry {
+ public:
+  /// The process-wide default registry (the query engine and the bench
+  /// report path record here).
+  static Registry& Default();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter* GetCounter(const std::string& name, const Labels& labels = {});
+  Gauge* GetGauge(const std::string& name, const Labels& labels = {});
+  /// The bucket layout is fixed by the first registration of `name`.
+  Histogram* GetHistogram(const std::string& name, const Labels& labels = {},
+                          std::vector<double> buckets = DefaultLatencyBucketsMs());
+
+  std::vector<MetricSnapshot> Snapshot() const;
+
+  /// Drops every registered metric (tests and bench isolation).
+  void Clear();
+
+  /// 0.001ms .. ~16s in powers of 4 — wide enough for both operator probes
+  /// and whole-query latencies.
+  static std::vector<double> DefaultLatencyBucketsMs();
+
+ private:
+  struct Entry {
+    MetricSnapshot::Kind kind;
+    std::string name;
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* FindOrCreate(MetricSnapshot::Kind kind, const std::string& name,
+                      const Labels& labels);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;  // Keyed by name + encoded labels.
+};
+
+}  // namespace obs
+}  // namespace regal
+
+#endif  // REGAL_OBS_METRICS_H_

@@ -1,0 +1,103 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace regal {
+namespace obs {
+
+int64_t Span::TotalSpans() const {
+  int64_t total = 1;
+  for (const Span& child : children) total += child.TotalSpans();
+  return total;
+}
+
+int Span::Depth() const {
+  int deepest = 0;
+  for (const Span& child : children) deepest = std::max(deepest, child.Depth());
+  return deepest + 1;
+}
+
+Tracer::Tracer() { previous_sink_ = SwapCountersSink(&counters_); }
+
+Tracer::~Tracer() { SwapCountersSink(previous_sink_); }
+
+int Tracer::Open(std::string name, std::string detail) {
+  int id = static_cast<int>(nodes_.size());
+  Node node;
+  node.name = std::move(name);
+  node.detail = std::move(detail);
+  node.parent = stack_.empty() ? -1 : stack_.back();
+  node.start_us = timer_.Seconds() * 1e6;
+  node.at_open = counters_;
+  nodes_.push_back(std::move(node));
+  stack_.push_back(id);
+  return id;
+}
+
+void Tracer::Close(int id) {
+  if (stack_.empty() || stack_.back() != id) std::abort();  // Unbalanced.
+  Node& node = nodes_[static_cast<size_t>(id)];
+  node.dur_us = timer_.Seconds() * 1e6 - node.start_us;
+  node.counters = counters_.Since(node.at_open);
+  node.open = false;
+  stack_.pop_back();
+}
+
+void Tracer::SetRows(int id, int64_t rows_in, int64_t rows_out) {
+  nodes_[static_cast<size_t>(id)].rows_in = rows_in;
+  nodes_[static_cast<size_t>(id)].rows_out = rows_out;
+}
+
+void Tracer::MarkCached(int id) {
+  nodes_[static_cast<size_t>(id)].from_cache = true;
+}
+
+Span Tracer::Build() const {
+  // Children in recording order: one pass to bucket child ids per parent.
+  std::vector<std::vector<int>> children(nodes_.size());
+  std::vector<int> roots;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].open) std::abort();  // Build() before all spans closed.
+    if (nodes_[i].parent < 0) {
+      roots.push_back(static_cast<int>(i));
+    } else {
+      children[static_cast<size_t>(nodes_[i].parent)].push_back(
+          static_cast<int>(i));
+    }
+  }
+
+  // Nodes are appended parent-before-child, so building in reverse index
+  // order has every child tree finished before its parent needs it.
+  std::vector<Span> built(nodes_.size());
+  for (size_t i = nodes_.size(); i-- > 0;) {
+    const Node& node = nodes_[i];
+    Span& span = built[i];
+    span.name = node.name;
+    span.detail = node.detail;
+    span.rows_in = node.rows_in;
+    span.rows_out = node.rows_out;
+    span.counters = node.counters;
+    span.from_cache = node.from_cache;
+    span.start_us = node.start_us;
+    span.dur_us = node.dur_us;
+    span.children.reserve(children[i].size());
+    for (int child : children[i]) {
+      span.children.push_back(std::move(built[static_cast<size_t>(child)]));
+    }
+  }
+
+  if (roots.size() == 1) return std::move(built[static_cast<size_t>(roots[0])]);
+  Span root;
+  root.name = "trace";
+  root.counters = counters_;
+  for (int r : roots) {
+    root.children.push_back(std::move(built[static_cast<size_t>(r)]));
+    root.dur_us = std::max(root.dur_us, root.children.back().start_us +
+                                            root.children.back().dur_us);
+  }
+  return root;
+}
+
+}  // namespace obs
+}  // namespace regal

@@ -1,0 +1,124 @@
+#ifndef REGAL_OBS_TRACE_H_
+#define REGAL_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/counters.h"
+#include "util/timer.h"
+
+namespace regal {
+namespace obs {
+
+/// One node of a per-query execution trace: an operator (or engine stage)
+/// with timing, cardinalities and the work counters accumulated over its
+/// subtree. The tree mirrors the executed expression: shared (memoized)
+/// subtrees appear once per mention, with repeat mentions marked
+/// `from_cache` and carrying no children.
+struct Span {
+  std::string name;    // Operator / stage, e.g. "within", "scan", "word".
+  std::string detail;  // Operand: region name, pattern text, ...
+  int64_t rows_in = 0;   // Sum of input cardinalities.
+  int64_t rows_out = 0;  // Output cardinality.
+  OpCounters counters;   // Cumulative over this subtree.
+  double est_rows = -1;  // Optimizer cardinality estimate; < 0 = none.
+  bool from_cache = false;
+  double start_us = 0;  // Relative to the start of the trace.
+  double dur_us = 0;
+  std::vector<Span> children;
+
+  /// Nodes in this subtree (including this one).
+  int64_t TotalSpans() const;
+  /// Maximum nesting depth (a leaf counts 1).
+  int Depth() const;
+};
+
+/// Collects a span tree for one query execution. Construction installs the
+/// tracer's counter sink on the calling thread (restored on destruction), so
+/// every operator that reports OpCounters lands in the enclosing span.
+///
+/// Spans are recorded into a flat arena and assembled into a nested Span
+/// tree by Build(); opening a span is one vector emplace + clock read.
+/// Instrumented code paths take a `Tracer*` that may be null — the RAII
+/// SpanScope below is a no-op then, which is the disabled fast path.
+class Tracer {
+ public:
+  Tracer();
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Opens a span nested under the innermost open span. Returns its id.
+  int Open(std::string name, std::string detail);
+
+  /// Seals the innermost open span; `id` must match (enforces LIFO use).
+  void Close(int id);
+
+  void SetRows(int id, int64_t rows_in, int64_t rows_out);
+  void MarkCached(int id);
+
+  /// Assembles the recorded spans into a tree. A single top-level span is
+  /// returned as the root; multiple top-level spans (or none) get a
+  /// synthetic "trace" root. Requires every span to be closed.
+  Span Build() const;
+
+  /// Counters accumulated across the whole trace so far.
+  const OpCounters& counters() const { return counters_; }
+
+  int64_t num_spans() const { return static_cast<int64_t>(nodes_.size()); }
+
+ private:
+  struct Node {
+    std::string name;
+    std::string detail;
+    int parent;
+    double start_us;
+    double dur_us = 0;
+    int64_t rows_in = 0;
+    int64_t rows_out = 0;
+    bool from_cache = false;
+    bool open = true;
+    OpCounters at_open;   // Snapshot of counters_ when opened.
+    OpCounters counters;  // Delta over the span's lifetime (cumulative).
+  };
+
+  std::vector<Node> nodes_;
+  std::vector<int> stack_;
+  OpCounters counters_;
+  OpCounters* previous_sink_;
+  Timer timer_;
+};
+
+/// RAII span handle. With a null tracer every member is a no-op, so
+/// instrumented code can create one unconditionally. Closing happens in the
+/// destructor, which keeps spans balanced across early error returns.
+class SpanScope {
+ public:
+  SpanScope(Tracer* tracer, const char* name, std::string detail = "")
+      : tracer_(tracer) {
+    if (tracer_ != nullptr) id_ = tracer_->Open(name, std::move(detail));
+  }
+  ~SpanScope() {
+    if (tracer_ != nullptr) tracer_->Close(id_);
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  void SetRows(int64_t rows_in, int64_t rows_out) {
+    if (tracer_ != nullptr) tracer_->SetRows(id_, rows_in, rows_out);
+  }
+  void MarkCached() {
+    if (tracer_ != nullptr) tracer_->MarkCached(id_);
+  }
+  bool enabled() const { return tracer_ != nullptr; }
+
+ private:
+  Tracer* tracer_;
+  int id_ = -1;
+};
+
+}  // namespace obs
+}  // namespace regal
+
+#endif  // REGAL_OBS_TRACE_H_

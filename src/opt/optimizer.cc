@@ -1,5 +1,7 @@
 #include "opt/optimizer.h"
 
+#include <cstdio>
+
 #include "core/extended.h"
 #include "opt/chain.h"
 #include "rig/rig.h"
@@ -8,25 +10,58 @@ namespace regal {
 
 namespace {
 
+// Truncated rendering for RewriteEvent: lowered expansions can be huge.
+std::string NodeString(const ExprPtr& e) {
+  std::string s = e->ToString();
+  if (s.size() > 120) {
+    s.resize(117);
+    s += "...";
+  }
+  return s;
+}
+
+// Records one firing of `rule` rewriting `before` into `after`.
+void RecordEvent(const char* rule, const ExprPtr& before, const ExprPtr& after,
+                 const OptimizerOptions& options,
+                 std::vector<RewriteEvent>* events) {
+  RewriteEvent event;
+  event.rule = rule;
+  event.before = NodeString(before);
+  event.after = NodeString(after);
+  event.cost_before = EstimateCost(before, options.stats);
+  event.cost_after = EstimateCost(after, options.stats);
+  events->push_back(std::move(event));
+}
+
 // Rewrites every ⊃_d / ⊂_d node into its Prop 5.2 bounded expansion.
 // Sound for instances satisfying the (acyclic) RIG, whose nesting depth is
 // bounded by `depth`.
 ExprPtr LowerExtended(const ExprPtr& expr, int depth,
-                      const std::vector<std::string>& catalog, int* applied) {
+                      const std::vector<std::string>& catalog,
+                      const OptimizerOptions& options, int* applied,
+                      std::vector<RewriteEvent>* events) {
   std::vector<ExprPtr> children;
   bool changed = false;
   for (const ExprPtr& c : expr->children()) {
-    ExprPtr nc = LowerExtended(c, depth, catalog, applied);
+    ExprPtr nc = LowerExtended(c, depth, catalog, options, applied, events);
     changed |= (nc.get() != c.get());
     children.push_back(std::move(nc));
   }
   switch (expr->kind()) {
-    case OpKind::kDirectIncluding:
+    case OpKind::kDirectIncluding: {
       ++*applied;
-      return DirectIncludingBounded(children[0], children[1], depth, catalog);
-    case OpKind::kDirectIncluded:
+      ExprPtr lowered =
+          DirectIncludingBounded(children[0], children[1], depth, catalog);
+      RecordEvent("lower-dincluding", expr, lowered, options, events);
+      return lowered;
+    }
+    case OpKind::kDirectIncluded: {
       ++*applied;
-      return DirectIncludedBounded(children[0], children[1], depth, catalog);
+      ExprPtr lowered =
+          DirectIncludedBounded(children[0], children[1], depth, catalog);
+      RecordEvent("lower-dwithin", expr, lowered, options, events);
+      return lowered;
+    }
     default:
       break;
   }
@@ -43,14 +78,14 @@ ExprPtr LowerExtended(const ExprPtr& expr, int depth,
 
 // One bottom-up rewrite pass. Increments *applied per rule firing.
 ExprPtr RewriteOnce(const ExprPtr& expr, const OptimizerOptions& options,
-                    int* applied) {
+                    int* applied, std::vector<RewriteEvent>* events) {
   // Rewrite children first.
   ExprPtr node = expr;
   if (!node->children().empty()) {
     std::vector<ExprPtr> new_children;
     bool changed = false;
     for (const ExprPtr& c : node->children()) {
-      ExprPtr nc = RewriteOnce(c, options, applied);
+      ExprPtr nc = RewriteOnce(c, options, applied, events);
       changed |= (nc.get() != c.get());
       new_children.push_back(std::move(nc));
     }
@@ -75,12 +110,16 @@ ExprPtr RewriteOnce(const ExprPtr& expr, const OptimizerOptions& options,
   if ((node->kind() == OpKind::kUnion || node->kind() == OpKind::kIntersect) &&
       node->child(0)->Equals(*node->child(1))) {
     ++*applied;
+    RecordEvent(node->kind() == OpKind::kUnion ? "union-idempotent"
+                                               : "intersect-idempotent",
+                node, node->child(0), options, events);
     return node->child(0);
   }
   if (node->kind() == OpKind::kSelect &&
       node->child(0)->kind() == OpKind::kSelect &&
       node->pattern().CacheKey() == node->child(0)->pattern().CacheKey()) {
     ++*applied;
+    RecordEvent("select-dedup", node, node->child(0), options, events);
     return node->child(0);
   }
 
@@ -93,7 +132,9 @@ ExprPtr RewriteOnce(const ExprPtr& expr, const OptimizerOptions& options,
       if (optimized.names.size() < chain->names.size()) {
         *applied +=
             static_cast<int>(chain->names.size() - optimized.names.size());
-        return ChainToExpr(optimized);
+        ExprPtr shortened = ChainToExpr(optimized);
+        RecordEvent("chain-shorten", node, shortened, options, events);
+        return shortened;
       }
     }
   }
@@ -101,6 +142,14 @@ ExprPtr RewriteOnce(const ExprPtr& expr, const OptimizerOptions& options,
 }
 
 }  // namespace
+
+std::string RewriteEvent::ToString() const {
+  char costs[96];
+  std::snprintf(costs, sizeof(costs), " (cost %.4g -> %.4g, est rows %.4g -> %.4g)",
+                cost_before.cost, cost_after.cost, cost_before.cardinality,
+                cost_after.cardinality);
+  return rule + ": " + before + " -> " + after + costs;
+}
 
 OptimizeOutcome Optimize(const ExprPtr& expr, const OptimizerOptions& options) {
   OptimizeOutcome outcome;
@@ -111,21 +160,26 @@ OptimizeOutcome Optimize(const ExprPtr& expr, const OptimizerOptions& options) {
     auto bound = RigNestingBound(*options.rig);
     if (bound.ok()) {
       int applied = 0;
-      current =
-          LowerExtended(current, *bound, options.rig->Labels(), &applied);
+      current = LowerExtended(current, *bound, options.rig->Labels(), options,
+                              &applied, &outcome.rewrites);
       total_applied += applied;
     }
   }
   for (int pass = 0; pass < options.max_passes; ++pass) {
     int applied = 0;
-    ExprPtr next = RewriteOnce(current, options, &applied);
-    // Rule 3: cost guard.
+    std::vector<RewriteEvent> pass_events;
+    ExprPtr next = RewriteOnce(current, options, &applied, &pass_events);
+    // Rule 3: cost guard. A rejected pass drops its events too — they were
+    // never applied.
     if (applied == 0) break;
     CostEstimate next_cost = EstimateCost(next, options.stats);
     CostEstimate current_cost = EstimateCost(current, options.stats);
     if (next_cost.cost > current_cost.cost) break;
     current = next;
     total_applied += applied;
+    for (RewriteEvent& event : pass_events) {
+      outcome.rewrites.push_back(std::move(event));
+    }
   }
   outcome.expr = current;
   outcome.rules_applied = total_applied;

@@ -28,11 +28,29 @@ struct OptimizerOptions {
   bool lower_extended_operators = false;
 };
 
+/// One rewrite-rule firing, recorded for observability: which rule, the
+/// node it rewrote, and the cost model's view of that node before and
+/// after. `explain` surfaces these so estimated-vs-actual effects are
+/// visible per rewrite instead of being re-derived by callers.
+struct RewriteEvent {
+  std::string rule;    // "union-idempotent", "chain-shorten", ...
+  std::string before;  // Node rendering pre-rewrite.
+  std::string after;   // Node rendering post-rewrite.
+  CostEstimate cost_before;  // EstimateCost of the node pre-rewrite.
+  CostEstimate cost_after;   // ... and post-rewrite.
+
+  /// "rule: before -> after (cost c1 -> c2, est rows r1 -> r2)".
+  std::string ToString() const;
+};
+
 struct OptimizeOutcome {
   ExprPtr expr;
   int rules_applied = 0;
   CostEstimate cost_before;
   CostEstimate cost_after;
+  /// Every rule firing the optimizer kept, in application order. Firings in
+  /// a pass discarded by the cost guard are not reported.
+  std::vector<RewriteEvent> rewrites;
 };
 
 /// Rewrites `expr` into a cheaper equivalent. Rules:

@@ -3,6 +3,8 @@
 #include "core/construct.h"
 #include "doc/sgml.h"
 #include "doc/srccode.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "opt/optimizer.h"
 #include "query/parser.h"
 #include "rig/rig.h"
@@ -10,8 +12,71 @@
 
 namespace regal {
 
+namespace {
+
+// Mirrors the evaluator's span naming to build the estimate-only plan for
+// plain `explain`, which never constructs a Tracer.
+obs::Span PlanFromExpr(const ExprPtr& expr, const CatalogStats& stats) {
+  obs::Span span;
+  span.name = ExprSpanName(*expr);
+  span.detail = ExprSpanDetail(*expr);
+  span.est_rows = EstimateCost(expr, stats).cardinality;
+  for (const ExprPtr& child : expr->children()) {
+    span.children.push_back(PlanFromExpr(child, stats));
+  }
+  return span;
+}
+
+// Walks a traced span tree and the executed expression in lockstep, attaching
+// the cost model's cardinality estimate to every node it can line up.
+// Memoized mentions are childless, so the lockstep stops there.
+void AttachEstimates(obs::Span* span, const ExprPtr& expr,
+                     const CatalogStats& stats) {
+  span->est_rows = EstimateCost(expr, stats).cardinality;
+  if (span->children.size() != expr->children().size()) return;
+  for (size_t i = 0; i < span->children.size(); ++i) {
+    AttachEstimates(&span->children[i], expr->children()[i], stats);
+  }
+}
+
+Status CheckNames(const Instance& instance,
+                  const std::map<std::string, RegionSet>& materialized,
+                  const ExprPtr& resolved) {
+  for (const std::string& name : resolved->NamesUsed()) {
+    if (!instance.Has(name) && materialized.count(name) == 0) {
+      return Status::NotFound("unknown region name '" + name + "'");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+}  // namespace
+
+std::string QueryProfile::Tree() const { return obs::FormatSpanTree(plan); }
+
+std::string QueryProfile::Json() const { return obs::SpanToJson(plan); }
+
+std::string QueryProfile::ChromeTrace() const {
+  return obs::SpanToChromeTrace(plan);
+}
+
 std::vector<std::string> QueryAnswer::Rows(const Instance& instance,
                                            int limit) const {
+  if (profile.has_value() && !profile->analyzed) {
+    return SplitLines(profile->Tree());
+  }
   std::vector<std::string> out;
   for (const Region& r : regions) {
     if (static_cast<int>(out.size()) >= limit) {
@@ -52,17 +117,22 @@ Status QueryEngine::Validate() const {
 }
 
 Result<QueryAnswer> QueryEngine::Run(const std::string& query, bool optimize) {
-  REGAL_ASSIGN_OR_RETURN(ExprPtr expr, ParseQuery(query));
-  return RunExpr(expr, optimize);
+  REGAL_ASSIGN_OR_RETURN(QueryStatement statement, ParseStatement(query));
+  switch (statement.verb) {
+    case QueryVerb::kExplain:
+      return ExplainExpr(statement.expr, optimize);
+    case QueryVerb::kExplainAnalyze:
+      return RunExpr(statement.expr, optimize, /*profile=*/true);
+    case QueryVerb::kRun:
+      break;
+  }
+  return RunExpr(statement.expr, optimize);
 }
 
-Result<QueryAnswer> QueryEngine::RunExpr(const ExprPtr& expr, bool optimize) {
+Result<QueryAnswer> QueryEngine::RunExpr(const ExprPtr& expr, bool optimize,
+                                         bool profile) {
   ExprPtr resolved = ResolveViews(expr);
-  for (const std::string& name : resolved->NamesUsed()) {
-    if (!instance_.Has(name) && materialized_views_.count(name) == 0) {
-      return Status::NotFound("unknown region name '" + name + "'");
-    }
-  }
+  REGAL_RETURN_NOT_OK(CheckNames(instance_, materialized_views_, resolved));
   QueryAnswer answer;
   answer.parsed = expr;
   answer.executed = resolved;
@@ -73,14 +143,59 @@ Result<QueryAnswer> QueryEngine::RunExpr(const ExprPtr& expr, bool optimize) {
     OptimizeOutcome outcome = Optimize(resolved, options);
     answer.executed = outcome.expr;
     answer.rewrite_rules_applied = outcome.rules_applied;
+    answer.rewrites = std::move(outcome.rewrites);
   }
-  Timer timer;
-  EvalOptions eval_options;
-  eval_options.bindings = &materialized_views_;
-  Evaluator evaluator(&instance_, eval_options);
-  REGAL_ASSIGN_OR_RETURN(answer.regions, evaluator.Evaluate(answer.executed));
-  answer.elapsed_ms = timer.Millis();
-  answer.eval_stats = evaluator.stats();
+  std::optional<obs::Tracer> tracer;
+  if (profile) tracer.emplace();
+  {
+    ScopedTimer timed(&answer.elapsed_ms);
+    EvalOptions eval_options;
+    eval_options.bindings = &materialized_views_;
+    if (profile) eval_options.tracer = &*tracer;
+    Evaluator evaluator(&instance_, eval_options);
+    REGAL_ASSIGN_OR_RETURN(answer.regions, evaluator.Evaluate(answer.executed));
+    answer.eval_stats = evaluator.stats();
+  }
+  if (profile) {
+    QueryProfile query_profile;
+    query_profile.plan = tracer->Build();
+    AttachEstimates(&query_profile.plan, answer.executed, stats_);
+    query_profile.counters = tracer->counters();
+    query_profile.total_ms = answer.elapsed_ms;
+    query_profile.analyzed = true;
+    answer.profile = std::move(query_profile);
+  }
+  obs::Registry& registry = obs::Registry::Default();
+  registry.GetCounter("regal_queries_total",
+                      {{"verb", profile ? "explain_analyze" : "run"}})
+      ->Increment();
+  registry.GetHistogram("regal_query_latency_ms")->Observe(answer.elapsed_ms);
+  return answer;
+}
+
+Result<QueryAnswer> QueryEngine::ExplainExpr(const ExprPtr& expr,
+                                             bool optimize) {
+  ExprPtr resolved = ResolveViews(expr);
+  REGAL_RETURN_NOT_OK(CheckNames(instance_, materialized_views_, resolved));
+  QueryAnswer answer;
+  answer.parsed = expr;
+  answer.executed = resolved;
+  if (optimize) {
+    OptimizerOptions options;
+    options.stats = stats_;
+    if (rig_.has_value()) options.rig = &*rig_;
+    OptimizeOutcome outcome = Optimize(resolved, options);
+    answer.executed = outcome.expr;
+    answer.rewrite_rules_applied = outcome.rules_applied;
+    answer.rewrites = std::move(outcome.rewrites);
+  }
+  QueryProfile query_profile;
+  query_profile.plan = PlanFromExpr(answer.executed, stats_);
+  query_profile.analyzed = false;
+  answer.profile = std::move(query_profile);
+  obs::Registry::Default()
+      .GetCounter("regal_queries_total", {{"verb", "explain"}})
+      ->Increment();
   return answer;
 }
 

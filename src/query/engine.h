@@ -9,10 +9,29 @@
 #include "core/eval.h"
 #include "core/instance.h"
 #include "graph/digraph.h"
+#include "obs/trace.h"
 #include "opt/cost.h"
+#include "opt/optimizer.h"
 #include "util/status.h"
 
 namespace regal {
+
+/// The annotated execution plan behind `explain [analyze]`: a span tree
+/// mirroring the executed expression, each node carrying the optimizer's
+/// cardinality estimate plus — for `analyze` — actual input/output
+/// cardinalities, operator work counters and wall time.
+struct QueryProfile {
+  obs::Span plan;
+  bool analyzed = false;  // True when the plan was actually executed.
+  double total_ms = 0;
+  obs::OpCounters counters;  // Totals across the whole plan.
+
+  /// Human-readable plan tree (obs::FormatSpanTree).
+  std::string Tree() const;
+  /// Machine-readable exports (see obs/export.h).
+  std::string Json() const;
+  std::string ChromeTrace() const;
+};
 
 /// A materialized query answer plus execution diagnostics.
 struct QueryAnswer {
@@ -20,11 +39,19 @@ struct QueryAnswer {
   ExprPtr parsed;          // The query as parsed.
   ExprPtr executed;        // After optimization (== parsed if disabled).
   int rewrite_rules_applied = 0;
+  /// Which optimizer rewrites fired, in application order (empty when the
+  /// optimizer was disabled or had nothing to do).
+  std::vector<RewriteEvent> rewrites;
   EvalStats eval_stats;
   double elapsed_ms = 0;
+  /// Set for `explain` / `explain analyze` statements (and for RunExpr with
+  /// profiling requested). For plain `explain`, regions is empty and the
+  /// plan carries estimates only.
+  std::optional<QueryProfile> profile;
 
   /// Result rows rendered with text snippets (text-backed catalogs) or
-  /// offset pairs (synthetic ones). At most `limit` rows.
+  /// offset pairs (synthetic ones). At most `limit` rows. For `explain`
+  /// answers the rows are the plan-tree lines instead.
   std::vector<std::string> Rows(const Instance& instance, int limit = 10) const;
 };
 
@@ -49,11 +76,20 @@ class QueryEngine {
   Status Validate() const;
 
   /// Parses and runs `query`. Unknown region names fail with NotFound
-  /// before evaluation. `optimize` toggles the rewrite pass.
+  /// before evaluation. `optimize` toggles the rewrite pass. The statement
+  /// verbs `explain <q>` / `explain analyze <q>` return the annotated plan
+  /// in QueryAnswer::profile (the former without executing).
   Result<QueryAnswer> Run(const std::string& query, bool optimize = true);
 
-  /// Runs an already-built expression.
-  Result<QueryAnswer> RunExpr(const ExprPtr& expr, bool optimize = true);
+  /// Runs an already-built expression. `profile` requests span tracing and
+  /// fills QueryAnswer::profile (the `explain analyze` path).
+  Result<QueryAnswer> RunExpr(const ExprPtr& expr, bool optimize = true,
+                              bool profile = false);
+
+  /// Builds the estimated plan for an expression without executing it (the
+  /// `explain` path): optimizes (when requested) and annotates each node
+  /// with the cost model's cardinality estimate.
+  Result<QueryAnswer> ExplainExpr(const ExprPtr& expr, bool optimize = true);
 
   // --- Views (footnote 1 of the paper: dynamically constructed region
   // sets treated as names) ---

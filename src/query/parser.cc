@@ -19,6 +19,16 @@ class Parser {
     return e;
   }
 
+  Result<QueryStatement> ParseTopLevel() {
+    QueryStatement statement;
+    if (ConsumeKeyword("explain")) {
+      statement.verb = ConsumeKeyword("analyze") ? QueryVerb::kExplainAnalyze
+                                                 : QueryVerb::kExplain;
+    }
+    REGAL_ASSIGN_OR_RETURN(statement.expr, Parse());
+    return statement;
+  }
+
  private:
   const QueryToken& Peek() const { return tokens_[pos_]; }
 
@@ -153,6 +163,11 @@ class Parser {
 Result<ExprPtr> ParseQuery(const std::string& query) {
   REGAL_ASSIGN_OR_RETURN(std::vector<QueryToken> tokens, LexQuery(query));
   return Parser(std::move(tokens)).Parse();
+}
+
+Result<QueryStatement> ParseStatement(const std::string& query) {
+  REGAL_ASSIGN_OR_RETURN(std::vector<QueryToken> tokens, LexQuery(query));
+  return Parser(std::move(tokens)).ParseTopLevel();
 }
 
 }  // namespace regal

@@ -28,6 +28,28 @@ namespace regal {
 /// ParseQuery(e->ToString()) reproduces e.
 Result<ExprPtr> ParseQuery(const std::string& query);
 
+/// Top-level statement verbs:
+///   stmt := ('explain' 'analyze'? )? expr
+/// `explain e` asks for the optimized plan with cost estimates, without
+/// executing; `explain analyze e` executes e with tracing and returns the
+/// plan annotated with actual cardinalities/counters/timings.
+enum class QueryVerb {
+  kRun,
+  kExplain,
+  kExplainAnalyze,
+};
+
+struct QueryStatement {
+  QueryVerb verb = QueryVerb::kRun;
+  ExprPtr expr;
+};
+
+/// Parses a statement. `explain`/`analyze` are contextual keywords: they are
+/// only special in leading position, so region names elsewhere may still use
+/// them; a region literally named "explain" must be parenthesized in leading
+/// position ("(explain) within a").
+Result<QueryStatement> ParseStatement(const std::string& query);
+
 }  // namespace regal
 
 #endif  // REGAL_QUERY_PARSER_H_

@@ -2,11 +2,16 @@
 #define REGAL_UTIL_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
+#include <functional>
+#include <utility>
 
 namespace regal {
 
-/// Monotonic wall-clock stopwatch used by the benchmark harnesses and the
-/// examples; google-benchmark binaries use their own timing.
+/// Monotonic wall-clock stopwatch used by the benchmark harnesses, the
+/// examples and the obs span tracer; google-benchmark binaries use their own
+/// timing. steady_clock gives nanosecond resolution on the supported
+/// platforms.
 class Timer {
  public:
   Timer() : start_(Clock::now()) {}
@@ -20,9 +25,50 @@ class Timer {
 
   double Millis() const { return Seconds() * 1e3; }
 
+  /// Integral nanoseconds elapsed — the full clock resolution, for
+  /// instrumentation that must not lose precision on sub-microsecond spans.
+  int64_t Nanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// RAII stopwatch: measures from construction to destruction and reports the
+/// elapsed milliseconds into a double, or to a callback. Because reporting
+/// happens in the destructor, the measurement survives early returns — the
+/// query engine times evaluation this way around error propagation.
+///
+///   double parse_ms = 0;
+///   { ScopedTimer t(&parse_ms); ... }           // writes on scope exit
+///   ScopedTimer t([&](double ms) { ... });      // or deliver to a sink
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* elapsed_ms) : elapsed_ms_(elapsed_ms) {}
+  explicit ScopedTimer(std::function<void(double)> callback)
+      : callback_(std::move(callback)) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    double ms = timer_.Millis();
+    if (elapsed_ms_ != nullptr) *elapsed_ms_ = ms;
+    if (callback_) callback_(ms);
+  }
+
+  /// The running value, without stopping.
+  double Millis() const { return timer_.Millis(); }
+  int64_t Nanos() const { return timer_.Nanos(); }
+
+ private:
+  Timer timer_;
+  double* elapsed_ms_ = nullptr;
+  std::function<void(double)> callback_;
 };
 
 }  // namespace regal

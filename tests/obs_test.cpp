@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <limits>
+#include <string>
+
+#include "core/eval.h"
+#include "doc/sgml.h"
+#include "obs/counters.h"
+#include "obs/export.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/timer.h"
+
+namespace regal {
+namespace {
+
+// Minimal recursive-descent JSON syntax checker, enough to assert that the
+// exporters emit well-formed documents without a JSON dependency.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word) {
+    size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool String() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool Number() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Value() {
+    SkipWs();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    if (c == '{') return Object();
+    if (c == '[') return Array();
+    if (c == '"') return String();
+    if (c == 't') return Literal("true");
+    if (c == 'f') return Literal("false");
+    if (c == 'n') return Literal("null");
+    return Number();
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') return ++pos_, true;
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      if (!Value()) return false;
+      SkipWs();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == '}') return ++pos_, true;
+      if (text_[pos_] != ',') return false;
+      ++pos_;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') return ++pos_, true;
+    while (true) {
+      if (!Value()) return false;
+      SkipWs();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ']') return ++pos_, true;
+      if (text_[pos_] != ',') return false;
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+bool ValidJson(const std::string& text) { return JsonChecker(text).Valid(); }
+
+TEST(JsonWriterTest, BuildsDocuments) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("name").String("a \"quoted\" name\n");
+  w.Key("n").Int(-7);
+  w.Key("flag").Bool(true);
+  w.Key("xs").BeginArray();
+  w.Double(1.5);
+  w.Double(std::numeric_limits<double>::infinity());
+  w.EndArray();
+  w.EndObject();
+  std::string doc = w.Take();
+  EXPECT_EQ(doc,
+            "{\"name\":\"a \\\"quoted\\\" name\\n\",\"n\":-7,"
+            "\"flag\":true,\"xs\":[1.5,null]}");
+  EXPECT_TRUE(ValidJson(doc));
+}
+
+TEST(MetricsTest, CounterAndGaugeSemantics) {
+  obs::Registry registry;
+  obs::Counter* c = registry.GetCounter("ops", {{"op", "union"}});
+  c->Increment();
+  c->Increment(4);
+  // Same name+labels returns the same instance; different labels a new one.
+  EXPECT_EQ(registry.GetCounter("ops", {{"op", "union"}}), c);
+  EXPECT_NE(registry.GetCounter("ops", {{"op", "within"}}), c);
+  EXPECT_EQ(c->value(), 5);
+
+  registry.GetGauge("depth")->Set(3.5);
+  auto snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  bool saw_union = false;
+  for (const obs::MetricSnapshot& m : snapshot) {
+    if (m.name == "ops" && m.labels.at("op") == "union") {
+      saw_union = true;
+      EXPECT_EQ(m.kind, obs::MetricSnapshot::Kind::kCounter);
+      EXPECT_EQ(m.value, 5);
+    }
+  }
+  EXPECT_TRUE(saw_union);
+
+  registry.Clear();
+  EXPECT_TRUE(registry.Snapshot().empty());
+}
+
+TEST(MetricsTest, HistogramBuckets) {
+  obs::Registry registry;
+  obs::Histogram* h =
+      registry.GetHistogram("latency", {}, std::vector<double>{1.0, 10.0});
+  h->Observe(0.5);
+  h->Observe(5);
+  h->Observe(50);
+  EXPECT_EQ(h->count(), 3);
+  EXPECT_DOUBLE_EQ(h->sum(), 55.5);
+  std::vector<int64_t> cumulative = h->CumulativeBucketCounts();
+  ASSERT_EQ(cumulative.size(), 3u);  // {<=1, <=10, +inf}.
+  EXPECT_EQ(cumulative[0], 1);
+  EXPECT_EQ(cumulative[1], 2);
+  EXPECT_EQ(cumulative[2], 3);
+
+  std::string json = obs::MetricsToJson(registry.Snapshot());
+  EXPECT_TRUE(ValidJson(json)) << json;
+  EXPECT_NE(json.find("\"latency\""), std::string::npos);
+}
+
+TEST(CountersTest, SinkSwapAndRestore) {
+  EXPECT_EQ(obs::CountersSink(), nullptr);
+  obs::OpCounters local;
+  obs::OpCounters* previous = obs::SwapCountersSink(&local);
+  EXPECT_EQ(previous, nullptr);
+  EXPECT_EQ(obs::CountersSink(), &local);
+  obs::SwapCountersSink(previous);
+  EXPECT_EQ(obs::CountersSink(), nullptr);
+}
+
+constexpr char kDoc[] =
+    "<doc><sec><para>alpha beta</para><para>gamma</para></sec>"
+    "<sec><para>delta</para></sec></doc>";
+
+TEST(TraceTest, SpanTreeMirrorsExpressionShape) {
+  auto instance = ParseSgml(kDoc);
+  ASSERT_TRUE(instance.ok()) << instance.status();
+
+  // `para` is a shared subtree: its second mention must show up as a
+  // childless memoized span, so the tree still mirrors the expression.
+  ExprPtr para = Expr::Name("para");
+  ExprPtr expr = Expr::Union(
+      Expr::Binary(OpKind::kIncluded, para, Expr::Name("sec")), para);
+
+  obs::Tracer tracer;
+  EvalOptions options;
+  options.tracer = &tracer;
+  auto result = Evaluate(*instance, expr, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  obs::Span root = tracer.Build();
+  EXPECT_EQ(root.name, "union");
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.rows_out, static_cast<int64_t>(result->size()));
+
+  const obs::Span& within = root.children[0];
+  EXPECT_EQ(within.name, "within");
+  ASSERT_EQ(within.children.size(), 2u);
+  EXPECT_EQ(within.children[0].name, "scan");
+  EXPECT_EQ(within.children[0].detail, "para");
+  EXPECT_EQ(within.children[1].detail, "sec");
+  EXPECT_GT(within.counters.comparisons, 0);
+
+  const obs::Span& cached = root.children[1];
+  EXPECT_TRUE(cached.from_cache);
+  EXPECT_TRUE(cached.children.empty());
+  EXPECT_EQ(cached.rows_out, 3);  // All three paras, from the memo table.
+
+  EXPECT_EQ(root.TotalSpans(), 5);
+  EXPECT_EQ(root.Depth(), 3);
+  // The whole-trace counters cover every operator in the plan.
+  EXPECT_GE(tracer.counters().comparisons, within.counters.comparisons);
+}
+
+TEST(TraceTest, ExportsAreWellFormed) {
+  auto instance = ParseSgml(kDoc);
+  ASSERT_TRUE(instance.ok());
+  auto expr = Expr::Binary(OpKind::kIncluded, Expr::Name("para"),
+                           Expr::Name("sec"));
+  obs::Tracer tracer;
+  EvalOptions options;
+  options.tracer = &tracer;
+  ASSERT_TRUE(Evaluate(*instance, expr, options).ok());
+  obs::Span root = tracer.Build();
+
+  std::string tree = obs::FormatSpanTree(root);
+  EXPECT_NE(tree.find("within"), std::string::npos);
+  EXPECT_NE(tree.find("scan para"), std::string::npos);
+  EXPECT_NE(tree.find("rows="), std::string::npos);
+
+  std::string json = obs::SpanToJson(root);
+  EXPECT_TRUE(ValidJson(json)) << json;
+  EXPECT_NE(json.find("\"name\":\"within\""), std::string::npos);
+  EXPECT_NE(json.find("\"children\""), std::string::npos);
+
+  std::string chrome = obs::SpanToChromeTrace(root);
+  EXPECT_TRUE(ValidJson(chrome)) << chrome;
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(TraceTest, DisabledTracingTouchesNothing) {
+  auto instance = ParseSgml(kDoc);
+  ASSERT_TRUE(instance.ok());
+  auto expr = Expr::Binary(OpKind::kIncluded, Expr::Name("para"),
+                           Expr::Name("sec"));
+
+  // No tracer: the thread's counter sink stays null the whole way.
+  EXPECT_EQ(obs::CountersSink(), nullptr);
+  ASSERT_TRUE(Evaluate(*instance, expr).ok());
+  EXPECT_EQ(obs::CountersSink(), nullptr);
+
+  // A tracer that no evaluator uses records no spans, and its sink is
+  // restored on destruction.
+  {
+    obs::Tracer idle;
+    EXPECT_NE(obs::CountersSink(), nullptr);
+    EXPECT_EQ(idle.num_spans(), 0);
+  }
+  EXPECT_EQ(obs::CountersSink(), nullptr);
+}
+
+TEST(ScopedTimerTest, ReportsIntoTarget) {
+  double elapsed_ms = -1;
+  {
+    ScopedTimer timer(&elapsed_ms);
+    EXPECT_GE(timer.Nanos(), 0);
+  }
+  EXPECT_GE(elapsed_ms, 0);
+
+  double via_callback = -1;
+  {
+    ScopedTimer timer([&](double ms) { via_callback = ms; });
+  }
+  EXPECT_GE(via_callback, 0);
+}
+
+}  // namespace
+}  // namespace regal

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "doc/dictionary.h"
 #include "doc/sgml.h"
 #include "doc/srccode.h"
 #include "query/engine.h"
@@ -193,6 +194,149 @@ TEST(EngineTest, BothIncludedQuerySemantics) {
   // sec qualifies — the classic granularity pitfall, shown in the example
   // programs with token-level regions instead.
   EXPECT_TRUE(answer->regions.empty());
+}
+
+TEST(ParserTest, StatementVerbs) {
+  auto run = ParseStatement("A within B");
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->verb, QueryVerb::kRun);
+
+  auto explain = ParseStatement("explain A within B");
+  ASSERT_TRUE(explain.ok());
+  EXPECT_EQ(explain->verb, QueryVerb::kExplain);
+  EXPECT_EQ(explain->expr->ToString(), "(A within B)");
+
+  auto analyze = ParseStatement("explain analyze A within B");
+  ASSERT_TRUE(analyze.ok());
+  EXPECT_EQ(analyze->verb, QueryVerb::kExplainAnalyze);
+
+  // The keywords are contextual: parenthesized, `explain` is a region name;
+  // elsewhere it never needs quoting at all.
+  auto as_name = ParseStatement("(explain)");
+  ASSERT_TRUE(as_name.ok());
+  EXPECT_EQ(as_name->verb, QueryVerb::kRun);
+  EXPECT_EQ(as_name->expr->name(), "explain");
+  auto inner = ParseStatement("A within explain");
+  ASSERT_TRUE(inner.ok());
+  EXPECT_EQ(inner->verb, QueryVerb::kRun);
+
+  EXPECT_FALSE(ParseStatement("explain").ok());
+}
+
+TEST(EngineTest, RewritesReported) {
+  auto engine = QueryEngine::FromProgramSource(kProgram);
+  ASSERT_TRUE(engine.ok());
+  auto answer =
+      engine->Run("Name within Proc_header within Proc within Program");
+  ASSERT_TRUE(answer.ok());
+  // The chain-shortening rewrite must be visible in the answer, not
+  // re-derivable only by calling the optimizer by hand.
+  ASSERT_FALSE(answer->rewrites.empty());
+  EXPECT_EQ(answer->rewrites[0].rule, "chain-shorten");
+  EXPECT_NE(answer->rewrites[0].ToString().find(" -> "), std::string::npos);
+  EXPECT_LT(answer->rewrites[0].cost_after.cost,
+            answer->rewrites[0].cost_before.cost);
+
+  auto unoptimized = engine->Run("Name within Proc", /*optimize=*/false);
+  ASSERT_TRUE(unoptimized.ok());
+  EXPECT_TRUE(unoptimized->rewrites.empty());
+}
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  static QueryEngine MakeDictionaryEngine() {
+    DictionaryGeneratorOptions options;
+    options.entries = 40;
+    options.seed = 7;
+    auto engine =
+        QueryEngine::FromSgmlSource(GenerateDictionarySource(options));
+    EXPECT_TRUE(engine.ok()) << engine.status();
+    return std::move(engine).value();
+  }
+};
+
+TEST_F(ExplainTest, ExplainAnalyzeProfilesTheQuery) {
+  QueryEngine engine = MakeDictionaryEngine();
+  auto plain = engine.Run("sense within entry within dictionary");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain->profile.has_value());
+
+  auto answer = engine.Run("explain analyze sense within entry within dictionary");
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  EXPECT_EQ(answer->regions, plain->regions);
+  ASSERT_TRUE(answer->profile.has_value());
+  const QueryProfile& profile = *answer->profile;
+  EXPECT_TRUE(profile.analyzed);
+  EXPECT_GT(profile.counters.comparisons, 0);
+
+  // The plan tree mirrors the executed expression, with per-operator output
+  // cardinalities and cost-model estimates attached.
+  const obs::Span& root = profile.plan;
+  EXPECT_EQ(root.name, "within");
+  EXPECT_EQ(root.rows_out, static_cast<int64_t>(answer->regions.size()));
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[0].name, "scan");
+  EXPECT_EQ(root.children[0].detail, "sense");
+  EXPECT_GE(root.est_rows, 0);
+  EXPECT_GE(root.children[0].est_rows, 0);
+
+  std::string tree = profile.Tree();
+  EXPECT_NE(tree.find("within"), std::string::npos);
+  EXPECT_NE(tree.find("scan sense"), std::string::npos);
+  EXPECT_NE(tree.find("rows="), std::string::npos);
+  EXPECT_NE(tree.find("cmp="), std::string::npos);
+  EXPECT_NE(tree.find("ms"), std::string::npos);
+
+  std::string json = profile.Json();
+  EXPECT_NE(json.find("\"name\":\"within\""), std::string::npos);
+  EXPECT_NE(json.find("\"rows_out\":"), std::string::npos);
+  std::string chrome = profile.ChromeTrace();
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST_F(ExplainTest, ExplainDoesNotExecute) {
+  QueryEngine engine = MakeDictionaryEngine();
+  auto answer = engine.Run("explain sense within entry");
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  EXPECT_TRUE(answer->regions.empty());
+  ASSERT_TRUE(answer->profile.has_value());
+  EXPECT_FALSE(answer->profile->analyzed);
+  const obs::Span& root = answer->profile->plan;
+  EXPECT_EQ(root.name, "within");
+  EXPECT_GE(root.est_rows, 0);
+  EXPECT_EQ(root.rows_out, 0);
+
+  // Rows() renders the plan for explain answers.
+  auto rows = answer->Rows(engine.instance());
+  ASSERT_FALSE(rows.empty());
+  EXPECT_NE(rows[0].find("within"), std::string::npos);
+  // Un-executed plans carry no timing lines.
+  EXPECT_EQ(answer->profile->Tree().find("ms"), std::string::npos);
+}
+
+TEST_F(ExplainTest, ExplainAnalyzeMarksMemoizedSubtrees) {
+  QueryEngine engine = MakeDictionaryEngine();
+  // `entry` appears twice; the optimizer's idempotence rule would collapse
+  // an identical pair, so intersect with distinct shapes and disable it.
+  auto answer =
+      engine.RunExpr(*ParseQuery("(sense within entry) & (sense within entry)"),
+                     /*optimize=*/false, /*profile=*/true);
+  ASSERT_TRUE(answer.ok());
+  const obs::Span& root = answer->profile->plan;
+  EXPECT_EQ(root.name, "intersect");
+  ASSERT_EQ(root.children.size(), 2u);
+  // The parser builds separate subtrees for the two sides, so nothing memoizes
+  // across them — but re-running the same ExprPtr shares everything.
+  ExprPtr shared = *ParseQuery("sense within entry");
+  ExprPtr twice = Expr::Intersect(shared, shared);
+  auto memo = engine.RunExpr(twice, /*optimize=*/false, /*profile=*/true);
+  ASSERT_TRUE(memo.ok());
+  const obs::Span& memo_root = memo->profile->plan;
+  ASSERT_EQ(memo_root.children.size(), 2u);
+  EXPECT_FALSE(memo_root.children[0].from_cache);
+  EXPECT_TRUE(memo_root.children[1].from_cache);
+  EXPECT_TRUE(memo_root.children[1].children.empty());
+  EXPECT_NE(memo->profile->Tree().find("(memo)"), std::string::npos);
 }
 
 }  // namespace
