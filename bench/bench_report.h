@@ -13,7 +13,17 @@
 #include <string>
 #include <vector>
 
+#include "exec/thread_pool.h"
 #include "obs/json.h"
+
+// Build provenance, injected by bench/CMakeLists.txt so that every BENCH_*.json
+// records which revision and build type produced it.
+#ifndef REGAL_GIT_REVISION
+#define REGAL_GIT_REVISION "unknown"
+#endif
+#ifndef REGAL_BUILD_TYPE
+#define REGAL_BUILD_TYPE "unknown"
+#endif
 
 namespace regal {
 
@@ -37,6 +47,11 @@ class BenchJsonReporter : public benchmark::BenchmarkReporter {
     writer_.Key("context").BeginObject();
     writer_.Key("num_cpus").Int(cpu.num_cpus);
     writer_.Key("mhz_per_cpu").Double(cpu.cycles_per_second / 1e6);
+    // Numbers from different thread counts / revisions / build types are not
+    // comparable; record all three so stale baselines are detectable.
+    writer_.Key("num_threads").Int(exec::ThreadPool::DefaultNumThreads());
+    writer_.Key("git_revision").String(REGAL_GIT_REVISION);
+    writer_.Key("build_type").String(REGAL_BUILD_TYPE);
     writer_.EndObject();
     writer_.Key("benchmarks").BeginArray();
     return console_.ReportContext(context);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "core/algebra_kernels.h"
 #include "obs/counters.h"
 
 namespace regal {
@@ -37,71 +38,37 @@ void ReportCounters(int64_t comparisons, int64_t merge_steps,
 
 }  // namespace
 
+// The set operations run the span kernels of core/algebra_kernels.h over the
+// full operands; the parallel layer (exec/parallel_algebra.cc) runs the same
+// kernels per contiguous chunk, which keeps the two paths bit-identical.
 RegionSet Union(const RegionSet& r, const RegionSet& s) {
   std::vector<Region> out;
   out.reserve(r.size() + s.size());
-  RegionDocumentOrder less;
-  int64_t comparisons = 0;
-  size_t i = 0;
-  size_t j = 0;
-  while (i < r.size() && j < s.size()) {
-    ++comparisons;
-    if (r[i] == s[j]) {
-      out.push_back(r[i]);
-      ++i;
-      ++j;
-    } else if (less(r[i], s[j])) {
-      out.push_back(r[i++]);
-    } else {
-      out.push_back(s[j++]);
-    }
-  }
-  for (; i < r.size(); ++i) out.push_back(r[i]);
-  for (; j < s.size(); ++j) out.push_back(s[j]);
-  ReportCounters(comparisons, static_cast<int64_t>(r.size() + s.size()), 0);
+  obs::OpCounters c;
+  kernels::UnionSpan(r.regions().data(), r.regions().data() + r.size(),
+                     s.regions().data(), s.regions().data() + s.size(), &out,
+                     &c);
+  kernels::FlushCounters(c);
   return RegionSet::FromSortedUnique(std::move(out));
 }
 
 RegionSet Intersect(const RegionSet& r, const RegionSet& s) {
   std::vector<Region> out;
-  RegionDocumentOrder less;
-  int64_t comparisons = 0;
-  size_t i = 0;
-  size_t j = 0;
-  while (i < r.size() && j < s.size()) {
-    ++comparisons;
-    if (r[i] == s[j]) {
-      out.push_back(r[i]);
-      ++i;
-      ++j;
-    } else if (less(r[i], s[j])) {
-      ++i;
-    } else {
-      ++j;
-    }
-  }
-  ReportCounters(comparisons, static_cast<int64_t>(i + j), 0);
+  obs::OpCounters c;
+  kernels::IntersectSpan(r.regions().data(), r.regions().data() + r.size(),
+                         s.regions().data(), s.regions().data() + s.size(),
+                         &out, &c);
+  kernels::FlushCounters(c);
   return RegionSet::FromSortedUnique(std::move(out));
 }
 
 RegionSet Difference(const RegionSet& r, const RegionSet& s) {
   std::vector<Region> out;
-  RegionDocumentOrder less;
-  int64_t comparisons = 0;
-  size_t i = 0;
-  size_t j = 0;
-  while (i < r.size()) {
-    if (j != s.size()) ++comparisons;
-    if (j == s.size() || less(r[i], s[j])) {
-      out.push_back(r[i++]);
-    } else if (r[i] == s[j]) {
-      ++i;
-      ++j;
-    } else {
-      ++j;
-    }
-  }
-  ReportCounters(comparisons, static_cast<int64_t>(i + j), 0);
+  obs::OpCounters c;
+  kernels::DifferenceSpan(r.regions().data(), r.regions().data() + r.size(),
+                          s.regions().data(), s.regions().data() + s.size(),
+                          &out, &c);
+  kernels::FlushCounters(c);
   return RegionSet::FromSortedUnique(std::move(out));
 }
 

@@ -1,0 +1,56 @@
+#ifndef REGAL_CORE_ALGEBRA_KERNELS_H_
+#define REGAL_CORE_ALGEBRA_KERNELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/region.h"
+#include "obs/counters.h"
+
+namespace regal {
+namespace kernels {
+
+/// Span-level merge kernels behind the set operators. The sequential
+/// operators in core/algebra.cc run them over the full operands; the
+/// partitioned parallel kernels in exec/parallel_algebra.cc run them per
+/// contiguous chunk. Sharing the loop bodies is what makes the parallel
+/// results bit-identical to the sequential ones by construction.
+///
+/// Inputs are document-ordered, duplicate-free ranges; output is appended to
+/// `out` in document order. Work is tallied into `counters` (never into the
+/// thread-local obs sink — chunks run on pool workers, and the coordinating
+/// thread flushes the summed counters once via FlushCounters).
+///
+/// When one side is at least kGallopRatio times longer than the other, the
+/// merges switch to galloping (exponential search + bulk append) so skewed
+/// set operations cost O(small * log(large)) instead of O(small + large).
+inline constexpr ptrdiff_t kGallopRatio = 16;
+
+void UnionSpan(const Region* rb, const Region* re, const Region* sb,
+               const Region* se, std::vector<Region>* out,
+               obs::OpCounters* counters);
+
+void IntersectSpan(const Region* rb, const Region* re, const Region* sb,
+                   const Region* se, std::vector<Region>* out,
+                   obs::OpCounters* counters);
+
+/// R - S restricted to the given spans.
+void DifferenceSpan(const Region* rb, const Region* re, const Region* sb,
+                    const Region* se, std::vector<Region>* out,
+                    obs::OpCounters* counters);
+
+/// Smallest position in [first, last) not ordered before `v` (lower bound by
+/// document order), found by exponential search from `first`. Probe count is
+/// charged to `comparisons`.
+const Region* GallopLowerBound(const Region* first, const Region* last,
+                               const Region& v, int64_t* comparisons);
+
+/// Adds `counters` to the calling thread's obs sink, if one is installed —
+/// the flush half of the tally-locally/flush-once discipline of
+/// core/algebra.cc, exposed here so the parallel kernels follow it too.
+void FlushCounters(const obs::OpCounters& counters);
+
+}  // namespace kernels
+}  // namespace regal
+
+#endif  // REGAL_CORE_ALGEBRA_KERNELS_H_

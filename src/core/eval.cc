@@ -1,9 +1,33 @@
 #include "core/eval.h"
 
+#include <optional>
+#include <utility>
+
 #include "core/algebra.h"
 #include "core/extended.h"
+#include "exec/thread_pool.h"
 
 namespace regal {
+
+namespace {
+
+/// Non-owning view of a set owned by the instance or the bindings map (both
+/// outlive the evaluation): the aliasing constructor with an empty owner
+/// yields a shared_ptr that never copies or frees the set.
+std::shared_ptr<const RegionSet> Borrow(const RegionSet* set) {
+  return std::shared_ptr<const RegionSet>(std::shared_ptr<const RegionSet>(),
+                                          set);
+}
+
+std::shared_ptr<const RegionSet> Adopt(RegionSet set) {
+  return std::make_shared<const RegionSet>(std::move(set));
+}
+
+bool IsLeaf(const Expr& e) {
+  return e.kind() == OpKind::kName || e.kind() == OpKind::kWordMatch;
+}
+
+}  // namespace
 
 const char* ExprSpanName(const Expr& e) {
   switch (e.kind()) {
@@ -33,95 +57,194 @@ std::string ExprSpanDetail(const Expr& e) {
 }
 
 Result<RegionSet> Evaluator::Evaluate(const ExprPtr& e) {
-  memo_.clear();
-  return Eval(e);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    memo_.clear();
+  }
+  REGAL_ASSIGN_OR_RETURN(SharedSet result, Eval(e));
+  return *result;
 }
 
-Result<RegionSet> Evaluator::Eval(const ExprPtr& e) {
+bool Evaluator::SubtreeParallelismEnabled() const {
+  // Span trees are strictly nested per thread, so a Tracer pins evaluation
+  // to the coordinating thread (parallel *kernels* stay available: they
+  // flush their counters on the coordinating thread).
+  return options_.parallel != nullptr && options_.parallel->parallel_subtrees &&
+         options_.tracer == nullptr;
+}
+
+Result<Evaluator::SharedSet> Evaluator::Eval(const ExprPtr& e) {
   obs::SpanScope span(options_.tracer, ExprSpanName(*e),
                       options_.tracer != nullptr ? ExprSpanDetail(*e) : "");
-  auto hit = memo_.find(e.get());
-  if (hit != memo_.end()) {
-    span.MarkCached();
-    span.SetRows(0, static_cast<int64_t>(hit->second.size()));
-    return hit->second;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = memo_.find(e.get());
+    if (it != memo_.end()) {
+      MemoEntry& entry = it->second;
+      memo_cv_.wait(lock, [&] { return entry.ready; });
+      if (!entry.status.ok()) return entry.status;
+      span.MarkCached();
+      span.SetRows(0, static_cast<int64_t>(entry.value->size()));
+      return entry.value;
+    }
+    memo_.emplace(e.get(), MemoEntry{});  // Claim the slot; others wait.
   }
 
-  RegionSet result;
   int64_t rows_in = 0;
+  Result<SharedSet> result = EvalNode(e, &rows_in);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MemoEntry& entry = memo_[e.get()];
+    if (result.ok()) {
+      entry.value = result.value();
+      stats_.rows_produced += static_cast<int64_t>(entry.value->size());
+    } else {
+      entry.status = result.status();
+    }
+    entry.ready = true;
+  }
+  memo_cv_.notify_all();
+  if (result.ok()) {
+    span.SetRows(rows_in, static_cast<int64_t>(result.value()->size()));
+  }
+  return result;
+}
+
+Status Evaluator::EvalChildren(const ExprPtr& e, SharedSet* a, SharedSet* b) {
+  const ExprPtr& left = e->child(0);
+  const ExprPtr& right = e->child(1);
+  // Concurrency only pays when both sides have operator work; a leaf child
+  // is a memo/borrow lookup.
+  if (SubtreeParallelismEnabled() && !IsLeaf(*left) && !IsLeaf(*right)) {
+    exec::ThreadPool& pool = options_.parallel->pool != nullptr
+                                 ? *options_.parallel->pool
+                                 : exec::ThreadPool::Default();
+    std::optional<Result<SharedSet>> left_result;
+    exec::ThreadPool::TaskHandle task =
+        pool.Submit([this, &left, &left_result] {
+          left_result.emplace(Eval(left));
+        });
+    Result<SharedSet> right_result = Eval(right);
+    task.Wait();
+    // Prefer the left error so the surfaced diagnostic is deterministic.
+    if (!left_result->ok()) return left_result->status();
+    if (!right_result.ok()) return right_result.status();
+    *a = std::move(*left_result).value();
+    *b = std::move(right_result).value();
+    return Status::OK();
+  }
+  REGAL_ASSIGN_OR_RETURN(*a, Eval(left));
+  REGAL_ASSIGN_OR_RETURN(*b, Eval(right));
+  return Status::OK();
+}
+
+Result<Evaluator::SharedSet> Evaluator::EvalNode(const ExprPtr& e,
+                                                 int64_t* rows_in) {
   switch (e->kind()) {
     case OpKind::kName: {
       if (options_.bindings != nullptr) {
         auto it = options_.bindings->find(e->name());
-        if (it != options_.bindings->end()) {
-          result = it->second;
-          break;
-        }
+        if (it != options_.bindings->end()) return Borrow(&it->second);
       }
       REGAL_ASSIGN_OR_RETURN(const RegionSet* set, instance_->Get(e->name()));
-      result = *set;
-      break;
+      return Borrow(set);
     }
     case OpKind::kWordMatch: {
       if (instance_->word_index() == nullptr) {
         return Status::FailedPrecondition(
             "'word' queries need a text-backed instance");
       }
-      ++stats_.operator_evals;
+      std::vector<Token> matches = instance_->word_index()->Matches(e->pattern());
       std::vector<Region> tokens;
-      for (const Token& t : instance_->word_index()->Matches(e->pattern())) {
-        tokens.push_back(Region{t.left, t.right});
+      tokens.reserve(matches.size());
+      for (const Token& t : matches) tokens.push_back(Region{t.left, t.right});
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.operator_evals;
       }
-      result = RegionSet::FromUnsorted(std::move(tokens));
-      break;
+      return Adopt(RegionSet::FromUnsorted(std::move(tokens)));
     }
     case OpKind::kSelect: {
-      REGAL_ASSIGN_OR_RETURN(RegionSet child, Eval(e->child(0)));
-      ++stats_.operator_evals;
-      rows_in = static_cast<int64_t>(child.size());
-      stats_.rows_scanned += rows_in;
-      result = instance_->Select(child, e->pattern());
-      break;
+      REGAL_ASSIGN_OR_RETURN(SharedSet child, Eval(e->child(0)));
+      *rows_in = static_cast<int64_t>(child->size());
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.operator_evals;
+        stats_.rows_scanned += *rows_in;
+      }
+      const ParallelEvalPolicy* pp = options_.parallel;
+      if (pp != nullptr && instance_->word_index() != nullptr &&
+          !options_.use_naive) {
+        exec::ParallelConfig cfg{pp->pool, pp->min_rows, 0};
+        return Adopt(exec::ParallelSelectByTokens(
+            *child, instance_->word_index()->Matches(e->pattern()), cfg));
+      }
+      return Adopt(instance_->Select(*child, e->pattern()));
     }
     case OpKind::kBothIncluded: {
-      REGAL_ASSIGN_OR_RETURN(RegionSet r, Eval(e->child(0)));
-      REGAL_ASSIGN_OR_RETURN(RegionSet s, Eval(e->child(1)));
-      REGAL_ASSIGN_OR_RETURN(RegionSet t, Eval(e->child(2)));
-      ++stats_.operator_evals;
-      rows_in = static_cast<int64_t>(r.size() + s.size() + t.size());
-      stats_.rows_scanned += rows_in;
-      result = options_.use_naive ? naive::BothIncluded(r, s, t)
-                                  : BothIncluded(r, s, t);
-      break;
+      REGAL_ASSIGN_OR_RETURN(SharedSet r, Eval(e->child(0)));
+      REGAL_ASSIGN_OR_RETURN(SharedSet s, Eval(e->child(1)));
+      REGAL_ASSIGN_OR_RETURN(SharedSet t, Eval(e->child(2)));
+      *rows_in = static_cast<int64_t>(r->size() + s->size() + t->size());
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.operator_evals;
+        stats_.rows_scanned += *rows_in;
+      }
+      return Adopt(options_.use_naive ? naive::BothIncluded(*r, *s, *t)
+                                      : BothIncluded(*r, *s, *t));
     }
     default: {
-      REGAL_ASSIGN_OR_RETURN(RegionSet a, Eval(e->child(0)));
-      REGAL_ASSIGN_OR_RETURN(RegionSet b, Eval(e->child(1)));
-      ++stats_.operator_evals;
-      rows_in = static_cast<int64_t>(a.size() + b.size());
-      stats_.rows_scanned += rows_in;
+      SharedSet sa, sb;
+      REGAL_RETURN_NOT_OK(EvalChildren(e, &sa, &sb));
+      const RegionSet& a = *sa;
+      const RegionSet& b = *sb;
+      *rows_in = static_cast<int64_t>(a.size() + b.size());
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.operator_evals;
+        stats_.rows_scanned += *rows_in;
+      }
       const bool naive_mode = options_.use_naive;
+      const ParallelEvalPolicy* pp = naive_mode ? nullptr : options_.parallel;
+      exec::ParallelConfig cfg;
+      if (pp != nullptr) cfg = exec::ParallelConfig{pp->pool, pp->min_rows, 0};
+      RegionSet result;
       switch (e->kind()) {
         case OpKind::kUnion:
-          result = naive_mode ? naive::Union(a, b) : Union(a, b);
+          result = naive_mode ? naive::Union(a, b)
+                   : pp != nullptr ? exec::ParallelUnion(a, b, cfg)
+                                   : Union(a, b);
           break;
         case OpKind::kIntersect:
-          result = naive_mode ? naive::Intersect(a, b) : Intersect(a, b);
+          result = naive_mode ? naive::Intersect(a, b)
+                   : pp != nullptr ? exec::ParallelIntersect(a, b, cfg)
+                                   : Intersect(a, b);
           break;
         case OpKind::kDifference:
-          result = naive_mode ? naive::Difference(a, b) : Difference(a, b);
+          result = naive_mode ? naive::Difference(a, b)
+                   : pp != nullptr ? exec::ParallelDifference(a, b, cfg)
+                                   : Difference(a, b);
           break;
         case OpKind::kIncluding:
-          result = naive_mode ? naive::Including(a, b) : Including(a, b);
+          result = naive_mode ? naive::Including(a, b)
+                   : pp != nullptr ? exec::ParallelIncluding(a, b, cfg)
+                                   : Including(a, b);
           break;
         case OpKind::kIncluded:
-          result = naive_mode ? naive::Included(a, b) : Included(a, b);
+          result = naive_mode ? naive::Included(a, b)
+                   : pp != nullptr ? exec::ParallelIncluded(a, b, cfg)
+                                   : Included(a, b);
           break;
         case OpKind::kPrecedes:
-          result = naive_mode ? naive::Precedes(a, b) : Precedes(a, b);
+          result = naive_mode ? naive::Precedes(a, b)
+                   : pp != nullptr ? exec::ParallelPrecedes(a, b, cfg)
+                                   : Precedes(a, b);
           break;
         case OpKind::kFollows:
-          result = naive_mode ? naive::Follows(a, b) : Follows(a, b);
+          result = naive_mode ? naive::Follows(a, b)
+                   : pp != nullptr ? exec::ParallelFollows(a, b, cfg)
+                                   : Follows(a, b);
           break;
         case OpKind::kDirectIncluding:
           result = naive_mode ? naive::DirectIncluding(*instance_, a, b)
@@ -134,13 +257,9 @@ Result<RegionSet> Evaluator::Eval(const ExprPtr& e) {
         default:
           return Status::Internal("unexpected operator kind in Eval");
       }
-      break;
+      return Adopt(std::move(result));
     }
   }
-  stats_.rows_produced += static_cast<int64_t>(result.size());
-  span.SetRows(rows_in, static_cast<int64_t>(result.size()));
-  memo_.emplace(e.get(), result);
-  return result;
 }
 
 Result<RegionSet> Evaluate(const Instance& instance, const ExprPtr& e,

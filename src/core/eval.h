@@ -1,17 +1,42 @@
 #ifndef REGAL_CORE_EVAL_H_
 #define REGAL_CORE_EVAL_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "core/expr.h"
 #include "core/instance.h"
 #include "core/region_set.h"
+#include "exec/parallel_algebra.h"
 #include "obs/trace.h"
 #include "util/status.h"
 
 namespace regal {
+
+/// Controls the evaluator's use of the exec thread pool. The engine installs
+/// a policy only when the optimizer's EstimateCost for the whole plan
+/// exceeds its threshold (see QueryEngine::set_parallel_cost_threshold);
+/// with no policy the evaluator is strictly sequential.
+///
+/// Parallel and sequential evaluation return bit-identical RegionSets: the
+/// partitioned kernels preserve document order per chunk, and memoization
+/// computes every shared node exactly once regardless of which thread gets
+/// there first.
+struct ParallelEvalPolicy {
+  /// Pool for kernels and subtree tasks; nullptr means ThreadPool::Default().
+  exec::ThreadPool* pool = nullptr;
+  /// Combined operand rows before an operator dispatches to the partitioned
+  /// kernels (below this the sequential operator is cheaper).
+  size_t min_rows = 1u << 14;
+  /// Evaluate the two children of a binary node concurrently when both are
+  /// operator subtrees. Automatically disabled under a Tracer (span trees
+  /// are strictly nested per thread).
+  bool parallel_subtrees = true;
+};
 
 /// Knobs for Evaluator. `use_naive` switches every operator to the O(n*m)
 /// reference implementation (the oracle used by property tests and the
@@ -21,15 +46,20 @@ namespace regal {
 /// `tracer`, when set, records one span per expression node (operator,
 /// input/output cardinalities, operator work counters, wall time) — the
 /// machinery behind `explain analyze`. Null tracer = no tracing work at
-/// all beyond one branch per node.
+/// all beyond one branch per node. `parallel`, when set, dispatches large
+/// operators to the partitioned kernels of exec/parallel_algebra.h and
+/// runs independent subtrees concurrently.
 struct EvalOptions {
   bool use_naive = false;
   const std::map<std::string, RegionSet>* bindings = nullptr;
   obs::Tracer* tracer = nullptr;
+  const ParallelEvalPolicy* parallel = nullptr;
 };
 
 /// Counters accumulated across Evaluate calls; the optimizer benches read
 /// them to show that RIG-based rewrites execute fewer operator evaluations.
+/// Deterministic under parallel evaluation (memoization runs every node
+/// once, and the sums are order-independent).
 struct EvalStats {
   int64_t operator_evals = 0;  // Operator nodes executed (memoized hits excluded).
   int64_t rows_scanned = 0;    // Sum of operand sizes over executed operators.
@@ -41,7 +71,9 @@ struct EvalStats {
 ///
 /// Shared subtrees (the expression is a DAG of shared_ptr nodes) are
 /// evaluated once per Evaluate call via pointer-keyed memoization — the
-/// bounded expansions of Props 5.2/5.4 rely on this.
+/// bounded expansions of Props 5.2/5.4 rely on this. Memoized results are
+/// handed around as shared_ptr<const RegionSet>, so a cache hit (and a leaf
+/// scan of an instance set) never copies region data.
 class Evaluator {
  public:
   explicit Evaluator(const Instance* instance, EvalOptions options = {})
@@ -54,12 +86,35 @@ class Evaluator {
   void ResetStats() { stats_ = EvalStats(); }
 
  private:
-  Result<RegionSet> Eval(const ExprPtr& e);
+  using SharedSet = std::shared_ptr<const RegionSet>;
+
+  /// Memoizing wrapper: first arrival computes via EvalNode, concurrent
+  /// arrivals at the same node block until the result is ready.
+  Result<SharedSet> Eval(const ExprPtr& e);
+  /// Computes one node (children evaluated via Eval). `rows_in` receives the
+  /// sum of operand cardinalities (0 for leaves) for the node's span.
+  Result<SharedSet> EvalNode(const ExprPtr& e, int64_t* rows_in);
+  /// Evaluates both children of a binary node, concurrently when the policy
+  /// allows it.
+  Status EvalChildren(const ExprPtr& e, SharedSet* a, SharedSet* b);
+  bool SubtreeParallelismEnabled() const;
+
+  /// One memo slot per expression node. `ready` flips under mu_ once the
+  /// value (or error) is in; waiters sleep on memo_cv_.
+  struct MemoEntry {
+    bool ready = false;
+    SharedSet value;
+    Status status;
+  };
 
   const Instance* instance_;
   EvalOptions options_;
   EvalStats stats_;
-  std::unordered_map<const Expr*, RegionSet> memo_;
+  // Guards memo_, stats_ and memo_cv_ — uncontended (one lock per node) in
+  // sequential evaluation.
+  std::mutex mu_;
+  std::condition_variable memo_cv_;
+  std::unordered_map<const Expr*, MemoEntry> memo_;
 };
 
 /// One-shot convenience wrapper.

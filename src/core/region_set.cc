@@ -5,8 +5,16 @@
 namespace regal {
 
 RegionSet RegionSet::FromUnsorted(std::vector<Region> regions) {
-  std::sort(regions.begin(), regions.end(), RegionDocumentOrder());
-  regions.erase(std::unique(regions.begin(), regions.end()), regions.end());
+  // Hot-path construction: inputs are adopted by move, never copied, and
+  // already-ordered inputs (token streams, per-chunk results) skip the sort.
+  RegionDocumentOrder less;
+  if (!std::is_sorted(regions.begin(), regions.end(), less)) {
+    std::sort(regions.begin(), regions.end(), less);
+  }
+  auto first_dup = std::adjacent_find(regions.begin(), regions.end());
+  if (first_dup != regions.end()) {
+    regions.erase(std::unique(first_dup, regions.end()), regions.end());
+  }
   RegionSet out;
   out.regions_ = std::move(regions);
   return out;

@@ -1,0 +1,237 @@
+#include "exec/parallel_algebra.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "core/algebra.h"
+#include "core/algebra_kernels.h"
+#include "obs/metrics.h"
+
+namespace regal {
+namespace exec {
+
+namespace {
+
+// Chunks smaller than this are not worth a task dispatch.
+constexpr size_t kMinChunkRows = 2048;
+
+ThreadPool& PoolOf(const ParallelConfig& cfg) {
+  return cfg.pool != nullptr ? *cfg.pool : ThreadPool::Default();
+}
+
+int PartitionCount(const ParallelConfig& cfg, size_t rows) {
+  int lanes = cfg.max_partitions > 0 ? cfg.max_partitions
+                                     : PoolOf(cfg).num_threads();
+  size_t by_rows = rows / kMinChunkRows;
+  if (by_rows < 1) by_rows = 1;
+  return static_cast<int>(
+      std::min(static_cast<size_t>(lanes), by_rows));
+}
+
+void CountParallelDispatch(const char* op) {
+  obs::Registry::Default()
+      .GetCounter("regal_exec_parallel_ops_total", {{"op", op}})
+      ->Increment();
+}
+
+// Same per-probe comparison charge as core/algebra.cc.
+int64_t ProbeDepth(size_t n) {
+  return static_cast<int64_t>(std::bit_width(n) + 1);
+}
+
+std::vector<Region> Concatenate(std::vector<std::vector<Region>>* chunks) {
+  size_t total = 0;
+  for (const auto& c : *chunks) total += c.size();
+  std::vector<Region> out;
+  out.reserve(total);
+  for (auto& c : *chunks) out.insert(out.end(), c.begin(), c.end());
+  return out;
+}
+
+using MergeKernel = void (*)(const Region*, const Region*, const Region*,
+                             const Region*, std::vector<Region>*,
+                             obs::OpCounters*);
+
+// Splits R at index boundaries, binary-searches the matching value window of
+// S for every chunk (chunk k owns the endpoint interval
+// [R[cut_k], R[cut_{k+1}})), and runs `kernel` per chunk on the pool. Chunk
+// outputs cover disjoint, increasing endpoint intervals, so concatenation is
+// the full sorted merge.
+RegionSet PartitionedMerge(const char* op, const RegionSet& r,
+                           const RegionSet& s, MergeKernel kernel,
+                           const ParallelConfig& cfg) {
+  const Region* rd = r.regions().data();
+  const Region* sd = s.regions().data();
+  const int parts = PartitionCount(cfg, r.size());
+  if (parts <= 1) {
+    std::vector<Region> out;
+    out.reserve(r.size() + s.size());
+    obs::OpCounters c;
+    kernel(rd, rd + r.size(), sd, sd + s.size(), &out, &c);
+    kernels::FlushCounters(c);
+    return RegionSet::FromSortedUnique(std::move(out));
+  }
+  const size_t np = static_cast<size_t>(parts);
+  std::vector<size_t> rcut(np + 1), scut(np + 1);
+  RegionDocumentOrder less;
+  rcut[0] = 0;
+  scut[0] = 0;
+  rcut[np] = r.size();
+  scut[np] = s.size();
+  for (size_t k = 1; k < np; ++k) {
+    rcut[k] = k * r.size() / np;
+    scut[k] = static_cast<size_t>(
+        std::lower_bound(sd, sd + s.size(), rd[rcut[k]], less) - sd);
+  }
+  std::vector<std::vector<Region>> outs(np);
+  std::vector<obs::OpCounters> counters(np);
+  PoolOf(cfg).ParallelFor(np, [&](size_t k) {
+    outs[k].reserve((rcut[k + 1] - rcut[k]) + (scut[k + 1] - scut[k]));
+    kernel(rd + rcut[k], rd + rcut[k + 1], sd + scut[k], sd + scut[k + 1],
+           &outs[k], &counters[k]);
+  });
+  obs::OpCounters total;
+  for (const obs::OpCounters& c : counters) total.Add(c);
+  kernels::FlushCounters(total);
+  CountParallelDispatch(op);
+  return RegionSet::FromSortedUnique(Concatenate(&outs));
+}
+
+// Partitioned order-preserving filter of R: chunk k keeps the elements of
+// R[cut_k, cut_{k+1}) satisfying `pred`. `per_element` is the deterministic
+// counter charge per probed element (matching the sequential operators) and
+// `fixed` the per-call charge.
+template <typename Pred>
+RegionSet PartitionedFilter(const char* op, const RegionSet& r, Pred pred,
+                            const obs::OpCounters& per_element,
+                            const obs::OpCounters& fixed,
+                            const ParallelConfig& cfg) {
+  const Region* rd = r.regions().data();
+  obs::OpCounters total = fixed;
+  total.comparisons += per_element.comparisons * static_cast<int64_t>(r.size());
+  total.merge_steps += per_element.merge_steps * static_cast<int64_t>(r.size());
+  total.index_probes +=
+      per_element.index_probes * static_cast<int64_t>(r.size());
+  const int parts = PartitionCount(cfg, r.size());
+  if (parts <= 1) {
+    std::vector<Region> out;
+    for (const Region& x : r) {
+      if (pred(x)) out.push_back(x);
+    }
+    kernels::FlushCounters(total);
+    return RegionSet::FromSortedUnique(std::move(out));
+  }
+  const size_t np = static_cast<size_t>(parts);
+  std::vector<std::vector<Region>> outs(np);
+  PoolOf(cfg).ParallelFor(np, [&](size_t k) {
+    const size_t begin = k * r.size() / np;
+    const size_t end = (k + 1) * r.size() / np;
+    for (size_t i = begin; i < end; ++i) {
+      if (pred(rd[i])) outs[k].push_back(rd[i]);
+    }
+  });
+  kernels::FlushCounters(total);
+  CountParallelDispatch(op);
+  return RegionSet::FromSortedUnique(Concatenate(&outs));
+}
+
+bool BelowGate(const ParallelConfig& cfg, size_t rows) {
+  return rows < cfg.min_rows;
+}
+
+}  // namespace
+
+RegionSet ParallelUnion(const RegionSet& r, const RegionSet& s,
+                        const ParallelConfig& cfg) {
+  if (BelowGate(cfg, r.size() + s.size())) return Union(r, s);
+  // Union is symmetric; partition the longer operand for balance.
+  const RegionSet& a = r.size() >= s.size() ? r : s;
+  const RegionSet& b = r.size() >= s.size() ? s : r;
+  return PartitionedMerge("union", a, b, &kernels::UnionSpan, cfg);
+}
+
+RegionSet ParallelIntersect(const RegionSet& r, const RegionSet& s,
+                            const ParallelConfig& cfg) {
+  if (BelowGate(cfg, r.size() + s.size())) return Intersect(r, s);
+  const RegionSet& a = r.size() >= s.size() ? r : s;
+  const RegionSet& b = r.size() >= s.size() ? s : r;
+  return PartitionedMerge("intersect", a, b, &kernels::IntersectSpan, cfg);
+}
+
+RegionSet ParallelDifference(const RegionSet& r, const RegionSet& s,
+                             const ParallelConfig& cfg) {
+  if (BelowGate(cfg, r.size() + s.size())) return Difference(r, s);
+  return PartitionedMerge("difference", r, s, &kernels::DifferenceSpan, cfg);
+}
+
+RegionSet ParallelIncluding(const RegionSet& r, const RegionSet& s,
+                            const ParallelConfig& cfg) {
+  if (BelowGate(cfg, r.size() + s.size())) return Including(r, s);
+  ContainmentIndex index(s);
+  return PartitionedFilter(
+      "including", r,
+      [&index](const Region& x) { return index.ExistsIncludedIn(x); },
+      obs::OpCounters{ProbeDepth(s.size()), 0, 1}, obs::OpCounters{}, cfg);
+}
+
+RegionSet ParallelIncluded(const RegionSet& r, const RegionSet& s,
+                           const ParallelConfig& cfg) {
+  if (BelowGate(cfg, r.size() + s.size())) return Included(r, s);
+  ContainmentIndex index(s);
+  return PartitionedFilter(
+      "included", r,
+      [&index](const Region& x) { return index.ExistsIncluding(x); },
+      obs::OpCounters{ProbeDepth(s.size()), 0, 1}, obs::OpCounters{}, cfg);
+}
+
+RegionSet ParallelPrecedes(const RegionSet& r, const RegionSet& s,
+                           const ParallelConfig& cfg) {
+  if (BelowGate(cfg, r.size() + s.size())) return Precedes(r, s);
+  if (s.empty()) {
+    kernels::FlushCounters(
+        obs::OpCounters{static_cast<int64_t>(r.size()),
+                        static_cast<int64_t>(r.size()), 0});
+    return RegionSet();
+  }
+  const Offset max_left = s[s.size() - 1].left;
+  return PartitionedFilter(
+      "precedes", r, [max_left](const Region& x) { return x.right < max_left; },
+      obs::OpCounters{1, 1, 0}, obs::OpCounters{0, 1, 0}, cfg);
+}
+
+RegionSet ParallelFollows(const RegionSet& r, const RegionSet& s,
+                          const ParallelConfig& cfg) {
+  if (BelowGate(cfg, r.size() + s.size())) return Follows(r, s);
+  if (s.empty()) {
+    kernels::FlushCounters(
+        obs::OpCounters{static_cast<int64_t>(r.size()),
+                        static_cast<int64_t>(r.size() + s.size()), 0});
+    return RegionSet();
+  }
+  Offset min_right = s[0].right;
+  for (const Region& x : s) min_right = std::min(min_right, x.right);
+  return PartitionedFilter(
+      "follows", r, [min_right](const Region& x) { return x.left > min_right; },
+      obs::OpCounters{1, 1, 0},
+      obs::OpCounters{0, static_cast<int64_t>(s.size()), 0}, cfg);
+}
+
+RegionSet ParallelSelectByTokens(const RegionSet& r,
+                                 const std::vector<Token>& tokens,
+                                 const ParallelConfig& cfg) {
+  if (BelowGate(cfg, r.size() + tokens.size())) {
+    return SelectByTokens(r, tokens);
+  }
+  std::vector<Region> as_regions;
+  as_regions.reserve(tokens.size());
+  for (const Token& t : tokens) as_regions.push_back(Region{t.left, t.right});
+  ContainmentIndex index(RegionSet::FromUnsorted(std::move(as_regions)));
+  return PartitionedFilter(
+      "select", r,
+      [&index](const Region& x) { return index.ExistsContainedIn(x); },
+      obs::OpCounters{ProbeDepth(tokens.size()), 0, 1}, obs::OpCounters{},
+      cfg);
+}
+
+}  // namespace exec
+}  // namespace regal

@@ -1,0 +1,58 @@
+#ifndef REGAL_EXEC_PARALLEL_ALGEBRA_H_
+#define REGAL_EXEC_PARALLEL_ALGEBRA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/region_set.h"
+#include "exec/thread_pool.h"
+#include "text/tokenizer.h"
+
+namespace regal {
+namespace exec {
+
+/// Tuning for the partitioned operator kernels.
+struct ParallelConfig {
+  /// Pool to run on; nullptr means ThreadPool::Default().
+  ThreadPool* pool = nullptr;
+  /// Combined operand rows below which the kernels fall straight through to
+  /// the sequential operators (partitioning overhead would dominate).
+  size_t min_rows = 1u << 14;
+  /// Cap on partitions; 0 means the pool's lane count.
+  int max_partitions = 0;
+};
+
+/// Data-parallel versions of the hot region-algebra operators. Each one
+/// partitions the left operand into contiguous document-order chunks, pairs
+/// every chunk with the binary-searched window of the right operand covering
+/// the same endpoint range, runs the *same* span kernels / probe predicates
+/// as the sequential operators per chunk on the pool, and concatenates the
+/// per-chunk outputs. Chunks are endpoint-ordered, so the concatenation is
+/// sorted and the result is bit-identical to the sequential operator —
+/// enforced by tests/parallel_exec_test.cpp across thread counts.
+///
+/// Operator work counters are tallied per chunk and flushed to the calling
+/// thread's obs sink once, so `explain analyze` totals match the sequential
+/// path. Inputs below cfg.min_rows short-circuit to the sequential operator.
+RegionSet ParallelUnion(const RegionSet& r, const RegionSet& s,
+                        const ParallelConfig& cfg = {});
+RegionSet ParallelIntersect(const RegionSet& r, const RegionSet& s,
+                            const ParallelConfig& cfg = {});
+RegionSet ParallelDifference(const RegionSet& r, const RegionSet& s,
+                             const ParallelConfig& cfg = {});
+RegionSet ParallelIncluding(const RegionSet& r, const RegionSet& s,
+                            const ParallelConfig& cfg = {});
+RegionSet ParallelIncluded(const RegionSet& r, const RegionSet& s,
+                           const ParallelConfig& cfg = {});
+RegionSet ParallelPrecedes(const RegionSet& r, const RegionSet& s,
+                           const ParallelConfig& cfg = {});
+RegionSet ParallelFollows(const RegionSet& r, const RegionSet& s,
+                          const ParallelConfig& cfg = {});
+RegionSet ParallelSelectByTokens(const RegionSet& r,
+                                 const std::vector<Token>& tokens,
+                                 const ParallelConfig& cfg = {});
+
+}  // namespace exec
+}  // namespace regal
+
+#endif  // REGAL_EXEC_PARALLEL_ALGEBRA_H_

@@ -1,0 +1,78 @@
+#ifndef REGAL_EXEC_PARALLEL_SORT_H_
+#define REGAL_EXEC_PARALLEL_SORT_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "exec/thread_pool.h"
+
+namespace regal {
+namespace exec {
+
+/// Parallel merge sort: splits `v` into one run per pool lane, sorts the
+/// runs concurrently with std::sort, then merges pairs of runs in parallel
+/// rounds through a temp buffer. With a strict total order (unique keys) the
+/// result is identical to std::sort for any lane count; with ties it is a
+/// valid sort (std::merge takes from the left run first).
+///
+/// Falls back to plain std::sort when `v` is short, the pool has one lane,
+/// or `pool` is null.
+template <typename T, typename Comp>
+void ParallelSort(std::vector<T>* v, Comp comp, ThreadPool* pool,
+                  size_t min_size = size_t{1} << 15) {
+  const size_t n = v->size();
+  const int lanes = pool != nullptr ? pool->num_threads() : 1;
+  if (n < min_size || lanes <= 1) {
+    std::sort(v->begin(), v->end(), comp);
+    return;
+  }
+  size_t parts = static_cast<size_t>(lanes);
+  if (parts > n / (min_size / 4) + 1) parts = n / (min_size / 4) + 1;
+  if (parts <= 1) {
+    std::sort(v->begin(), v->end(), comp);
+    return;
+  }
+
+  std::vector<size_t> bounds(parts + 1);
+  for (size_t k = 0; k <= parts; ++k) bounds[k] = k * n / parts;
+  pool->ParallelFor(parts, [&](size_t k) {
+    std::sort(v->begin() + static_cast<ptrdiff_t>(bounds[k]),
+              v->begin() + static_cast<ptrdiff_t>(bounds[k + 1]), comp);
+  });
+
+  std::vector<T> buffer(n);
+  std::vector<T>* src = v;
+  std::vector<T>* dst = &buffer;
+  while (bounds.size() > 2) {
+    const size_t runs = bounds.size() - 1;
+    const size_t pairs = runs / 2;
+    std::vector<size_t> next;
+    next.reserve(runs / 2 + 2);
+    next.push_back(0);
+    for (size_t p = 0; p < pairs; ++p) next.push_back(bounds[2 * p + 2]);
+    if (runs % 2 == 1) next.push_back(bounds[runs]);
+    pool->ParallelFor(pairs, [&](size_t p) {
+      std::merge(src->begin() + static_cast<ptrdiff_t>(bounds[2 * p]),
+                 src->begin() + static_cast<ptrdiff_t>(bounds[2 * p + 1]),
+                 src->begin() + static_cast<ptrdiff_t>(bounds[2 * p + 1]),
+                 src->begin() + static_cast<ptrdiff_t>(bounds[2 * p + 2]),
+                 dst->begin() + static_cast<ptrdiff_t>(bounds[2 * p]), comp);
+    });
+    if (runs % 2 == 1) {
+      std::copy(src->begin() + static_cast<ptrdiff_t>(bounds[runs - 1]),
+                src->begin() + static_cast<ptrdiff_t>(bounds[runs]),
+                dst->begin() + static_cast<ptrdiff_t>(bounds[runs - 1]));
+    }
+    std::swap(src, dst);
+    bounds = std::move(next);
+  }
+  if (src != v) {
+    std::copy(src->begin(), src->end(), v->begin());
+  }
+}
+
+}  // namespace exec
+}  // namespace regal
+
+#endif  // REGAL_EXEC_PARALLEL_SORT_H_

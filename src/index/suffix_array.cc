@@ -3,9 +3,16 @@
 #include <algorithm>
 #include <numeric>
 
+#include "exec/parallel_sort.h"
+#include "exec/thread_pool.h"
+
 namespace regal {
 
-SuffixArray::SuffixArray(std::string text) : text_(std::move(text)) {
+SuffixArray::SuffixArray(std::string text)
+    : SuffixArray(std::move(text), &exec::ThreadPool::Default()) {}
+
+SuffixArray::SuffixArray(std::string text, exec::ThreadPool* pool)
+    : text_(std::move(text)) {
   const int32_t n = static_cast<int32_t>(text_.size());
   sa_.resize(static_cast<size_t>(n));
   std::iota(sa_.begin(), sa_.end(), 0);
@@ -23,8 +30,17 @@ SuffixArray::SuffixArray(std::string text) : text_(std::move(text)) {
       int32_t second = (i + len < n) ? rank[static_cast<size_t>(i + len)] : -1;
       return std::pair<int32_t, int32_t>(rank[static_cast<size_t>(i)], second);
     };
-    std::sort(sa_.begin(), sa_.end(),
-              [&](int32_t a, int32_t b) { return key(a) < key(b); });
+    // Tie-break equal keys by suffix index: a strict total order makes every
+    // round's output independent of the sort algorithm and lane count.
+    exec::ParallelSort(
+        &sa_,
+        [&](int32_t a, int32_t b) {
+          auto ka = key(a);
+          auto kb = key(b);
+          if (ka != kb) return ka < kb;
+          return a < b;
+        },
+        pool);
     next_rank[static_cast<size_t>(sa_[0])] = 0;
     for (int32_t i = 1; i < n; ++i) {
       next_rank[static_cast<size_t>(sa_[static_cast<size_t>(i)])] =

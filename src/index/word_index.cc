@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "exec/parallel_text.h"
+#include "exec/thread_pool.h"
 #include "obs/counters.h"
 #include "util/stringutil.h"
 
@@ -18,9 +20,13 @@ bool WordIndex::Contains(Offset left, Offset right, const Pattern& p) const {
 }
 
 SuffixArrayWordIndex::SuffixArrayWordIndex(const Text* text)
+    : SuffixArrayWordIndex(text, &exec::ThreadPool::Default()) {}
+
+SuffixArrayWordIndex::SuffixArrayWordIndex(const Text* text,
+                                           exec::ThreadPool* pool)
     : text_(text),
-      tokens_(Tokenize(text->content())),
-      suffix_array_(ToLowerAscii(text->content())) {}
+      tokens_(exec::ParallelTokenize(text->content(), pool)),
+      suffix_array_(ToLowerAscii(text->content()), pool) {}
 
 int32_t SuffixArrayWordIndex::TokenAt(int32_t pos) const {
   // Rightmost token with left <= pos.
@@ -75,12 +81,12 @@ std::vector<Token> SuffixArrayWordIndex::Matches(const Pattern& p) const {
   return out;
 }
 
-InvertedWordIndex::InvertedWordIndex(const Text* text) : text_(text) {
-  std::string_view content(text->content());
-  for (const Token& t : Tokenize(content)) {
-    postings_[std::string(TokenText(content, t))].push_back(t);
-    ++num_tokens_;
-  }
+InvertedWordIndex::InvertedWordIndex(const Text* text)
+    : InvertedWordIndex(text, &exec::ThreadPool::Default()) {}
+
+InvertedWordIndex::InvertedWordIndex(const Text* text, exec::ThreadPool* pool)
+    : text_(text) {
+  postings_ = exec::ParallelPostings(text->content(), pool, &num_tokens_);
 }
 
 std::vector<Token> InvertedWordIndex::Matches(const Pattern& p) const {

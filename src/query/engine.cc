@@ -152,6 +152,11 @@ Result<QueryAnswer> QueryEngine::RunExpr(const ExprPtr& expr, bool optimize,
     EvalOptions eval_options;
     eval_options.bindings = &materialized_views_;
     if (profile) eval_options.tracer = &*tracer;
+    if (parallel_enabled_ &&
+        EstimateCost(answer.executed, stats_).cost >=
+            parallel_cost_threshold_) {
+      eval_options.parallel = &parallel_policy_;
+    }
     Evaluator evaluator(&instance_, eval_options);
     REGAL_ASSIGN_OR_RETURN(answer.regions, evaluator.Evaluate(answer.executed));
     answer.eval_stats = evaluator.stats();

@@ -111,6 +111,28 @@ class QueryEngine {
   Status DefineWindowView(const std::string& name, const Pattern& pattern,
                           Offset before, Offset after);
 
+  // --- Parallel execution (see exec/ and DESIGN.md "Execution
+  // architecture") ---
+
+  /// Master switch for the parallel execution layer. When on (the default),
+  /// RunExpr installs a ParallelEvalPolicy whenever the optimizer's cost
+  /// estimate for the executed plan reaches the threshold below. Parallel
+  /// and sequential execution return bit-identical answers.
+  void set_parallel_enabled(bool enabled) { parallel_enabled_ = enabled; }
+  bool parallel_enabled() const { return parallel_enabled_; }
+
+  /// Minimum estimated plan cost (EstimateCost().cost, roughly rows
+  /// touched) before evaluation goes parallel. Cheap plans stay on the
+  /// sequential path, whose constant factors are smaller.
+  void set_parallel_cost_threshold(double cost) {
+    parallel_cost_threshold_ = cost;
+  }
+  double parallel_cost_threshold() const { return parallel_cost_threshold_; }
+
+  /// Tweaks the policy handed to the evaluator (pool override, kernel
+  /// min_rows, subtree concurrency) — primarily for tests and benches.
+  ParallelEvalPolicy* mutable_parallel_policy() { return &parallel_policy_; }
+
  private:
   Status CheckViewName(const std::string& name) const;
   /// Splices expression views into `expr` (views may reference earlier
@@ -122,6 +144,9 @@ class QueryEngine {
   CatalogStats stats_;
   std::map<std::string, ExprPtr> expression_views_;
   std::map<std::string, RegionSet> materialized_views_;
+  bool parallel_enabled_ = true;
+  double parallel_cost_threshold_ = 1 << 16;
+  ParallelEvalPolicy parallel_policy_;
 };
 
 }  // namespace regal

@@ -1,0 +1,362 @@
+// Differential suite for the exec/ parallel execution layer: every parallel
+// kernel, index build and evaluator mode must be *bit-identical* to its
+// sequential counterpart, for every thread count, on random and adversarial
+// inputs. Built as its own ctest binary with label `parallel` so a TSAN
+// configuration (-DREGAL_SANITIZE=thread) can run exactly this suite.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/algebra.h"
+#include "core/eval.h"
+#include "doc/dictionary.h"
+#include "doc/synthetic.h"
+#include "exec/parallel_algebra.h"
+#include "exec/parallel_text.h"
+#include "exec/thread_pool.h"
+#include "index/word_index.h"
+#include "query/engine.h"
+#include "text/text.h"
+#include "util/random.h"
+
+namespace regal {
+namespace {
+
+using exec::ParallelConfig;
+using exec::ThreadPool;
+
+const int kThreadCounts[] = {1, 2, 4, 8};
+
+// ---------------------------------------------------------------------------
+// Thread pool.
+
+TEST(ThreadPoolTest, ParseThreads) {
+  EXPECT_EQ(ThreadPool::ParseThreads(nullptr, 3), 3);
+  EXPECT_EQ(ThreadPool::ParseThreads("", 3), 3);
+  EXPECT_EQ(ThreadPool::ParseThreads("abc", 3), 3);
+  EXPECT_EQ(ThreadPool::ParseThreads("4abc", 3), 3);
+  EXPECT_EQ(ThreadPool::ParseThreads("0", 3), 3);
+  EXPECT_EQ(ThreadPool::ParseThreads("-2", 3), 3);
+  EXPECT_EQ(ThreadPool::ParseThreads("513", 3), 3);
+  EXPECT_EQ(ThreadPool::ParseThreads("1", 3), 1);
+  EXPECT_EQ(ThreadPool::ParseThreads("8", 3), 8);
+  EXPECT_EQ(ThreadPool::ParseThreads("512", 3), 512);
+}
+
+TEST(ThreadPoolTest, NumThreadsCountsCallerLane) {
+  for (int n : kThreadCounts) {
+    ThreadPool pool(n);
+    EXPECT_EQ(pool.num_threads(), n);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (int n : kThreadCounts) {
+    ThreadPool pool(n);
+    for (size_t count : {size_t{0}, size_t{1}, size_t{7}, size_t{1000}}) {
+      std::vector<std::atomic<int>> hits(count);
+      pool.ParallelFor(count, [&](size_t i) { hits[i].fetch_add(1); });
+      for (size_t i = 0; i < count; ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << "threads=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, SubmitWaitRunsTask) {
+  for (int n : kThreadCounts) {
+    ThreadPool pool(n);
+    std::atomic<int> value{0};
+    ThreadPool::TaskHandle h = pool.Submit([&] { value.store(42); });
+    h.Wait();
+    EXPECT_EQ(value.load(), 42);
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  for (int n : kThreadCounts) {
+    ThreadPool pool(n);
+    std::atomic<int> total{0};
+    pool.ParallelFor(8, [&](size_t) {
+      pool.ParallelFor(8, [&](size_t) { total.fetch_add(1); });
+    });
+    EXPECT_EQ(total.load(), 64);
+  }
+}
+
+TEST(ThreadPoolTest, WaitInsideSubmittedTaskDoesNotDeadlock) {
+  for (int n : kThreadCounts) {
+    ThreadPool pool(n);
+    std::atomic<int> value{0};
+    ThreadPool::TaskHandle outer = pool.Submit([&] {
+      ThreadPool::TaskHandle inner = pool.Submit([&] { value.fetch_add(1); });
+      inner.Wait();
+      value.fetch_add(1);
+    });
+    outer.Wait();
+    EXPECT_EQ(value.load(), 2);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Operator kernels: parallel == sequential, bit for bit.
+
+RegionSet RandomSet(Rng& rng, size_t n, Offset span) {
+  std::vector<Region> regions;
+  regions.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Offset left = static_cast<Offset>(rng.Below(static_cast<uint64_t>(span)));
+    Offset len = static_cast<Offset>(rng.Below(64));
+    regions.push_back(Region{left, left + len});
+  }
+  return RegionSet::FromUnsorted(std::move(regions));
+}
+
+// Fully nested chain [i, 2n-i]: every region includes all later ones — the
+// worst case for containment windows.
+RegionSet NestedChain(int n) {
+  std::vector<Region> regions;
+  for (int i = 0; i < n; ++i) {
+    regions.push_back(Region{i, 2 * n - i});
+  }
+  return RegionSet::FromUnsorted(std::move(regions));
+}
+
+// All regions share one left endpoint (ties broken by right DESC in document
+// order), stressing the partition boundary search on equal keys.
+RegionSet EqualLefts(int n) {
+  std::vector<Region> regions;
+  for (int i = 0; i < n; ++i) {
+    regions.push_back(Region{100, 101 + i});
+  }
+  return RegionSet::FromUnsorted(std::move(regions));
+}
+
+void ExpectAllOperatorsMatch(const RegionSet& r, const RegionSet& s,
+                             const ParallelConfig& cfg, const char* what) {
+  EXPECT_EQ(exec::ParallelUnion(r, s, cfg), Union(r, s)) << what;
+  EXPECT_EQ(exec::ParallelIntersect(r, s, cfg), Intersect(r, s)) << what;
+  EXPECT_EQ(exec::ParallelDifference(r, s, cfg), Difference(r, s)) << what;
+  EXPECT_EQ(exec::ParallelIncluding(r, s, cfg), Including(r, s)) << what;
+  EXPECT_EQ(exec::ParallelIncluded(r, s, cfg), Included(r, s)) << what;
+  EXPECT_EQ(exec::ParallelPrecedes(r, s, cfg), Precedes(r, s)) << what;
+  EXPECT_EQ(exec::ParallelFollows(r, s, cfg), Follows(r, s)) << what;
+}
+
+class ParallelKernelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelKernelTest, MatchesSequentialOnRandomSets) {
+  ThreadPool pool(GetParam());
+  ParallelConfig cfg{&pool, /*min_rows=*/0, /*max_partitions=*/0};
+  Rng rng(7 + static_cast<uint64_t>(GetParam()));
+  for (int trial = 0; trial < 20; ++trial) {
+    RegionSet r = RandomSet(rng, 1 + rng.Below(4000), 5000);
+    RegionSet s = RandomSet(rng, 1 + rng.Below(4000), 5000);
+    ExpectAllOperatorsMatch(r, s, cfg, "random");
+  }
+}
+
+TEST_P(ParallelKernelTest, MatchesSequentialOnAdversarialSets) {
+  ThreadPool pool(GetParam());
+  ParallelConfig cfg{&pool, /*min_rows=*/0, /*max_partitions=*/0};
+  Rng rng(11);
+  RegionSet empty;
+  RegionSet random = RandomSet(rng, 3000, 4000);
+  RegionSet nested = NestedChain(3000);
+  RegionSet equal_lefts = EqualLefts(3000);
+  RegionSet tiny = RandomSet(rng, 3, 4000);  // Skew: gallop-heavy merges.
+  const RegionSet* sets[] = {&empty, &random, &nested, &equal_lefts, &tiny};
+  for (const RegionSet* r : sets) {
+    for (const RegionSet* s : sets) {
+      ExpectAllOperatorsMatch(*r, *s, cfg, "adversarial");
+    }
+  }
+}
+
+TEST_P(ParallelKernelTest, MatchesSequentialOnLaminarInstances) {
+  ThreadPool pool(GetParam());
+  ParallelConfig cfg{&pool, /*min_rows=*/0, /*max_partitions=*/0};
+  Rng rng(23 + static_cast<uint64_t>(GetParam()));
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomInstanceOptions options;
+    options.num_regions = 400;
+    options.max_names = 2;
+    Instance instance = RandomLaminarInstance(rng, options);
+    auto r = instance.Get("R0");
+    auto s = instance.Get("R1");
+    ASSERT_TRUE(r.ok() && s.ok());
+    ExpectAllOperatorsMatch(**r, **s, cfg, "laminar");
+  }
+}
+
+TEST_P(ParallelKernelTest, SelectByTokensMatchesSequential) {
+  ThreadPool pool(GetParam());
+  ParallelConfig cfg{&pool, /*min_rows=*/0, /*max_partitions=*/0};
+  Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    RegionSet r = RandomSet(rng, 2000, 5000);
+    std::vector<Token> tokens;
+    size_t n = rng.Below(500);
+    for (size_t i = 0; i < n; ++i) {
+      Offset left = static_cast<Offset>(rng.Below(5000));
+      tokens.push_back(Token{left, left + static_cast<Offset>(rng.Below(8))});
+    }
+    std::sort(tokens.begin(), tokens.end(), [](const Token& a, const Token& b) {
+      return a.left != b.left ? a.left < b.left : a.right < b.right;
+    });
+    tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+    EXPECT_EQ(exec::ParallelSelectByTokens(r, tokens, cfg),
+              SelectByTokens(r, tokens));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelKernelTest,
+                         ::testing::ValuesIn(kThreadCounts));
+
+// ---------------------------------------------------------------------------
+// Index builds: identical structures for every thread count.
+
+class ParallelIndexTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelIndexTest, SuffixArrayWordIndexIsThreadCountInvariant) {
+  DictionaryGeneratorOptions options;
+  options.entries = 24;
+  Text text(GenerateDictionarySource(options));
+  SuffixArrayWordIndex sequential(&text, /*pool=*/nullptr);
+  ThreadPool pool(GetParam());
+  SuffixArrayWordIndex parallel(&text, &pool);
+  EXPECT_EQ(parallel.suffix_array().sa(), sequential.suffix_array().sa());
+  EXPECT_EQ(parallel.suffix_array().lcp(), sequential.suffix_array().lcp());
+  EXPECT_EQ(parallel.NumTokens(), sequential.NumTokens());
+  for (const char* body : {"term1*", "sense", "TERM2", "?erm3?"}) {
+    Pattern p = *Pattern::Parse(body);
+    EXPECT_EQ(parallel.Matches(p), sequential.Matches(p)) << body;
+  }
+}
+
+TEST_P(ParallelIndexTest, InvertedWordIndexIsThreadCountInvariant) {
+  DictionaryGeneratorOptions options;
+  options.entries = 24;
+  Text text(GenerateDictionarySource(options));
+  InvertedWordIndex sequential(&text, /*pool=*/nullptr);
+  ThreadPool pool(GetParam());
+  InvertedWordIndex parallel(&text, &pool);
+  EXPECT_EQ(parallel.NumTokens(), sequential.NumTokens());
+  EXPECT_EQ(parallel.VocabularySize(), sequential.VocabularySize());
+  for (const char* body : {"term1*", "sense", "TERM2", "?erm3?"}) {
+    Pattern p = *Pattern::Parse(body);
+    EXPECT_EQ(parallel.Matches(p), sequential.Matches(p)) << body;
+  }
+}
+
+TEST_P(ParallelIndexTest, ParallelTokenizeIsThreadCountInvariant) {
+  DictionaryGeneratorOptions options;
+  options.entries = 24;
+  std::string source = GenerateDictionarySource(options);
+  ThreadPool pool(GetParam());
+  EXPECT_EQ(exec::ParallelTokenize(source, &pool, /*min_bytes=*/64),
+            exec::ParallelTokenize(source, nullptr));
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelIndexTest,
+                         ::testing::ValuesIn(kThreadCounts));
+
+// ---------------------------------------------------------------------------
+// Evaluator and engine: parallel answers and stats match sequential ones.
+
+class ParallelEvalTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelEvalTest, EvaluatorMatchesSequentialOnRandomDags) {
+  ThreadPool pool(GetParam());
+  ParallelEvalPolicy policy;
+  policy.pool = &pool;
+  policy.min_rows = 0;
+  Rng rng(41 + static_cast<uint64_t>(GetParam()));
+  for (int trial = 0; trial < 15; ++trial) {
+    RandomInstanceOptions options;
+    options.num_regions = 120;
+    Instance instance = RandomLaminarInstance(rng, options);
+    // A DAG with a shared subtree: (R0 | R1) appears under both operands.
+    ExprPtr shared =
+        Expr::Binary(OpKind::kUnion, Expr::Name("R0"), Expr::Name("R1"));
+    ExprPtr left = Expr::Binary(OpKind::kIncluding, shared, Expr::Name("R2"));
+    ExprPtr right = Expr::Binary(OpKind::kIncluded, Expr::Name("R2"), shared);
+    ExprPtr e = Expr::Binary(OpKind::kDifference, left, right);
+
+    Evaluator sequential(&instance);
+    auto expected = sequential.Evaluate(e);
+    ASSERT_TRUE(expected.ok());
+
+    EvalOptions parallel_options;
+    parallel_options.parallel = &policy;
+    Evaluator parallel(&instance, parallel_options);
+    auto actual = parallel.Evaluate(e);
+    ASSERT_TRUE(actual.ok());
+    EXPECT_EQ(*actual, *expected);
+    // Memoization runs every node exactly once in both modes, so the stats
+    // are deterministic and identical.
+    EXPECT_EQ(parallel.stats().operator_evals,
+              sequential.stats().operator_evals);
+    EXPECT_EQ(parallel.stats().rows_scanned, sequential.stats().rows_scanned);
+    EXPECT_EQ(parallel.stats().rows_produced,
+              sequential.stats().rows_produced);
+  }
+}
+
+TEST_P(ParallelEvalTest, EngineAnswersMatchWithParallelForcedOnAndOff) {
+  DictionaryGeneratorOptions options;
+  options.entries = 30;
+  auto engine = QueryEngine::FromSgmlSource(GenerateDictionarySource(options));
+  ASSERT_TRUE(engine.ok());
+  ThreadPool pool(GetParam());
+
+  const char* queries[] = {
+      "sense within entry within dictionary",
+      "(quote within sense) | (def within sense)",
+      "entry including (headword matching \"term*\")",
+  };
+  for (const char* query : queries) {
+    engine->set_parallel_enabled(false);
+    auto sequential = engine->Run(query);
+    ASSERT_TRUE(sequential.ok()) << query;
+
+    engine->set_parallel_enabled(true);
+    engine->set_parallel_cost_threshold(0);  // Force the parallel path.
+    engine->mutable_parallel_policy()->pool = &pool;
+    engine->mutable_parallel_policy()->min_rows = 0;
+    auto parallel = engine->Run(query);
+    ASSERT_TRUE(parallel.ok()) << query;
+
+    EXPECT_EQ(parallel->regions, sequential->regions) << query;
+    EXPECT_EQ(parallel->eval_stats.operator_evals,
+              sequential->eval_stats.operator_evals)
+        << query;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelEvalTest,
+                         ::testing::ValuesIn(kThreadCounts));
+
+TEST(ParallelEvalTest, ExplainAnalyzeStillWorksOnTheParallelPath) {
+  DictionaryGeneratorOptions options;
+  options.entries = 20;
+  auto engine = QueryEngine::FromSgmlSource(GenerateDictionarySource(options));
+  ASSERT_TRUE(engine.ok());
+  engine->set_parallel_cost_threshold(0);
+  engine->mutable_parallel_policy()->min_rows = 0;
+  auto answer = engine->Run("explain analyze sense within entry");
+  ASSERT_TRUE(answer.ok());
+  ASSERT_TRUE(answer->profile.has_value());
+  EXPECT_TRUE(answer->profile->analyzed);
+  EXPECT_EQ(answer->profile->plan.rows_out,
+            static_cast<int64_t>(answer->regions.size()));
+}
+
+}  // namespace
+}  // namespace regal
