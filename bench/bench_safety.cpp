@@ -1,0 +1,131 @@
+// Experiment: the zero-cost-when-idle contract of the safety layer. Every
+// query pays the governance probes (one null-context branch per evaluator
+// node, one relaxed atomic load per failpoint site), so the layer is only
+// shippable if an ungoverned run is indistinguishable from the pre-safety
+// engine. The pairs below measure the same evaluation with (a) no context,
+// (b) an idle QueryContext (constructed, no limits set), and (c) a fully
+// limited context — (a) vs (b) must stay within ~2%; (c) bounds the cost of
+// actually enforcing limits. BM_DisabledFailpointProbe isolates the per-site
+// cost of an unarmed failpoint.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_report.h"
+#include "core/eval.h"
+#include "doc/dictionary.h"
+#include "doc/sgml.h"
+#include "query/engine.h"
+#include "query/parser.h"
+#include "safety/context.h"
+#include "safety/failpoint.h"
+
+namespace regal {
+namespace {
+
+// One mid-sized text-backed catalog shared by every benchmark; construction
+// is not the quantity under test.
+QueryEngine& Engine() {
+  static QueryEngine* engine = [] {
+    DictionaryGeneratorOptions options;
+    options.entries = 400;
+    auto built = QueryEngine::FromSgmlSource(GenerateDictionarySource(options));
+    if (!built.ok()) std::abort();
+    return new QueryEngine(std::move(*built));
+  }();
+  return *engine;
+}
+
+const char* kQuery =
+    "(quote within sense) | (def within sense) | "
+    "entry including (headword matching \"term*\")";
+
+ExprPtr Query() {
+  static ExprPtr expr = [] {
+    auto parsed = ParseQuery(kQuery);
+    if (!parsed.ok()) std::abort();
+    return *parsed;
+  }();
+  return expr;
+}
+
+void RunEval(benchmark::State& state, safety::QueryContext* context) {
+  const Instance& instance = Engine().instance();
+  for (auto _ : state) {
+    EvalOptions options;
+    options.context = context;
+    Evaluator evaluator(&instance, options);
+    auto result = evaluator.Evaluate(Query());
+    if (!result.ok()) std::abort();
+    benchmark::DoNotOptimize(result.value().size());
+  }
+}
+
+void BM_EvalNoContext(benchmark::State& state) { RunEval(state, nullptr); }
+
+void BM_EvalIdleContext(benchmark::State& state) {
+  // A context with no limits set: every Check() short-circuits, but the
+  // evaluator still takes the governed branch and charges memory.
+  safety::QueryContext context(safety::QueryLimits{});
+  RunEval(state, &context);
+}
+
+void BM_EvalFullLimits(benchmark::State& state) {
+  safety::QueryLimits limits;
+  limits.deadline_ms = 1e9;                  // Never hit, always checked.
+  limits.memory_limit_bytes = int64_t{1} << 40;
+  limits.cancel = std::make_shared<safety::CancelToken>();
+  safety::QueryContext context(limits);
+  RunEval(state, &context);
+}
+
+void BM_EngineUngoverned(benchmark::State& state) {
+  for (auto _ : state) {
+    auto answer = Engine().Run(kQuery);
+    if (!answer.ok()) std::abort();
+    benchmark::DoNotOptimize(answer->regions.size());
+  }
+}
+
+void BM_EngineGoverned(benchmark::State& state) {
+  safety::QueryLimits limits;
+  limits.deadline_ms = 1e9;
+  limits.memory_limit_bytes = int64_t{1} << 40;
+  for (auto _ : state) {
+    auto answer = Engine().Run(kQuery, limits);
+    if (!answer.ok()) std::abort();
+    benchmark::DoNotOptimize(answer->regions.size());
+  }
+}
+
+void BM_DisabledFailpointProbe(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(safety::FailpointFires("bench.never.armed"));
+  }
+}
+
+void BM_ArmedMissFailpointProbe(benchmark::State& state) {
+  // Some unrelated failpoint armed: the probe takes the slow path (mutex +
+  // map miss) — the cost ceiling for sites while any stress test runs.
+  safety::FailpointRegistry::Default().Arm("bench.other.site");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(safety::FailpointFires("bench.never.armed"));
+  }
+  safety::FailpointRegistry::Default().DisarmAll();
+}
+
+BENCHMARK(BM_EvalNoContext);
+BENCHMARK(BM_EvalIdleContext);
+BENCHMARK(BM_EvalFullLimits);
+BENCHMARK(BM_EngineUngoverned);
+BENCHMARK(BM_EngineGoverned);
+BENCHMARK(BM_DisabledFailpointProbe);
+BENCHMARK(BM_ArmedMissFailpointProbe);
+
+}  // namespace
+}  // namespace regal
+
+int main(int argc, char** argv) {
+  return regal::RunBenchmarksWithJson(argc, argv, "BENCH_safety.json");
+}

@@ -6,6 +6,7 @@
 #include "core/algebra.h"
 #include "core/extended.h"
 #include "exec/thread_pool.h"
+#include "safety/failpoint.h"
 
 namespace regal {
 
@@ -92,6 +93,15 @@ Result<Evaluator::SharedSet> Evaluator::Eval(const ExprPtr& e) {
 
   int64_t rows_in = 0;
   Result<SharedSet> result = EvalNode(e, &rows_in);
+  // Charge materialized results (leaf name scans are borrowed from the
+  // instance, not new memory) so a runaway intermediate trips the budget at
+  // the node that produced it.
+  if (result.ok() && options_.context != nullptr &&
+      e->kind() != OpKind::kName) {
+    Status charged = options_.context->ChargeMemory(
+        static_cast<int64_t>(result.value()->size() * sizeof(Region)));
+    if (!charged.ok()) result = charged;
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     MemoEntry& entry = memo_[e.get()];
@@ -116,6 +126,9 @@ Status Evaluator::EvalChildren(const ExprPtr& e, SharedSet* a, SharedSet* b) {
   // Concurrency only pays when both sides have operator work; a leaf child
   // is a memo/borrow lookup.
   if (SubtreeParallelismEnabled() && !IsLeaf(*left) && !IsLeaf(*right)) {
+    // Failpoint: a fault while handing a subtree to the pool must surface
+    // as a Status, not a lost task or a stuck Wait().
+    REGAL_RETURN_NOT_OK(safety::CheckFailpoint("exec.pool.subtree"));
     exec::ThreadPool& pool = options_.parallel->pool != nullptr
                                  ? *options_.parallel->pool
                                  : exec::ThreadPool::Default();
@@ -140,6 +153,13 @@ Status Evaluator::EvalChildren(const ExprPtr& e, SharedSet* a, SharedSet* b) {
 
 Result<Evaluator::SharedSet> Evaluator::EvalNode(const ExprPtr& e,
                                                  int64_t* rows_in) {
+  // Operator-boundary checkpoint: cancellation, deadline and budget are
+  // polled once per executed node, bounding the time from a violated limit
+  // to a clean non-OK return by one operator's work.
+  if (options_.context != nullptr) {
+    REGAL_RETURN_NOT_OK(options_.context->Check());
+  }
+  REGAL_RETURN_NOT_OK(safety::CheckFailpoint("eval.node"));
   switch (e->kind()) {
     case OpKind::kName: {
       if (options_.bindings != nullptr) {
@@ -175,7 +195,9 @@ Result<Evaluator::SharedSet> Evaluator::EvalNode(const ExprPtr& e,
       const ParallelEvalPolicy* pp = options_.parallel;
       if (pp != nullptr && instance_->word_index() != nullptr &&
           !options_.use_naive) {
-        exec::ParallelConfig cfg{pp->pool, pp->min_rows, 0};
+        REGAL_RETURN_NOT_OK(safety::CheckFailpoint("exec.kernel.fault"));
+        exec::ParallelConfig cfg{pp->pool, pp->min_rows, 0,
+                                 options_.context};
         return Adopt(exec::ParallelSelectByTokens(
             *child, instance_->word_index()->Matches(e->pattern()), cfg));
       }
@@ -208,7 +230,11 @@ Result<Evaluator::SharedSet> Evaluator::EvalNode(const ExprPtr& e,
       const bool naive_mode = options_.use_naive;
       const ParallelEvalPolicy* pp = naive_mode ? nullptr : options_.parallel;
       exec::ParallelConfig cfg;
-      if (pp != nullptr) cfg = exec::ParallelConfig{pp->pool, pp->min_rows, 0};
+      if (pp != nullptr) {
+        REGAL_RETURN_NOT_OK(safety::CheckFailpoint("exec.kernel.fault"));
+        cfg = exec::ParallelConfig{pp->pool, pp->min_rows, 0,
+                                   options_.context};
+      }
       RegionSet result;
       switch (e->kind()) {
         case OpKind::kUnion:

@@ -13,6 +13,7 @@
 #include "core/region_set.h"
 #include "exec/parallel_algebra.h"
 #include "obs/trace.h"
+#include "safety/context.h"
 #include "util/status.h"
 
 namespace regal {
@@ -48,12 +49,18 @@ struct ParallelEvalPolicy {
 /// machinery behind `explain analyze`. Null tracer = no tracing work at
 /// all beyond one branch per node. `parallel`, when set, dispatches large
 /// operators to the partitioned kernels of exec/parallel_algebra.h and
-/// runs independent subtrees concurrently.
+/// runs independent subtrees concurrently. `context`, when set, is the
+/// query's governance state (deadline, cancellation, memory budget): the
+/// evaluator checks it once per expression node and charges every
+/// materialized result against the budget, so a violated limit surfaces as
+/// a clean non-OK Status within one operator boundary. Null context = no
+/// governance work at all (one branch per node).
 struct EvalOptions {
   bool use_naive = false;
   const std::map<std::string, RegionSet>* bindings = nullptr;
   obs::Tracer* tracer = nullptr;
   const ParallelEvalPolicy* parallel = nullptr;
+  safety::QueryContext* context = nullptr;
 };
 
 /// Counters accumulated across Evaluate calls; the optimizer benches read

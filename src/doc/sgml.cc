@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "safety/failpoint.h"
 #include "util/random.h"
 #include "util/stringutil.h"
 
@@ -49,6 +50,7 @@ Result<Instance> ParseSgml(const std::string& source) {
   if (!stack.empty()) {
     return Status::InvalidArgument("unclosed tag <" + stack.back().name + ">");
   }
+  REGAL_RETURN_NOT_OK(safety::CheckFailpoint("index.build"));
   Instance instance;
   for (auto& [name, regions] : sets) {
     instance.SetRegionSet(name, RegionSet::FromUnsorted(std::move(regions)));

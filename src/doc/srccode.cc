@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "safety/failpoint.h"
 #include "text/tokenizer.h"
 #include "util/stringutil.h"
 
@@ -118,6 +119,7 @@ class ProgramParser {
 
   Result<Instance> Parse() {
     REGAL_RETURN_NOT_OK(ParseProgramRule());
+    REGAL_RETURN_NOT_OK(safety::CheckFailpoint("index.build"));
     Instance instance;
     for (auto& [name, regions] : sets_) {
       instance.SetRegionSet(name, RegionSet::FromUnsorted(std::move(regions)));

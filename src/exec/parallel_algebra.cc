@@ -6,6 +6,7 @@
 #include "core/algebra.h"
 #include "core/algebra_kernels.h"
 #include "obs/metrics.h"
+#include "safety/failpoint.h"
 
 namespace regal {
 namespace exec {
@@ -32,6 +33,21 @@ void CountParallelDispatch(const char* op) {
   obs::Registry::Default()
       .GetCounter("regal_exec_parallel_ops_total", {{"op", op}})
       ->Increment();
+}
+
+// Degradation failpoint shared by every kernel: when "exec.kernel.degrade"
+// fires, the kernel runs its sequential twin instead of partitioning —
+// same answer (the kernels are bit-identical to the sequential operators),
+// recorded so the fallback is observable.
+bool DegradeKernel(const char* op) {
+  if (!safety::FailpointFires("exec.kernel.degrade")) return false;
+  obs::Registry& registry = obs::Registry::Default();
+  registry.GetCounter("regal_safety_kernel_fallbacks_total", {{"op", op}})
+      ->Increment();
+  // Unlabeled aggregate: the engine diffs it around evaluation to surface
+  // kernel fallbacks in the explain-analyze profile.
+  registry.GetCounter("regal_safety_kernel_fallbacks_total")->Increment();
+  return true;
 }
 
 // Same per-probe comparison charge as core/algebra.cc.
@@ -86,6 +102,10 @@ RegionSet PartitionedMerge(const char* op, const RegionSet& r,
   std::vector<std::vector<Region>> outs(np);
   std::vector<obs::OpCounters> counters(np);
   PoolOf(cfg).ParallelFor(np, [&](size_t k) {
+    // Chunk-granularity checkpoint: a cancelled/over-deadline query skips
+    // the remaining chunks. The evaluator re-checks the context right after
+    // the kernel returns and discards this (partial) result.
+    if (cfg.ctx != nullptr && cfg.ctx->ShouldAbort()) return;
     outs[k].reserve((rcut[k + 1] - rcut[k]) + (scut[k + 1] - scut[k]));
     kernel(rd + rcut[k], rd + rcut[k + 1], sd + scut[k], sd + scut[k + 1],
            &outs[k], &counters[k]);
@@ -124,6 +144,7 @@ RegionSet PartitionedFilter(const char* op, const RegionSet& r, Pred pred,
   const size_t np = static_cast<size_t>(parts);
   std::vector<std::vector<Region>> outs(np);
   PoolOf(cfg).ParallelFor(np, [&](size_t k) {
+    if (cfg.ctx != nullptr && cfg.ctx->ShouldAbort()) return;
     const size_t begin = k * r.size() / np;
     const size_t end = (k + 1) * r.size() / np;
     for (size_t i = begin; i < end; ++i) {
@@ -144,6 +165,7 @@ bool BelowGate(const ParallelConfig& cfg, size_t rows) {
 RegionSet ParallelUnion(const RegionSet& r, const RegionSet& s,
                         const ParallelConfig& cfg) {
   if (BelowGate(cfg, r.size() + s.size())) return Union(r, s);
+  if (DegradeKernel("union")) return Union(r, s);
   // Union is symmetric; partition the longer operand for balance.
   const RegionSet& a = r.size() >= s.size() ? r : s;
   const RegionSet& b = r.size() >= s.size() ? s : r;
@@ -153,6 +175,7 @@ RegionSet ParallelUnion(const RegionSet& r, const RegionSet& s,
 RegionSet ParallelIntersect(const RegionSet& r, const RegionSet& s,
                             const ParallelConfig& cfg) {
   if (BelowGate(cfg, r.size() + s.size())) return Intersect(r, s);
+  if (DegradeKernel("intersect")) return Intersect(r, s);
   const RegionSet& a = r.size() >= s.size() ? r : s;
   const RegionSet& b = r.size() >= s.size() ? s : r;
   return PartitionedMerge("intersect", a, b, &kernels::IntersectSpan, cfg);
@@ -161,12 +184,14 @@ RegionSet ParallelIntersect(const RegionSet& r, const RegionSet& s,
 RegionSet ParallelDifference(const RegionSet& r, const RegionSet& s,
                              const ParallelConfig& cfg) {
   if (BelowGate(cfg, r.size() + s.size())) return Difference(r, s);
+  if (DegradeKernel("difference")) return Difference(r, s);
   return PartitionedMerge("difference", r, s, &kernels::DifferenceSpan, cfg);
 }
 
 RegionSet ParallelIncluding(const RegionSet& r, const RegionSet& s,
                             const ParallelConfig& cfg) {
   if (BelowGate(cfg, r.size() + s.size())) return Including(r, s);
+  if (DegradeKernel("including")) return Including(r, s);
   ContainmentIndex index(s);
   return PartitionedFilter(
       "including", r,
@@ -177,6 +202,7 @@ RegionSet ParallelIncluding(const RegionSet& r, const RegionSet& s,
 RegionSet ParallelIncluded(const RegionSet& r, const RegionSet& s,
                            const ParallelConfig& cfg) {
   if (BelowGate(cfg, r.size() + s.size())) return Included(r, s);
+  if (DegradeKernel("included")) return Included(r, s);
   ContainmentIndex index(s);
   return PartitionedFilter(
       "included", r,
@@ -187,6 +213,7 @@ RegionSet ParallelIncluded(const RegionSet& r, const RegionSet& s,
 RegionSet ParallelPrecedes(const RegionSet& r, const RegionSet& s,
                            const ParallelConfig& cfg) {
   if (BelowGate(cfg, r.size() + s.size())) return Precedes(r, s);
+  if (DegradeKernel("precedes")) return Precedes(r, s);
   if (s.empty()) {
     kernels::FlushCounters(
         obs::OpCounters{static_cast<int64_t>(r.size()),
@@ -202,6 +229,7 @@ RegionSet ParallelPrecedes(const RegionSet& r, const RegionSet& s,
 RegionSet ParallelFollows(const RegionSet& r, const RegionSet& s,
                           const ParallelConfig& cfg) {
   if (BelowGate(cfg, r.size() + s.size())) return Follows(r, s);
+  if (DegradeKernel("follows")) return Follows(r, s);
   if (s.empty()) {
     kernels::FlushCounters(
         obs::OpCounters{static_cast<int64_t>(r.size()),
@@ -222,6 +250,7 @@ RegionSet ParallelSelectByTokens(const RegionSet& r,
   if (BelowGate(cfg, r.size() + tokens.size())) {
     return SelectByTokens(r, tokens);
   }
+  if (DegradeKernel("select")) return SelectByTokens(r, tokens);
   std::vector<Region> as_regions;
   as_regions.reserve(tokens.size());
   for (const Token& t : tokens) as_regions.push_back(Region{t.left, t.right});

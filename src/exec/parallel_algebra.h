@@ -6,6 +6,7 @@
 
 #include "core/region_set.h"
 #include "exec/thread_pool.h"
+#include "safety/context.h"
 #include "text/tokenizer.h"
 
 namespace regal {
@@ -20,6 +21,11 @@ struct ParallelConfig {
   size_t min_rows = 1u << 14;
   /// Cap on partitions; 0 means the pool's lane count.
   int max_partitions = 0;
+  /// Governance state polled between chunks: once ShouldAbort() is true the
+  /// remaining chunks bail without producing output. The caller (the
+  /// evaluator) must then surface ctx->Check() and discard the partial
+  /// result — the kernels never fabricate an answer after an abort.
+  const safety::QueryContext* ctx = nullptr;
 };
 
 /// Data-parallel versions of the hot region-algebra operators. Each one

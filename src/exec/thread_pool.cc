@@ -4,6 +4,7 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "safety/failpoint.h"
 
 namespace regal {
 namespace exec {
@@ -104,6 +105,19 @@ int ThreadPool::DefaultNumThreads() {
     return ParseThreads(std::getenv("REGAL_THREADS"), hw);
   }();
   return threads;
+}
+
+size_t ThreadPool::ApproxQueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+bool ThreadPool::Saturated() const {
+  if (safety::FailpointFires("exec.pool.saturated")) return true;
+  // Two queued tasks per lane means every lane is busy and has a full
+  // backlog behind it; adding parallel work then only grows the queue.
+  return ApproxQueueDepth() >
+         static_cast<size_t>(2 * num_threads());
 }
 
 void ThreadPool::Enqueue(std::shared_ptr<TaskHandle::State> task) {

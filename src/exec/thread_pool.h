@@ -81,13 +81,24 @@ class ThreadPool {
   /// throw and must tolerate concurrent invocation on distinct indices.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// Queue length at this instant (tasks submitted but not yet claimed).
+  size_t ApproxQueueDepth() const;
+
+  /// Admission signal for graceful degradation: true when the backlog
+  /// exceeds a small multiple of the lane count (every lane busy plus a
+  /// full round of queued work), or when the "exec.pool.saturated"
+  /// failpoint fires. The engine answers saturation by evaluating
+  /// sequentially instead of queueing more parallel work — see
+  /// QueryEngine::RunExpr and DESIGN.md "Resource governance".
+  bool Saturated() const;
+
  private:
   struct ForState;
 
   void WorkerLoop();
   void Enqueue(std::shared_ptr<TaskHandle::State> task);
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::deque<std::shared_ptr<TaskHandle::State>> queue_;
   bool stopping_ = false;

@@ -4,6 +4,7 @@
 
 #include "core/eval.h"
 #include "doc/synthetic.h"
+#include "safety/failpoint.h"
 #include "util/random.h"
 
 namespace regal {
@@ -135,6 +136,7 @@ bool EnumerateInstances(const std::vector<std::string>& names,
 Result<EmptinessReport> CheckEmptiness(const ExprPtr& expr,
                                        const EmptinessOptions& options,
                                        const Digraph* rig) {
+  REGAL_RETURN_NOT_OK(safety::CheckFailpoint("fmft.emptiness"));
   std::vector<std::string> names = expr->NamesUsed();
   if (rig != nullptr) names = rig->Labels();
   if (names.empty()) {
@@ -145,6 +147,16 @@ Result<EmptinessReport> CheckEmptiness(const ExprPtr& expr,
   EmptinessReport report;
   Status eval_error = Status::OK();
   auto probe = [&](const Instance& instance) {
+    // Per-instance checkpoint: the bounded-model search honours the same
+    // deadlines/cancellation as query evaluation, surfaced through
+    // eval_error like a structural evaluation failure.
+    if (options.context != nullptr) {
+      Status governed = options.context->Check();
+      if (!governed.ok()) {
+        eval_error = governed;
+        return true;
+      }
+    }
     auto result = Evaluate(instance, expr);
     if (!result.ok()) {
       eval_error = result.status();

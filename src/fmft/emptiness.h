@@ -9,6 +9,7 @@
 #include "core/expr.h"
 #include "core/instance.h"
 #include "graph/digraph.h"
+#include "safety/context.h"
 #include "util/status.h"
 
 namespace regal {
@@ -30,6 +31,12 @@ struct EmptinessOptions {
   int random_samples = 200;     // Extra randomized larger instances.
   int random_nodes = 24;
   uint64_t seed = 1;
+  /// Optional governance state (deadline / cancellation), polled once per
+  /// probed instance: the search stops with the violated limit's Status
+  /// instead of running its full eval_budget. eval_budget already bounds
+  /// total work (Thm 3.4's decidability is non-elementary, hence budgets);
+  /// the context adds wall-clock and caller-initiated bounds on top.
+  const safety::QueryContext* context = nullptr;
 };
 
 struct EmptinessReport {

@@ -5,9 +5,29 @@
 #include "exec/parallel_text.h"
 #include "exec/thread_pool.h"
 #include "obs/counters.h"
+#include "obs/metrics.h"
+#include "safety/failpoint.h"
 #include "util/stringutil.h"
 
 namespace regal {
+
+namespace {
+
+// Degrade failpoint for index construction: a nullptr pool is the documented
+// strictly-sequential build, so firing simply reroutes there while recording
+// the fallback for explain/metrics consumers.
+exec::ThreadPool* MaybeDegradeBuild(exec::ThreadPool* pool, const char* index) {
+  if (pool == nullptr || !safety::FailpointFires("index.build.degrade")) {
+    return pool;
+  }
+  obs::Registry::Default()
+      .GetCounter("regal_safety_index_build_fallbacks_total",
+                  {{"index", index}})
+      ->Increment();
+  return nullptr;
+}
+
+}  // namespace
 
 bool WordIndex::Contains(Offset left, Offset right, const Pattern& p) const {
   // Default implementation in terms of Matches; subclasses may override
@@ -24,8 +44,11 @@ SuffixArrayWordIndex::SuffixArrayWordIndex(const Text* text)
 
 SuffixArrayWordIndex::SuffixArrayWordIndex(const Text* text,
                                            exec::ThreadPool* pool)
+    // tokens_ is declared before suffix_array_, so the degrade decision made
+    // in its initializer is the pool suffix_array_ sees too.
     : text_(text),
-      tokens_(exec::ParallelTokenize(text->content(), pool)),
+      tokens_(exec::ParallelTokenize(
+          text->content(), pool = MaybeDegradeBuild(pool, "suffix_array"))),
       suffix_array_(ToLowerAscii(text->content()), pool) {}
 
 int32_t SuffixArrayWordIndex::TokenAt(int32_t pos) const {
@@ -86,6 +109,7 @@ InvertedWordIndex::InvertedWordIndex(const Text* text)
 
 InvertedWordIndex::InvertedWordIndex(const Text* text, exec::ThreadPool* pool)
     : text_(text) {
+  pool = MaybeDegradeBuild(pool, "inverted");
   postings_ = exec::ParallelPostings(text->content(), pool, &num_tokens_);
 }
 

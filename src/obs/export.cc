@@ -55,27 +55,6 @@ void FormatSubtree(const Span& span, const std::string& prefix,
   }
 }
 
-void WriteSpanJson(const Span& span, JsonWriter* w) {
-  w->BeginObject();
-  w->Key("name").String(span.name);
-  if (!span.detail.empty()) w->Key("detail").String(span.detail);
-  w->Key("rows_in").Int(span.rows_in);
-  w->Key("rows_out").Int(span.rows_out);
-  w->Key("comparisons").Int(span.counters.comparisons);
-  w->Key("merge_steps").Int(span.counters.merge_steps);
-  w->Key("index_probes").Int(span.counters.index_probes);
-  if (span.est_rows >= 0) w->Key("est_rows").Double(span.est_rows);
-  if (span.from_cache) w->Key("from_cache").Bool(true);
-  w->Key("start_us").Double(span.start_us);
-  w->Key("dur_us").Double(span.dur_us);
-  if (!span.children.empty()) {
-    w->Key("children").BeginArray();
-    for (const Span& child : span.children) WriteSpanJson(child, w);
-    w->EndArray();
-  }
-  w->EndObject();
-}
-
 void WriteChromeEvents(const Span& span, JsonWriter* w) {
   w->BeginObject();
   std::string name = span.name;
@@ -97,6 +76,27 @@ void WriteChromeEvents(const Span& span, JsonWriter* w) {
 }
 
 }  // namespace
+
+void WriteSpanJson(const Span& span, JsonWriter* w) {
+  w->BeginObject();
+  w->Key("name").String(span.name);
+  if (!span.detail.empty()) w->Key("detail").String(span.detail);
+  w->Key("rows_in").Int(span.rows_in);
+  w->Key("rows_out").Int(span.rows_out);
+  w->Key("comparisons").Int(span.counters.comparisons);
+  w->Key("merge_steps").Int(span.counters.merge_steps);
+  w->Key("index_probes").Int(span.counters.index_probes);
+  if (span.est_rows >= 0) w->Key("est_rows").Double(span.est_rows);
+  if (span.from_cache) w->Key("from_cache").Bool(true);
+  w->Key("start_us").Double(span.start_us);
+  w->Key("dur_us").Double(span.dur_us);
+  if (!span.children.empty()) {
+    w->Key("children").BeginArray();
+    for (const Span& child : span.children) WriteSpanJson(child, w);
+    w->EndArray();
+  }
+  w->EndObject();
+}
 
 std::string FormatSpanTree(const Span& span) {
   std::string out;

@@ -24,6 +24,12 @@ std::string FormatSpanTree(const Span& span);
 /// The span tree as a JSON document (nested objects mirroring the tree).
 std::string SpanToJson(const Span& span);
 
+class JsonWriter;
+
+/// Streams one span subtree into an already-open JsonWriter, for callers
+/// embedding the plan inside a larger document (the query-profile envelope).
+void WriteSpanJson(const Span& span, JsonWriter* w);
+
 /// The span tree in chrome://tracing "traceEvents" format (complete events,
 /// microsecond timestamps) — load in chrome://tracing or Perfetto.
 std::string SpanToChromeTrace(const Span& span);

@@ -3,7 +3,9 @@
 #include "core/construct.h"
 #include "doc/sgml.h"
 #include "doc/srccode.h"
+#include "exec/thread_pool.h"
 #include "obs/export.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "opt/optimizer.h"
 #include "query/parser.h"
@@ -50,6 +52,16 @@ Status CheckNames(const Instance& instance,
   return Status::OK();
 }
 
+// 1 KiB .. 1 GiB in powers of 4 — result-set footprints span from a handful
+// of regions to catalog-sized intermediates.
+std::vector<double> MemoryBucketsBytes() {
+  std::vector<double> buckets;
+  for (double b = 1024; b <= 1024.0 * 1024.0 * 1024.0; b *= 4) {
+    buckets.push_back(b);
+  }
+  return buckets;
+}
+
 std::vector<std::string> SplitLines(const std::string& text) {
   std::vector<std::string> lines;
   size_t start = 0;
@@ -66,7 +78,24 @@ std::vector<std::string> SplitLines(const std::string& text) {
 
 std::string QueryProfile::Tree() const { return obs::FormatSpanTree(plan); }
 
-std::string QueryProfile::Json() const { return obs::SpanToJson(plan); }
+std::string QueryProfile::Json() const {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("analyzed").Bool(analyzed);
+  w.Key("total_ms").Double(total_ms);
+  w.Key("governance").BeginObject();
+  w.Key("limits_enforced").Bool(limits_enforced);
+  w.Key("degraded").Bool(degraded);
+  w.Key("fallbacks").BeginArray();
+  for (const std::string& fallback : fallbacks) w.String(fallback);
+  w.EndArray();
+  w.Key("peak_memory_bytes").Int(peak_memory_bytes);
+  w.EndObject();
+  w.Key("plan");
+  obs::WriteSpanJson(plan, &w);
+  w.EndObject();
+  return w.Take();
+}
 
 std::string QueryProfile::ChromeTrace() const {
   return obs::SpanToChromeTrace(plan);
@@ -117,22 +146,61 @@ Status QueryEngine::Validate() const {
 }
 
 Result<QueryAnswer> QueryEngine::Run(const std::string& query, bool optimize) {
-  REGAL_ASSIGN_OR_RETURN(QueryStatement statement, ParseStatement(query));
-  switch (statement.verb) {
+  return Run(query, limits_, optimize);
+}
+
+Result<QueryAnswer> QueryEngine::Run(const std::string& query,
+                                     const safety::QueryLimits& limits,
+                                     bool optimize) {
+  Result<QueryStatement> statement = ParseStatement(query);
+  if (!statement.ok()) {
+    // The lexer/parser admission caps (token count, nesting depth) report
+    // ResourceExhausted; count those rejections with the admission-control
+    // ones so all refused work is visible in one place.
+    if (statement.status().code() == StatusCode::kResourceExhausted) {
+      obs::Registry::Default()
+          .GetCounter("regal_safety_queries_rejected_total",
+                      {{"reason", "parse"}})
+          ->Increment();
+    }
+    return statement.status();
+  }
+  switch (statement->verb) {
     case QueryVerb::kExplain:
-      return ExplainExpr(statement.expr, optimize);
+      return ExplainExpr(statement->expr, optimize);
     case QueryVerb::kExplainAnalyze:
-      return RunExpr(statement.expr, optimize, /*profile=*/true);
+      return RunExprWithLimits(statement->expr, limits, optimize,
+                               /*profile=*/true);
     case QueryVerb::kRun:
       break;
   }
-  return RunExpr(statement.expr, optimize);
+  return RunExprWithLimits(statement->expr, limits, optimize,
+                           /*profile=*/false);
 }
 
 Result<QueryAnswer> QueryEngine::RunExpr(const ExprPtr& expr, bool optimize,
                                          bool profile) {
+  return RunExprWithLimits(expr, limits_, optimize, profile);
+}
+
+Result<QueryAnswer> QueryEngine::RunExprWithLimits(
+    const ExprPtr& expr, const safety::QueryLimits& limits, bool optimize,
+    bool profile) {
   ExprPtr resolved = ResolveViews(expr);
   REGAL_RETURN_NOT_OK(CheckNames(instance_, materialized_views_, resolved));
+  obs::Registry& registry = obs::Registry::Default();
+  const bool governed = limits.Any();
+  if (governed) {
+    Status admitted = safety::AdmitExpr(resolved, limits);
+    if (!admitted.ok()) {
+      registry
+          .GetCounter("regal_safety_queries_rejected_total",
+                      {{"reason", "complexity"}})
+          ->Increment();
+      return admitted;
+    }
+    registry.GetCounter("regal_safety_queries_admitted_total")->Increment();
+  }
   QueryAnswer answer;
   answer.parsed = expr;
   answer.executed = resolved;
@@ -147,19 +215,79 @@ Result<QueryAnswer> QueryEngine::RunExpr(const ExprPtr& expr, bool optimize,
   }
   std::optional<obs::Tracer> tracer;
   if (profile) tracer.emplace();
+  std::optional<safety::QueryContext> context;
+  if (governed) context.emplace(limits);
+  bool degraded = false;
+  std::vector<std::string> fallbacks;
+  const int64_t kernel_fallbacks_before =
+      registry.GetCounter("regal_safety_kernel_fallbacks_total")->value();
+  Status eval_status = Status::OK();
   {
     ScopedTimer timed(&answer.elapsed_ms);
     EvalOptions eval_options;
     eval_options.bindings = &materialized_views_;
     if (profile) eval_options.tracer = &*tracer;
+    if (context.has_value()) eval_options.context = &*context;
     if (parallel_enabled_ &&
         EstimateCost(answer.executed, stats_).cost >=
             parallel_cost_threshold_) {
-      eval_options.parallel = &parallel_policy_;
+      exec::ThreadPool* pool = parallel_policy_.pool != nullptr
+                                   ? parallel_policy_.pool
+                                   : &exec::ThreadPool::Default();
+      if (pool->Saturated()) {
+        // Graceful degradation: an overloaded pool means queued parallel
+        // work would only deepen the backlog, so this query runs on the
+        // (bit-identical) sequential path instead of failing or stalling.
+        degraded = true;
+        fallbacks.push_back("pool saturated: sequential evaluation");
+        registry
+            .GetCounter("regal_safety_queries_degraded_total",
+                        {{"reason", "pool_saturated"}})
+            ->Increment();
+      } else {
+        eval_options.parallel = &parallel_policy_;
+      }
     }
     Evaluator evaluator(&instance_, eval_options);
-    REGAL_ASSIGN_OR_RETURN(answer.regions, evaluator.Evaluate(answer.executed));
+    Result<RegionSet> result = evaluator.Evaluate(answer.executed);
     answer.eval_stats = evaluator.stats();
+    if (result.ok()) {
+      answer.regions = std::move(result).value();
+    } else {
+      eval_status = result.status();
+    }
+  }
+  const int64_t kernel_fallbacks =
+      registry.GetCounter("regal_safety_kernel_fallbacks_total")->value() -
+      kernel_fallbacks_before;
+  if (kernel_fallbacks > 0) {
+    degraded = true;
+    fallbacks.push_back("kernel fallback x" +
+                        std::to_string(kernel_fallbacks) +
+                        ": sequential operators");
+  }
+  if (!eval_status.ok()) {
+    const char* reason = nullptr;
+    switch (eval_status.code()) {
+      case StatusCode::kCancelled:
+        reason = "cancelled";
+        break;
+      case StatusCode::kDeadlineExceeded:
+        reason = "deadline_exceeded";
+        break;
+      case StatusCode::kResourceExhausted:
+        reason = "over_memory";
+        break;
+      default:
+        break;
+    }
+    if (reason != nullptr) {
+      registry
+          .GetCounter("regal_safety_queries_stopped_total",
+                      {{"reason", reason}})
+          ->Increment();
+    }
+    return eval_status;
   }
   if (profile) {
     QueryProfile query_profile;
@@ -168,9 +296,20 @@ Result<QueryAnswer> QueryEngine::RunExpr(const ExprPtr& expr, bool optimize,
     query_profile.counters = tracer->counters();
     query_profile.total_ms = answer.elapsed_ms;
     query_profile.analyzed = true;
+    query_profile.limits_enforced = governed;
+    query_profile.degraded = degraded;
+    query_profile.fallbacks = std::move(fallbacks);
+    if (context.has_value()) {
+      query_profile.peak_memory_bytes = context->peak_memory_bytes();
+    }
     answer.profile = std::move(query_profile);
   }
-  obs::Registry& registry = obs::Registry::Default();
+  if (context.has_value()) {
+    registry
+        .GetHistogram("regal_query_peak_memory_bytes", {},
+                      MemoryBucketsBytes())
+        ->Observe(static_cast<double>(context->peak_memory_bytes()));
+  }
   registry.GetCounter("regal_queries_total",
                       {{"verb", profile ? "explain_analyze" : "run"}})
       ->Increment();

@@ -12,6 +12,7 @@
 #include "obs/trace.h"
 #include "opt/cost.h"
 #include "opt/optimizer.h"
+#include "safety/context.h"
 #include "util/status.h"
 
 namespace regal {
@@ -25,6 +26,17 @@ struct QueryProfile {
   bool analyzed = false;  // True when the plan was actually executed.
   double total_ms = 0;
   obs::OpCounters counters;  // Totals across the whole plan.
+
+  // Governance outcome (see safety/context.h and DESIGN.md "Resource
+  // governance & failure model").
+  bool limits_enforced = false;  // A QueryContext was active for this run.
+  bool degraded = false;         // Some parallel path fell back to sequential.
+  /// Human-readable fallback records, e.g. "pool saturated: sequential
+  /// evaluation" or "kernel fallback x3: sequential operators".
+  std::vector<std::string> fallbacks;
+  /// Peak bytes of materialized results charged against the memory budget
+  /// (0 when no context was active).
+  int64_t peak_memory_bytes = 0;
 
   /// Human-readable plan tree (obs::FormatSpanTree).
   std::string Tree() const;
@@ -81,6 +93,15 @@ class QueryEngine {
   /// in QueryAnswer::profile (the former without executing).
   Result<QueryAnswer> Run(const std::string& query, bool optimize = true);
 
+  /// As above, but the run is governed by `limits` instead of the
+  /// engine-wide limits: admission control rejects over-complex
+  /// expressions up front, and deadline / cancellation / memory-budget
+  /// violations surface as kDeadlineExceeded / kCancelled /
+  /// kResourceExhausted within one operator boundary.
+  Result<QueryAnswer> Run(const std::string& query,
+                          const safety::QueryLimits& limits,
+                          bool optimize = true);
+
   /// Runs an already-built expression. `profile` requests span tracing and
   /// fills QueryAnswer::profile (the `explain analyze` path).
   Result<QueryAnswer> RunExpr(const ExprPtr& expr, bool optimize = true,
@@ -133,7 +154,18 @@ class QueryEngine {
   /// min_rows, subtree concurrency) — primarily for tests and benches.
   ParallelEvalPolicy* mutable_parallel_policy() { return &parallel_policy_; }
 
+  // --- Resource governance (see safety/context.h and DESIGN.md "Resource
+  // governance & failure model") ---
+
+  /// Limits applied to every subsequent Run / RunExpr call. The default
+  /// (no limits set) adds zero per-node work to evaluation.
+  void set_limits(safety::QueryLimits limits) { limits_ = std::move(limits); }
+  const safety::QueryLimits& limits() const { return limits_; }
+
  private:
+  Result<QueryAnswer> RunExprWithLimits(const ExprPtr& expr,
+                                        const safety::QueryLimits& limits,
+                                        bool optimize, bool profile);
   Status CheckViewName(const std::string& name) const;
   /// Splices expression views into `expr` (views may reference earlier
   /// views; definition-time splicing keeps this acyclic).
@@ -147,6 +179,7 @@ class QueryEngine {
   bool parallel_enabled_ = true;
   double parallel_cost_threshold_ = 1 << 16;
   ParallelEvalPolicy parallel_policy_;
+  safety::QueryLimits limits_;
 };
 
 }  // namespace regal

@@ -4,11 +4,25 @@
 
 namespace regal {
 
+namespace {
+
+// Admission cap on query size: a hostile caller can feed megabytes of "a|a|
+// a|..." — the lexer refuses past this many tokens so the parser never sees
+// pathological inputs. Generous: real queries are tens of tokens.
+constexpr size_t kMaxQueryTokens = 1u << 16;
+
+}  // namespace
+
 Result<std::vector<QueryToken>> LexQuery(const std::string& query) {
   std::vector<QueryToken> tokens;
   size_t i = 0;
   const size_t n = query.size();
   while (i < n) {
+    if (tokens.size() >= kMaxQueryTokens) {
+      return Status::ResourceExhausted(
+          "query rejected: more than " + std::to_string(kMaxQueryTokens) +
+          " tokens");
+    }
     char c = query[i];
     if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
       ++i;

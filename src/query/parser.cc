@@ -6,6 +6,11 @@ namespace regal {
 
 namespace {
 
+// Cap on grammar recursion: deeper queries (thousands of unbalanced '('
+// or a right-leaning chain of structure operators) would otherwise walk
+// toward stack overflow. 200 nests is far beyond any legitimate query.
+constexpr int kMaxParseDepth = 200;
+
 class Parser {
  public:
   explicit Parser(std::vector<QueryToken> tokens)
@@ -52,7 +57,26 @@ class Parser {
         (Peek().text.empty() ? "" : " (near '" + Peek().text + "')"));
   }
 
+  /// Balances depth_ across every exit path of the recursive productions.
+  class DepthScope {
+   public:
+    explicit DepthScope(int* depth) : depth_(depth) { ++*depth_; }
+    ~DepthScope() { --*depth_; }
+
+   private:
+    int* depth_;
+  };
+
+  Status CheckDepth() const {
+    if (depth_ <= kMaxParseDepth) return Status::OK();
+    return Status::ResourceExhausted(
+        "query rejected: nesting deeper than " +
+        std::to_string(kMaxParseDepth));
+  }
+
   Result<ExprPtr> ParseExpr() {
+    DepthScope scope(&depth_);
+    REGAL_RETURN_NOT_OK(CheckDepth());
     REGAL_ASSIGN_OR_RETURN(ExprPtr left, ParseTerm());
     while (ConsumeIf(QueryTokenKind::kPipe)) {
       REGAL_ASSIGN_OR_RETURN(ExprPtr right, ParseTerm());
@@ -77,6 +101,8 @@ class Parser {
   }
 
   Result<ExprPtr> ParseStruct() {
+    DepthScope scope(&depth_);
+    REGAL_RETURN_NOT_OK(CheckDepth());
     REGAL_ASSIGN_OR_RETURN(ExprPtr left, ParsePostfix());
     struct OpName {
       const char* word;
@@ -156,6 +182,7 @@ class Parser {
 
   std::vector<QueryToken> tokens_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

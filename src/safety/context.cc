@@ -1,0 +1,110 @@
+#include "safety/context.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+namespace regal {
+namespace safety {
+
+QueryContext::QueryContext(const QueryLimits& limits) : limits_(limits) {
+  if (limits_.deadline_ms > 0) {
+    has_deadline_ = true;
+    deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double, std::milli>(
+                                       limits_.deadline_ms));
+  }
+}
+
+Status QueryContext::Check() const {
+  if (limits_.cancel != nullptr && limits_.cancel->cancelled()) {
+    return Status::Cancelled("query cancelled by caller");
+  }
+  if (has_deadline_ && Clock::now() >= deadline_) {
+    return Status::DeadlineExceeded(
+        "query deadline of " + std::to_string(limits_.deadline_ms) +
+        " ms exceeded");
+  }
+  if (over_budget_.load(std::memory_order_relaxed)) {
+    return Status::ResourceExhausted(
+        "query memory budget of " +
+        std::to_string(limits_.memory_limit_bytes) + " bytes exceeded");
+  }
+  return Status::OK();
+}
+
+bool QueryContext::ShouldAbort() const {
+  if (limits_.cancel != nullptr && limits_.cancel->cancelled()) return true;
+  if (over_budget_.load(std::memory_order_relaxed)) return true;
+  return has_deadline_ && Clock::now() >= deadline_;
+}
+
+Status QueryContext::ChargeMemory(int64_t bytes) {
+  if (bytes <= 0) return Status::OK();
+  int64_t total =
+      charged_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  int64_t peak = peak_bytes_.load(std::memory_order_relaxed);
+  while (total > peak && !peak_bytes_.compare_exchange_weak(
+                             peak, total, std::memory_order_relaxed)) {
+  }
+  if (limits_.memory_limit_bytes > 0 && total > limits_.memory_limit_bytes) {
+    over_budget_.store(true, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        "query memory budget of " +
+        std::to_string(limits_.memory_limit_bytes) + " bytes exceeded (" +
+        std::to_string(total) + " bytes charged)");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// DAG-aware measurement: depth memoized per node so shared subtrees are
+// visited once, keeping the walk linear in distinct nodes even for the
+// exponentially-unfolding expansions of Props 5.2/5.4.
+int MeasureNode(const Expr* e,
+                std::unordered_map<const Expr*, int>* depths) {
+  auto it = depths->find(e);
+  if (it != depths->end()) return it->second;
+  int child_depth = 0;
+  for (const ExprPtr& child : e->children()) {
+    child_depth = std::max(child_depth, MeasureNode(child.get(), depths));
+  }
+  int depth = child_depth + 1;
+  depths->emplace(e, depth);
+  return depth;
+}
+
+}  // namespace
+
+ExprComplexity MeasureExpr(const ExprPtr& expr) {
+  ExprComplexity complexity;
+  if (expr == nullptr) return complexity;
+  std::unordered_map<const Expr*, int> depths;
+  complexity.depth = MeasureNode(expr.get(), &depths);
+  complexity.nodes = static_cast<int64_t>(depths.size());
+  return complexity;
+}
+
+Status AdmitExpr(const ExprPtr& expr, const QueryLimits& limits) {
+  if (limits.max_expr_nodes <= 0 && limits.max_expr_depth <= 0) {
+    return Status::OK();
+  }
+  ExprComplexity complexity = MeasureExpr(expr);
+  if (limits.max_expr_nodes > 0 && complexity.nodes > limits.max_expr_nodes) {
+    return Status::ResourceExhausted(
+        "query rejected: " + std::to_string(complexity.nodes) +
+        " expression nodes exceed the limit of " +
+        std::to_string(limits.max_expr_nodes));
+  }
+  if (limits.max_expr_depth > 0 && complexity.depth > limits.max_expr_depth) {
+    return Status::ResourceExhausted(
+        "query rejected: expression depth " +
+        std::to_string(complexity.depth) + " exceeds the limit of " +
+        std::to_string(limits.max_expr_depth));
+  }
+  return Status::OK();
+}
+
+}  // namespace safety
+}  // namespace regal

@@ -1,0 +1,146 @@
+#include "safety/failpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/stringutil.h"
+
+namespace regal {
+namespace safety {
+
+std::atomic<int64_t> FailpointRegistry::armed_count_{0};
+
+namespace {
+// Force REGAL_FAILPOINTS parsing before main(): the disabled fast path
+// checks only armed_count_ and never touches Default(), so without this a
+// process that arms solely through the environment would never fire.
+const bool kEnvSpecParsed = (FailpointRegistry::Default(), true);
+}  // namespace
+
+FailpointRegistry& FailpointRegistry::Default() {
+  static FailpointRegistry* registry = [] {
+    auto* r = new FailpointRegistry();
+    const char* spec = std::getenv("REGAL_FAILPOINTS");
+    if (spec != nullptr && *spec != '\0') {
+      Status status = r->ArmFromSpec(spec);
+      if (!status.ok()) {
+        std::fprintf(stderr, "REGAL_FAILPOINTS ignored: %s\n",
+                     status.ToString().c_str());
+        r->DisarmAll();
+      }
+    }
+    return r;
+  }();
+  return *registry;
+}
+
+void FailpointRegistry::Arm(const std::string& name) { Arm(name, Config()); }
+
+void FailpointRegistry::Arm(const std::string& name, Config config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = entries_.insert_or_assign(
+      name, Entry{config, Rng(config.seed), 0, 0});
+  (void)it;
+  if (inserted) armed_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FailpointRegistry::Disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.erase(name) > 0) {
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FailpointRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_count_.fetch_sub(static_cast<int64_t>(entries_.size()),
+                         std::memory_order_relaxed);
+  entries_.clear();
+}
+
+Status FailpointRegistry::ArmFromSpec(const std::string& spec) {
+  for (const std::string& raw : Split(spec, ';')) {
+    std::string entry(StripAscii(raw));
+    if (entry.empty()) continue;
+    Config config;
+    std::string name = entry;
+    // Suffix markers may appear in any order after the name; parse from the
+    // back so '=' / '@' / '#' inside a name are not supported (names are
+    // dotted identifiers).
+    auto take_suffix = [&name](char marker) -> std::string {
+      size_t pos = name.find_last_of(marker);
+      if (pos == std::string::npos) return "";
+      std::string value = name.substr(pos + 1);
+      name.resize(pos);
+      return value;
+    };
+    std::string fires = take_suffix('#');
+    std::string seed = take_suffix('@');
+    std::string probability = take_suffix('=');
+    char* end = nullptr;
+    if (!probability.empty()) {
+      config.probability = std::strtod(probability.c_str(), &end);
+      if (end == probability.c_str() || *end != '\0' ||
+          config.probability < 0 || config.probability > 1) {
+        return Status::InvalidArgument("bad failpoint probability '" +
+                                       probability + "' in '" + entry + "'");
+      }
+    }
+    if (!seed.empty()) {
+      config.seed = std::strtoull(seed.c_str(), &end, 10);
+      if (end == seed.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad failpoint seed '" + seed +
+                                       "' in '" + entry + "'");
+      }
+    }
+    if (!fires.empty()) {
+      config.max_fires = std::strtoll(fires.c_str(), &end, 10);
+      if (end == fires.c_str() || *end != '\0' || config.max_fires < 0) {
+        return Status::InvalidArgument("bad failpoint fire cap '" + fires +
+                                       "' in '" + entry + "'");
+      }
+    }
+    if (name.empty()) {
+      return Status::InvalidArgument("empty failpoint name in '" + entry +
+                                     "'");
+    }
+    Arm(name, config);
+  }
+  return Status::OK();
+}
+
+bool FailpointRegistry::IsArmed(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.count(name) > 0;
+}
+
+int64_t FailpointRegistry::FireCount(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::string> FailpointRegistry::Armed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+bool FailpointRegistry::ShouldFire(const char* name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return false;
+  Entry& entry = it->second;
+  if (entry.hits++ < entry.config.skip) return false;
+  if (entry.config.max_fires >= 0 && entry.fires >= entry.config.max_fires) {
+    return false;
+  }
+  if (!entry.rng.Chance(entry.config.probability)) return false;
+  ++entry.fires;
+  return true;
+}
+
+}  // namespace safety
+}  // namespace regal

@@ -1,6 +1,20 @@
 #include "util/status.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace regal {
+
+namespace internal {
+
+void DieOnBadResultAccess(const Status& status) {
+  std::fprintf(stderr, "Result<T> accessed without a value: %s\n",
+               status.ToString().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
 
 const char* StatusCodeToString(StatusCode code) {
   switch (code) {
@@ -22,6 +36,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "RESOURCE_EXHAUSTED";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
   }
   return "UNKNOWN";
 }

@@ -21,6 +21,8 @@ enum class StatusCode {
   kUnimplemented,     ///< Feature intentionally not supported.
   kResourceExhausted, ///< A configured search/size budget was exceeded.
   kInternal,          ///< Invariant violation inside the library (a bug).
+  kDeadlineExceeded,  ///< A wall-clock deadline passed before completion.
+  kCancelled,         ///< Caller-requested cooperative cancellation.
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -60,6 +62,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -77,10 +85,17 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
   return os << s.ToString();
 }
 
+namespace internal {
+/// Prints the carried status to stderr and aborts. Out-of-line so the
+/// checked accessors below stay inlineable.
+[[noreturn]] void DieOnBadResultAccess(const Status& status);
+}  // namespace internal
+
 /// Value-or-error wrapper, analogous to arrow::Result. A Result either holds
 /// a T (ok) or a non-OK Status. Accessing the value of an error Result
-/// aborts, so callers must check ok() first (ASSIGN_OR_RETURN-style macros
-/// below make this terse).
+/// aborts with the carried status code and message (not an opaque
+/// bad_variant_access), so callers must check ok() first
+/// (ASSIGN_OR_RETURN-style macros below make this terse).
 template <typename T>
 class Result {
  public:
@@ -97,9 +112,15 @@ class Result {
     return std::get<Status>(data_);
   }
 
-  const T& value() const& { return std::get<T>(data_); }
-  T& value() & { return std::get<T>(data_); }
-  T&& value() && { return std::get<T>(std::move(data_)); }
+  const T& value() const& { CheckOk(); return std::get<T>(data_); }
+  T& value() & { CheckOk(); return std::get<T>(data_); }
+  T&& value() && { CheckOk(); return std::get<T>(std::move(data_)); }
+
+  /// Explicitly named crash-on-error accessors for call sites that have
+  /// established ok() out of band (tests, examples).
+  const T& ValueOrDie() const& { return value(); }
+  T& ValueOrDie() & { return value(); }
+  T&& ValueOrDie() && { return std::move(*this).value(); }
 
   const T& operator*() const& { return value(); }
   T& operator*() & { return value(); }
@@ -107,6 +128,10 @@ class Result {
   T* operator->() { return &value(); }
 
  private:
+  void CheckOk() const {
+    if (!ok()) internal::DieOnBadResultAccess(std::get<Status>(data_));
+  }
+
   std::variant<T, Status> data_;
 };
 

@@ -30,9 +30,16 @@ TEST(StatusTest, AllCodesHaveNames) {
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kAlreadyExists, StatusCode::kFailedPrecondition,
         StatusCode::kOutOfRange, StatusCode::kUnimplemented,
-        StatusCode::kResourceExhausted, StatusCode::kInternal}) {
+        StatusCode::kResourceExhausted, StatusCode::kInternal,
+        StatusCode::kDeadlineExceeded, StatusCode::kCancelled}) {
     EXPECT_STRNE(StatusCodeToString(code), "UNKNOWN");
   }
+}
+
+TEST(StatusTest, GovernanceFactories) {
+  EXPECT_EQ(Status::DeadlineExceeded("late").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Cancelled("stop").ToString(), "CANCELLED: stop");
 }
 
 Result<int> ParsePositive(int x) {
@@ -62,6 +69,34 @@ TEST(ResultTest, MoveOutValue) {
   Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
   std::vector<int> v = std::move(r).value();
   EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(ResultTest, StatusOnRvalue) {
+  EXPECT_EQ(DoublePositive(-5).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(DoublePositive(5).status().ok());
+}
+
+TEST(ResultTest, ValueOrDieReturnsValue) {
+  Result<int> r = ParsePositive(7);
+  EXPECT_EQ(r.ValueOrDie(), 7);
+  EXPECT_EQ(ParsePositive(9).ValueOrDie(), 9);  // Rvalue overload.
+}
+
+// Error access must abort with the carried code and message on stderr —
+// not an opaque std::bad_variant_access.
+TEST(ResultDeathTest, ValueOnErrorAbortsWithStatus) {
+  Result<int> r = ParsePositive(-1);
+  EXPECT_DEATH(r.value(), "INVALID_ARGUMENT: not positive");
+}
+
+TEST(ResultDeathTest, ValueOrDieOnErrorAbortsWithStatus) {
+  EXPECT_DEATH(ParsePositive(0).ValueOrDie(),
+               "Result<T> accessed without a value");
+}
+
+TEST(ResultDeathTest, DerefOnErrorAbortsWithStatus) {
+  Result<std::vector<int>> r = Status::NotFound("no rows");
+  EXPECT_DEATH(r->size(), "NOT_FOUND: no rows");
 }
 
 TEST(RngTest, Deterministic) {
