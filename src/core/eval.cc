@@ -63,6 +63,14 @@ Result<RegionSet> Evaluator::Evaluate(const ExprPtr& e) {
     memo_.clear();
   }
   REGAL_ASSIGN_OR_RETURN(SharedSet result, Eval(e));
+  // A partitioned kernel whose chunks saw ShouldAbort() bails and leaves a
+  // truncated set; under the ROOT operator there is no later operator
+  // boundary to surface the violation. Abort conditions are monotone, so
+  // one final Check() here turns any such partial result into the proper
+  // non-OK Status instead of a silently wrong answer.
+  if (options_.context != nullptr) {
+    REGAL_RETURN_NOT_OK(options_.context->Check());
+  }
   return *result;
 }
 
@@ -196,8 +204,8 @@ Result<Evaluator::SharedSet> Evaluator::EvalNode(const ExprPtr& e,
       if (pp != nullptr && instance_->word_index() != nullptr &&
           !options_.use_naive) {
         REGAL_RETURN_NOT_OK(safety::CheckFailpoint("exec.kernel.fault"));
-        exec::ParallelConfig cfg{pp->pool, pp->min_rows, 0,
-                                 options_.context};
+        exec::ParallelConfig cfg{pp->pool, pp->min_rows, 0, options_.context,
+                                 options_.kernel_fallbacks};
         return Adopt(exec::ParallelSelectByTokens(
             *child, instance_->word_index()->Matches(e->pattern()), cfg));
       }
@@ -232,8 +240,8 @@ Result<Evaluator::SharedSet> Evaluator::EvalNode(const ExprPtr& e,
       exec::ParallelConfig cfg;
       if (pp != nullptr) {
         REGAL_RETURN_NOT_OK(safety::CheckFailpoint("exec.kernel.fault"));
-        cfg = exec::ParallelConfig{pp->pool, pp->min_rows, 0,
-                                   options_.context};
+        cfg = exec::ParallelConfig{pp->pool, pp->min_rows, 0, options_.context,
+                                   options_.kernel_fallbacks};
       }
       RegionSet result;
       switch (e->kind()) {

@@ -1,6 +1,7 @@
 #ifndef REGAL_CORE_EVAL_H_
 #define REGAL_CORE_EVAL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -61,6 +62,9 @@ struct EvalOptions {
   obs::Tracer* tracer = nullptr;
   const ParallelEvalPolicy* parallel = nullptr;
   safety::QueryContext* context = nullptr;
+  /// Per-query count of parallel kernels that degraded to their sequential
+  /// twins, forwarded to every kernel dispatch; nullptr means untracked.
+  std::atomic<int64_t>* kernel_fallbacks = nullptr;
 };
 
 /// Counters accumulated across Evaluate calls; the optimizer benches read

@@ -39,14 +39,16 @@ void CountParallelDispatch(const char* op) {
 // fires, the kernel runs its sequential twin instead of partitioning —
 // same answer (the kernels are bit-identical to the sequential operators),
 // recorded so the fallback is observable.
-bool DegradeKernel(const char* op) {
+bool DegradeKernel(const char* op, const ParallelConfig& cfg) {
   if (!safety::FailpointFires("exec.kernel.degrade")) return false;
-  obs::Registry& registry = obs::Registry::Default();
-  registry.GetCounter("regal_safety_kernel_fallbacks_total", {{"op", op}})
+  obs::Registry::Default()
+      .GetCounter("regal_safety_kernel_fallbacks_total", {{"op", op}})
       ->Increment();
-  // Unlabeled aggregate: the engine diffs it around evaluation to surface
-  // kernel fallbacks in the explain-analyze profile.
-  registry.GetCounter("regal_safety_kernel_fallbacks_total")->Increment();
+  // The per-query tally feeds the explain-analyze profile; the labeled
+  // global counter above is fleet metrics only.
+  if (cfg.fallbacks != nullptr) {
+    cfg.fallbacks->fetch_add(1, std::memory_order_relaxed);
+  }
   return true;
 }
 
@@ -103,8 +105,10 @@ RegionSet PartitionedMerge(const char* op, const RegionSet& r,
   std::vector<obs::OpCounters> counters(np);
   PoolOf(cfg).ParallelFor(np, [&](size_t k) {
     // Chunk-granularity checkpoint: a cancelled/over-deadline query skips
-    // the remaining chunks. The evaluator re-checks the context right after
-    // the kernel returns and discards this (partial) result.
+    // the remaining chunks. The evaluator re-checks the context at the next
+    // operator boundary — and once more before Evaluate() returns, which
+    // covers a kernel running under the root operator — and discards this
+    // (partial) result.
     if (cfg.ctx != nullptr && cfg.ctx->ShouldAbort()) return;
     outs[k].reserve((rcut[k + 1] - rcut[k]) + (scut[k + 1] - scut[k]));
     kernel(rd + rcut[k], rd + rcut[k + 1], sd + scut[k], sd + scut[k + 1],
@@ -165,7 +169,7 @@ bool BelowGate(const ParallelConfig& cfg, size_t rows) {
 RegionSet ParallelUnion(const RegionSet& r, const RegionSet& s,
                         const ParallelConfig& cfg) {
   if (BelowGate(cfg, r.size() + s.size())) return Union(r, s);
-  if (DegradeKernel("union")) return Union(r, s);
+  if (DegradeKernel("union", cfg)) return Union(r, s);
   // Union is symmetric; partition the longer operand for balance.
   const RegionSet& a = r.size() >= s.size() ? r : s;
   const RegionSet& b = r.size() >= s.size() ? s : r;
@@ -175,7 +179,7 @@ RegionSet ParallelUnion(const RegionSet& r, const RegionSet& s,
 RegionSet ParallelIntersect(const RegionSet& r, const RegionSet& s,
                             const ParallelConfig& cfg) {
   if (BelowGate(cfg, r.size() + s.size())) return Intersect(r, s);
-  if (DegradeKernel("intersect")) return Intersect(r, s);
+  if (DegradeKernel("intersect", cfg)) return Intersect(r, s);
   const RegionSet& a = r.size() >= s.size() ? r : s;
   const RegionSet& b = r.size() >= s.size() ? s : r;
   return PartitionedMerge("intersect", a, b, &kernels::IntersectSpan, cfg);
@@ -184,14 +188,14 @@ RegionSet ParallelIntersect(const RegionSet& r, const RegionSet& s,
 RegionSet ParallelDifference(const RegionSet& r, const RegionSet& s,
                              const ParallelConfig& cfg) {
   if (BelowGate(cfg, r.size() + s.size())) return Difference(r, s);
-  if (DegradeKernel("difference")) return Difference(r, s);
+  if (DegradeKernel("difference", cfg)) return Difference(r, s);
   return PartitionedMerge("difference", r, s, &kernels::DifferenceSpan, cfg);
 }
 
 RegionSet ParallelIncluding(const RegionSet& r, const RegionSet& s,
                             const ParallelConfig& cfg) {
   if (BelowGate(cfg, r.size() + s.size())) return Including(r, s);
-  if (DegradeKernel("including")) return Including(r, s);
+  if (DegradeKernel("including", cfg)) return Including(r, s);
   ContainmentIndex index(s);
   return PartitionedFilter(
       "including", r,
@@ -202,7 +206,7 @@ RegionSet ParallelIncluding(const RegionSet& r, const RegionSet& s,
 RegionSet ParallelIncluded(const RegionSet& r, const RegionSet& s,
                            const ParallelConfig& cfg) {
   if (BelowGate(cfg, r.size() + s.size())) return Included(r, s);
-  if (DegradeKernel("included")) return Included(r, s);
+  if (DegradeKernel("included", cfg)) return Included(r, s);
   ContainmentIndex index(s);
   return PartitionedFilter(
       "included", r,
@@ -213,7 +217,7 @@ RegionSet ParallelIncluded(const RegionSet& r, const RegionSet& s,
 RegionSet ParallelPrecedes(const RegionSet& r, const RegionSet& s,
                            const ParallelConfig& cfg) {
   if (BelowGate(cfg, r.size() + s.size())) return Precedes(r, s);
-  if (DegradeKernel("precedes")) return Precedes(r, s);
+  if (DegradeKernel("precedes", cfg)) return Precedes(r, s);
   if (s.empty()) {
     kernels::FlushCounters(
         obs::OpCounters{static_cast<int64_t>(r.size()),
@@ -229,7 +233,7 @@ RegionSet ParallelPrecedes(const RegionSet& r, const RegionSet& s,
 RegionSet ParallelFollows(const RegionSet& r, const RegionSet& s,
                           const ParallelConfig& cfg) {
   if (BelowGate(cfg, r.size() + s.size())) return Follows(r, s);
-  if (DegradeKernel("follows")) return Follows(r, s);
+  if (DegradeKernel("follows", cfg)) return Follows(r, s);
   if (s.empty()) {
     kernels::FlushCounters(
         obs::OpCounters{static_cast<int64_t>(r.size()),
@@ -250,7 +254,7 @@ RegionSet ParallelSelectByTokens(const RegionSet& r,
   if (BelowGate(cfg, r.size() + tokens.size())) {
     return SelectByTokens(r, tokens);
   }
-  if (DegradeKernel("select")) return SelectByTokens(r, tokens);
+  if (DegradeKernel("select", cfg)) return SelectByTokens(r, tokens);
   std::vector<Region> as_regions;
   as_regions.reserve(tokens.size());
   for (const Token& t : tokens) as_regions.push_back(Region{t.left, t.right});

@@ -1,7 +1,9 @@
 #ifndef REGAL_EXEC_PARALLEL_ALGEBRA_H_
 #define REGAL_EXEC_PARALLEL_ALGEBRA_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/region_set.h"
@@ -26,6 +28,10 @@ struct ParallelConfig {
   /// evaluator) must then surface ctx->Check() and discard the partial
   /// result — the kernels never fabricate an answer after an abort.
   const safety::QueryContext* ctx = nullptr;
+  /// Bumped once per kernel call that degrades to its sequential twin;
+  /// nullptr means untracked. Per-query (unlike the global metrics counter)
+  /// so concurrent queries never attribute each other's fallbacks.
+  std::atomic<int64_t>* fallbacks = nullptr;
 };
 
 /// Data-parallel versions of the hot region-algebra operators. Each one

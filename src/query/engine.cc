@@ -1,5 +1,7 @@
 #include "query/engine.h"
 
+#include <atomic>
+
 #include "core/construct.h"
 #include "doc/sgml.h"
 #include "doc/srccode.h"
@@ -219,13 +221,15 @@ Result<QueryAnswer> QueryEngine::RunExprWithLimits(
   if (governed) context.emplace(limits);
   bool degraded = false;
   std::vector<std::string> fallbacks;
-  const int64_t kernel_fallbacks_before =
-      registry.GetCounter("regal_safety_kernel_fallbacks_total")->value();
+  // Per-query, not the global metrics counter: concurrent queries must not
+  // attribute each other's kernel fallbacks to this profile.
+  std::atomic<int64_t> kernel_fallbacks{0};
   Status eval_status = Status::OK();
   {
     ScopedTimer timed(&answer.elapsed_ms);
     EvalOptions eval_options;
     eval_options.bindings = &materialized_views_;
+    eval_options.kernel_fallbacks = &kernel_fallbacks;
     if (profile) eval_options.tracer = &*tracer;
     if (context.has_value()) eval_options.context = &*context;
     if (parallel_enabled_ &&
@@ -257,13 +261,12 @@ Result<QueryAnswer> QueryEngine::RunExprWithLimits(
       eval_status = result.status();
     }
   }
-  const int64_t kernel_fallbacks =
-      registry.GetCounter("regal_safety_kernel_fallbacks_total")->value() -
-      kernel_fallbacks_before;
-  if (kernel_fallbacks > 0) {
+  const int64_t degraded_kernels =
+      kernel_fallbacks.load(std::memory_order_relaxed);
+  if (degraded_kernels > 0) {
     degraded = true;
     fallbacks.push_back("kernel fallback x" +
-                        std::to_string(kernel_fallbacks) +
+                        std::to_string(degraded_kernels) +
                         ": sequential operators");
   }
   if (!eval_status.ok()) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 namespace regal {
 namespace safety {
@@ -61,18 +62,41 @@ namespace {
 
 // DAG-aware measurement: depth memoized per node so shared subtrees are
 // visited once, keeping the walk linear in distinct nodes even for the
-// exponentially-unfolding expansions of Props 5.2/5.4.
-int MeasureNode(const Expr* e,
+// exponentially-unfolding expansions of Props 5.2/5.4. Iterative post-order
+// with an explicit stack — admission exists to reject pathologically deep
+// expressions, so measuring them must not itself recurse to that depth.
+int MeasureNode(const Expr* root,
                 std::unordered_map<const Expr*, int>* depths) {
-  auto it = depths->find(e);
-  if (it != depths->end()) return it->second;
-  int child_depth = 0;
-  for (const ExprPtr& child : e->children()) {
-    child_depth = std::max(child_depth, MeasureNode(child.get(), depths));
+  struct Frame {
+    const Expr* node;
+    size_t next_child = 0;
+    int child_depth = 0;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{root});
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const std::vector<ExprPtr>& children = frame.node->children();
+    if (frame.next_child < children.size()) {
+      const Expr* child = children[frame.next_child++].get();
+      auto it = depths->find(child);
+      if (it != depths->end()) {
+        frame.child_depth = std::max(frame.child_depth, it->second);
+      } else {
+        // DFS keeps one path in flight, so an unmemoized child is never
+        // already on the stack (expressions are acyclic).
+        stack.push_back(Frame{child});
+      }
+    } else {
+      int depth = frame.child_depth + 1;
+      depths->emplace(frame.node, depth);
+      stack.pop_back();
+      if (!stack.empty()) {
+        stack.back().child_depth = std::max(stack.back().child_depth, depth);
+      }
+    }
   }
-  int depth = child_depth + 1;
-  depths->emplace(e, depth);
-  return depth;
+  return depths->at(root);
 }
 
 }  // namespace

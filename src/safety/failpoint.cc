@@ -80,8 +80,10 @@ Status FailpointRegistry::ArmFromSpec(const std::string& spec) {
     char* end = nullptr;
     if (!probability.empty()) {
       config.probability = std::strtod(probability.c_str(), &end);
+      // Negated form so NaN (for which both < and > are false) is rejected
+      // instead of arming a failpoint that silently never fires.
       if (end == probability.c_str() || *end != '\0' ||
-          config.probability < 0 || config.probability > 1) {
+          !(config.probability >= 0 && config.probability <= 1)) {
         return Status::InvalidArgument("bad failpoint probability '" +
                                        probability + "' in '" + entry + "'");
       }

@@ -6,10 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "core/algebra.h"
+#include "core/eval.h"
 #include "core/expr.h"
 #include "doc/dictionary.h"
 #include "doc/sgml.h"
@@ -121,6 +125,19 @@ TEST_F(FailpointTest, ArmFromSpecSyntax) {
             StatusCode::kInvalidArgument);
 }
 
+TEST_F(FailpointTest, ArmFromSpecRejectsNonFiniteProbability) {
+  // strtod parses "nan"/"inf"; NaN in particular defeats range checks
+  // written as `p < 0 || p > 1` and would arm a failpoint that never fires.
+  auto& registry = FailpointRegistry::Default();
+  EXPECT_EQ(registry.ArmFromSpec("x.y=nan").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.ArmFromSpec("x.y=-nan").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.ArmFromSpec("x.y=inf").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(registry.IsArmed("x.y"));
+}
+
 // ---------------------------------------------------------------------------
 // QueryContext limits
 // ---------------------------------------------------------------------------
@@ -188,6 +205,33 @@ TEST_F(ContextTest, AdmissionMeasuresDagsNotTrees) {
             StatusCode::kResourceExhausted);
 }
 
+TEST_F(ContextTest, AdmissionSurvivesPathologicallyDeepExpressions) {
+  // Far beyond the parser's 200-depth cap — reachable through RunExpr with
+  // programmatically built expressions. Measuring such an expression must
+  // not itself recurse to its depth: admission would stack-overflow on
+  // exactly the queries it exists to reject.
+  constexpr int kDepth = 200000;
+  std::vector<ExprPtr> spine;
+  spine.reserve(kDepth + 1);
+  ExprPtr expr = Expr::Name("a");
+  spine.push_back(expr);
+  for (int i = 0; i < kDepth; ++i) {
+    expr = Expr::Union(Expr::Name("a"), expr);
+    spine.push_back(expr);
+  }
+  safety::ExprComplexity complexity = safety::MeasureExpr(expr);
+  EXPECT_EQ(complexity.depth, kDepth + 1);
+  QueryLimits limits;
+  limits.max_expr_depth = 200;
+  EXPECT_EQ(safety::AdmitExpr(expr, limits).code(),
+            StatusCode::kResourceExhausted);
+  // Dismantle root-first: each pop frees exactly one node (its child is
+  // still held by the spine), keeping teardown iterative as well —
+  // destroying the root of a 200k-deep shared_ptr chain would recurse.
+  expr.reset();
+  while (!spine.empty()) spine.pop_back();
+}
+
 // ---------------------------------------------------------------------------
 // Engine-level governance
 // ---------------------------------------------------------------------------
@@ -213,6 +257,55 @@ TEST_F(GovernanceTest, CancelledQueryReturnsCancelled) {
   auto answer = engine->Run("sense within entry", limits);
   ASSERT_FALSE(answer.ok());
   EXPECT_EQ(answer.status().code(), StatusCode::kCancelled);
+}
+
+TEST_F(GovernanceTest, CancellationNeverTruncatesTheRootKernel) {
+  // A cancel landing while the ROOT operator's partitioned kernel runs makes
+  // the remaining chunks bail without output; the evaluator's final context
+  // check must turn that truncated set into Cancelled, never an OK answer.
+  // The sweep of cancel delays races the kernel on purpose — the invariant
+  // holds for every interleaving: OK implies the complete answer.
+  Rng rng(17);
+  auto random_set = [&rng](size_t n) {
+    std::vector<Region> regions;
+    regions.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      Offset left = static_cast<Offset>(rng.Below(1u << 20));
+      Offset len = static_cast<Offset>(rng.Below(64));
+      regions.push_back(Region{left, left + len});
+    }
+    return RegionSet::FromUnsorted(std::move(regions));
+  };
+  Instance instance;
+  ASSERT_TRUE(instance.AddRegionSet("a", random_set(1 << 17)).ok());
+  ASSERT_TRUE(instance.AddRegionSet("b", random_set(1 << 17)).ok());
+  ExprPtr expr = Expr::Union(Expr::Name("a"), Expr::Name("b"));
+  const RegionSet expected =
+      Union(*instance.Get("a").value(), *instance.Get("b").value());
+  exec::ThreadPool pool(4);
+  ParallelEvalPolicy policy;
+  policy.pool = &pool;
+  policy.min_rows = 0;
+  for (int trial = 0; trial < 16; ++trial) {
+    QueryLimits limits;
+    limits.cancel = std::make_shared<CancelToken>();
+    QueryContext context(limits);
+    EvalOptions options;
+    options.parallel = &policy;
+    options.context = &context;
+    std::thread canceller([&limits, trial] {
+      std::this_thread::sleep_for(std::chrono::microseconds(trial * 40));
+      limits.cancel->Cancel();
+    });
+    Result<RegionSet> answer = Evaluate(instance, expr, options);
+    canceller.join();
+    if (answer.ok()) {
+      EXPECT_EQ(answer.value(), expected) << "trial=" << trial;
+    } else {
+      EXPECT_EQ(answer.status().code(), StatusCode::kCancelled)
+          << "trial=" << trial;
+    }
+  }
 }
 
 TEST_F(GovernanceTest, MemoryBudgetBoundsMaterialization) {
@@ -438,6 +531,15 @@ TEST_F(DegradeTest, KernelDegradeKeepsAnswersBitIdentical) {
     EXPECT_EQ(answer->regions, expected[i]) << queries[i];
   }
   EXPECT_GT(FailpointRegistry::Default().FireCount("exec.kernel.degrade"), 0);
+  // The fallback is attributed to the query that degraded (tallied on the
+  // query's own counter, not diffed from the process-global metric).
+  auto profiled = engine->Run("explain analyze sense within entry");
+  ASSERT_TRUE(profiled.ok());
+  ASSERT_TRUE(profiled->profile.has_value());
+  EXPECT_TRUE(profiled->profile->degraded);
+  ASSERT_FALSE(profiled->profile->fallbacks.empty());
+  EXPECT_NE(profiled->profile->fallbacks[0].find("kernel fallback"),
+            std::string::npos);
 }
 
 TEST_F(DegradeTest, IndexBuildDegradeBuildsTheSameIndex) {
