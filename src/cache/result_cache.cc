@@ -1,0 +1,163 @@
+#include "cache/result_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "safety/failpoint.h"
+
+namespace regal {
+namespace cache {
+
+namespace {
+
+// Bookkeeping estimate per entry: LRU node, index slot, key, and the
+// canonical expression skeleton. Deliberately coarse — the payload
+// (regions) dominates for every entry worth caching.
+constexpr int64_t kEntryOverheadBytes = 256;
+
+size_t RoundUpPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(ResultCacheOptions options)
+    : options_(options),
+      shards_(RoundUpPowerOfTwo(std::max<size_t>(1, options.shards))) {
+  shard_max_bytes_ =
+      std::max<int64_t>(1, options_.max_bytes /
+                               static_cast<int64_t>(shards_.size()));
+  obs::Registry& registry = obs::Registry::Default();
+  hits_ = registry.GetCounter("regal_cache_hits_total");
+  misses_ = registry.GetCounter("regal_cache_misses_total");
+  inserts_ = registry.GetCounter("regal_cache_inserts_total");
+  evictions_ = registry.GetCounter("regal_cache_evictions_total");
+  insert_failures_ = registry.GetCounter("regal_cache_insert_failures_total");
+  bytes_gauge_ = registry.GetGauge("regal_cache_bytes");
+}
+
+int64_t ResultCache::EntryBytes(const RegionSet& value) {
+  return static_cast<int64_t>(value.size() * sizeof(Region)) +
+         kEntryOverheadBytes;
+}
+
+bool ResultCache::MatchesLocked(const Entry& entry, const Key& key,
+                                const ExprPtr& canonical) const {
+  return entry.key.instance_id == key.instance_id &&
+         entry.key.epoch == key.epoch &&
+         entry.key.fingerprint == key.fingerprint &&
+         entry.canonical->Equals(*canonical);
+}
+
+std::shared_ptr<const RegionSet> ResultCache::Lookup(const Key& key,
+                                                     const ExprPtr& canonical,
+                                                     CacheQueryStats* stats) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto [lo, hi] = shard.index.equal_range(key.fingerprint);
+  for (auto it = lo; it != hi; ++it) {
+    if (MatchesLocked(*it->second, key, canonical)) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      hits_->Increment();
+      if (stats != nullptr) ++stats->hits;
+      return it->second->value;
+    }
+  }
+  misses_->Increment();
+  if (stats != nullptr) ++stats->misses;
+  return nullptr;
+}
+
+void ResultCache::EraseLocked(Shard& shard, std::list<Entry>::iterator it) {
+  auto [lo, hi] = shard.index.equal_range(it->key.fingerprint);
+  for (auto idx = lo; idx != hi; ++idx) {
+    if (idx->second == it) {
+      shard.index.erase(idx);
+      break;
+    }
+  }
+  shard.bytes -= it->bytes;
+  shard.lru.erase(it);
+}
+
+bool ResultCache::Insert(const Key& key, const ExprPtr& canonical,
+                         std::shared_ptr<const RegionSet> value,
+                         CacheQueryStats* stats) {
+  const int64_t entry_bytes = EntryBytes(*value);
+  if (entry_bytes > shard_max_bytes_) {
+    insert_failures_->Increment();
+    if (stats != nullptr) ++stats->insert_failures;
+    return false;
+  }
+  Shard& shard = ShardFor(key);
+  int64_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto [lo, hi] = shard.index.equal_range(key.fingerprint);
+    for (auto it = lo; it != hi; ++it) {
+      if (MatchesLocked(*it->second, key, canonical)) {
+        // Another query already published this result; keep the incumbent
+        // (the values are equal by construction) and refresh its position.
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        return false;
+      }
+    }
+    while (shard.bytes + entry_bytes > shard_max_bytes_) {
+      // Failpoint: eviction under pressure. A fired site abandons the
+      // insert — the cache is best-effort, the query result still stands.
+      if (safety::FailpointFires("cache.evict.pressure")) {
+        insert_failures_->Increment();
+        if (stats != nullptr) ++stats->insert_failures;
+        return false;
+      }
+      EraseLocked(shard, std::prev(shard.lru.end()));
+      ++evicted;
+    }
+    shard.lru.push_front(Entry{key, canonical, std::move(value), entry_bytes});
+    shard.index.emplace(key.fingerprint, shard.lru.begin());
+    shard.bytes += entry_bytes;
+  }
+  inserts_->Increment();
+  if (evicted > 0) evictions_->Increment(evicted);
+  if (stats != nullptr) {
+    ++stats->inserts;
+    stats->evictions += evicted;
+  }
+  PublishBytes();
+  return true;
+}
+
+void ResultCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+    shard.bytes = 0;
+  }
+  PublishBytes();
+}
+
+int64_t ResultCache::bytes() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.bytes;
+  }
+  return total;
+}
+
+int64_t ResultCache::entries() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += static_cast<int64_t>(shard.lru.size());
+  }
+  return total;
+}
+
+void ResultCache::PublishBytes() const { bytes_gauge_->Set(bytes()); }
+
+}  // namespace cache
+}  // namespace regal

@@ -1,0 +1,138 @@
+#ifndef REGAL_CACHE_RESULT_CACHE_H_
+#define REGAL_CACHE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/expr.h"
+#include "core/region_set.h"
+#include "obs/metrics.h"
+
+namespace regal {
+namespace cache {
+
+/// Sizing knobs for a ResultCache. Defaults suit one mid-sized catalog; the
+/// engine exposes the cache so deployments can tune it.
+struct ResultCacheOptions {
+  /// Total byte budget across all shards (region payloads plus a fixed
+  /// per-entry overhead estimate). Split evenly; each shard evicts LRU-first
+  /// to stay under its slice.
+  int64_t max_bytes = int64_t{64} << 20;
+  /// Number of independently locked shards, rounded up to a power of two.
+  /// Entries land on shards by fingerprint, so concurrent queries touching
+  /// different expressions rarely contend.
+  size_t shards = 8;
+};
+
+/// One query's view of cache activity, filled by the evaluator/engine and
+/// reported in the `explain analyze` cache envelope (QueryProfile::Json()).
+struct CacheQueryStats {
+  int64_t hits = 0;        // Subtrees short-circuited from the cache.
+  int64_t misses = 0;      // Probes that found nothing.
+  int64_t inserts = 0;     // Results newly published to the cache.
+  int64_t evictions = 0;   // Entries this query's inserts pushed out.
+  int64_t insert_failures = 0;  // Inserts abandoned (pressure/failpoint).
+};
+
+/// A byte-accounted, sharded LRU cache of materialized query results,
+/// shared across queries. Keys are (instance id, instance epoch, canonical
+/// expression fingerprint); a fingerprint match is verified against the
+/// stored canonical expression (Expr::CanonicalEquals' normal form), so a
+/// 64-bit collision can never surface a wrong result. Invalidation is by
+/// epoch: mutating the instance bumps Instance::epoch(), stale entries stop
+/// matching and age out through the LRU lists.
+///
+/// Thread-safe: lookups and inserts from concurrent queries (and from the
+/// parallel evaluator's pool threads) lock only the shard they touch.
+/// Callers that evaluate with `bindings` (materialized views) must not
+/// reuse one cache across binding changes for the same instance — the
+/// engine guarantees this (view names are define-once).
+///
+/// Activity is exported through obs as regal_cache_hits_total,
+/// regal_cache_misses_total, regal_cache_inserts_total,
+/// regal_cache_evictions_total, regal_cache_insert_failures_total and the
+/// regal_cache_bytes gauge. The eviction loop carries the
+/// `cache.evict.pressure` failpoint: when armed and firing, the insert is
+/// abandoned instead of evicting — the degradation a deployment must
+/// survive when eviction cannot keep up.
+class ResultCache {
+ public:
+  struct Key {
+    uint64_t instance_id = 0;
+    uint64_t epoch = 0;
+    uint64_t fingerprint = 0;
+  };
+
+  explicit ResultCache(ResultCacheOptions options = {});
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// The cached result for `key`, or nullptr. `canonical` must be the
+  /// canonical form whose fingerprint is key.fingerprint; it disambiguates
+  /// fingerprint collisions. A hit refreshes the entry's LRU position.
+  std::shared_ptr<const RegionSet> Lookup(const Key& key,
+                                          const ExprPtr& canonical,
+                                          CacheQueryStats* stats = nullptr);
+
+  /// Publishes `value` under `key`, evicting LRU entries as needed. False
+  /// when the insert was abandoned: the entry alone exceeds the shard
+  /// budget, the eviction failpoint fired, or an equal entry already
+  /// exists (another query won the race; not counted as a failure).
+  bool Insert(const Key& key, const ExprPtr& canonical,
+              std::shared_ptr<const RegionSet> value,
+              CacheQueryStats* stats = nullptr);
+
+  /// Drops every entry (tests; engines invalidate by epoch instead).
+  void Clear();
+
+  int64_t bytes() const;    // Current accounted footprint.
+  int64_t entries() const;  // Current entry count.
+  int64_t max_bytes() const { return options_.max_bytes; }
+
+  /// Accounted footprint of one entry: the region payload plus a fixed
+  /// estimate for the canonical expression and bookkeeping.
+  static int64_t EntryBytes(const RegionSet& value);
+
+ private:
+  struct Entry {
+    Key key;
+    ExprPtr canonical;
+    std::shared_ptr<const RegionSet> value;
+    int64_t bytes = 0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // Front = most recently used.
+    std::unordered_multimap<uint64_t, std::list<Entry>::iterator> index;
+    int64_t bytes = 0;
+  };
+
+  Shard& ShardFor(const Key& key) {
+    return shards_[key.fingerprint & (shards_.size() - 1)];
+  }
+  bool MatchesLocked(const Entry& entry, const Key& key,
+                     const ExprPtr& canonical) const;
+  void EraseLocked(Shard& shard, std::list<Entry>::iterator it);
+  void PublishBytes() const;
+
+  ResultCacheOptions options_;
+  int64_t shard_max_bytes_ = 0;
+  std::vector<Shard> shards_;
+
+  // Registry pointers resolved once; increments are lock-free.
+  obs::Counter* hits_;
+  obs::Counter* misses_;
+  obs::Counter* inserts_;
+  obs::Counter* evictions_;
+  obs::Counter* insert_failures_;
+  obs::Gauge* bytes_gauge_;
+};
+
+}  // namespace cache
+}  // namespace regal
+
+#endif  // REGAL_CACHE_RESULT_CACHE_H_

@@ -62,6 +62,10 @@ Result<RegionSet> Evaluator::Evaluate(const ExprPtr& e) {
     std::lock_guard<std::mutex> lock(mu_);
     memo_.clear();
   }
+  if (options_.result_cache != nullptr) {
+    std::lock_guard<std::mutex> lock(canon_mu_);
+    cache_epoch_ = instance_->epoch();
+  }
   REGAL_ASSIGN_OR_RETURN(SharedSet result, Eval(e));
   // A partitioned kernel whose chunks saw ShouldAbort() bails and leaves a
   // truncated set; under the ROOT operator there is no later operator
@@ -99,6 +103,52 @@ Result<Evaluator::SharedSet> Evaluator::Eval(const ExprPtr& e) {
     memo_.emplace(e.get(), MemoEntry{});  // Claim the slot; others wait.
   }
 
+  // Cross-query cache probe (first arrival only — the memo guarantees one
+  // probe per node per query). Name scans are borrowed from the instance
+  // for free and the naive oracle must stay a pure re-execution, so
+  // neither participates.
+  const bool cacheable = options_.result_cache != nullptr &&
+                         !options_.use_naive && e->kind() != OpKind::kName;
+  cache::ResultCache::Key cache_key;
+  ExprPtr canonical;
+  if (cacheable) {
+    {
+      std::lock_guard<std::mutex> lock(canon_mu_);
+      canonical = canonicalizer_.Canonical(e);
+      cache_key = cache::ResultCache::Key{instance_->id(), cache_epoch_,
+                                          canonicalizer_.Hash(e)};
+    }
+    std::shared_ptr<const RegionSet> hit = options_.result_cache->Lookup(
+        cache_key, canonical, options_.cache_stats);
+    if (hit != nullptr) {
+      // Seed the memo so every further mention short-circuits, and charge
+      // the set against the budget — it is part of this query's live
+      // footprint whether computed or recalled.
+      Result<SharedSet> seeded = SharedSet(hit);
+      if (options_.context != nullptr) {
+        Status charged = options_.context->ChargeMemory(
+            static_cast<int64_t>(hit->size() * sizeof(Region)));
+        if (!charged.ok()) seeded = charged;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        MemoEntry& entry = memo_[e.get()];
+        if (seeded.ok()) {
+          entry.value = seeded.value();
+        } else {
+          entry.status = seeded.status();
+        }
+        entry.ready = true;
+      }
+      memo_cv_.notify_all();
+      if (seeded.ok()) {
+        span.MarkCached();
+        span.SetRows(0, static_cast<int64_t>(hit->size()));
+      }
+      return seeded;
+    }
+  }
+
   int64_t rows_in = 0;
   Result<SharedSet> result = EvalNode(e, &rows_in);
   // Charge materialized results (leaf name scans are borrowed from the
@@ -124,6 +174,15 @@ Result<Evaluator::SharedSet> Evaluator::Eval(const ExprPtr& e) {
   memo_cv_.notify_all();
   if (result.ok()) {
     span.SetRows(rows_in, static_cast<int64_t>(result.value()->size()));
+    // Publish to the shared cache — but never from a query whose context
+    // has tripped: abort conditions are monotone and a partitioned kernel
+    // that saw ShouldAbort() mid-chunk leaves a truncated set, which must
+    // not outlive this (failing) query.
+    if (cacheable && (options_.context == nullptr ||
+                      !options_.context->ShouldAbort())) {
+      options_.result_cache->Insert(cache_key, canonical, result.value(),
+                                    options_.cache_stats);
+    }
   }
   return result;
 }

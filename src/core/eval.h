@@ -9,6 +9,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "cache/result_cache.h"
 #include "core/expr.h"
 #include "core/instance.h"
 #include "core/region_set.h"
@@ -65,6 +66,19 @@ struct EvalOptions {
   /// Per-query count of parallel kernels that degraded to their sequential
   /// twins, forwarded to every kernel dispatch; nullptr means untracked.
   std::atomic<int64_t>* kernel_fallbacks = nullptr;
+  /// Cross-query result cache (see cache/result_cache.h), keyed by the
+  /// instance's (id, epoch) and each subtree's canonical fingerprint. When
+  /// set (and use_naive is off — the naive oracle stays pure), the first
+  /// arrival at every non-scan node probes the cache and seeds the memo on
+  /// a hit, so the subtree short-circuits without re-execution; computed
+  /// results are published back unless the query's context has already
+  /// tripped (a kernel may have bailed mid-chunk, and a truncated set must
+  /// never become visible to other queries). Cache-seeded sets are charged
+  /// against `context` exactly like computed ones.
+  cache::ResultCache* result_cache = nullptr;
+  /// Per-query cache activity for the `explain analyze` cache envelope;
+  /// nullptr means untracked.
+  cache::CacheQueryStats* cache_stats = nullptr;
 };
 
 /// Counters accumulated across Evaluate calls; the optimizer benches read
@@ -126,6 +140,13 @@ class Evaluator {
   std::mutex mu_;
   std::condition_variable memo_cv_;
   std::unordered_map<const Expr*, MemoEntry> memo_;
+  // Cross-query cache plumbing: the canonicalizer memoizes fingerprints
+  // per node (guarded separately — canonicalization can be heavy and must
+  // not serialize against the memo), and the epoch is snapshotted at
+  // Evaluate entry so one call never mixes epochs.
+  std::mutex canon_mu_;
+  ExprCanonicalizer canonicalizer_;
+  uint64_t cache_epoch_ = 0;
 };
 
 /// One-shot convenience wrapper.

@@ -1,6 +1,8 @@
 #include "core/expr.h"
 
+#include <algorithm>
 #include <set>
+#include <utility>
 
 namespace regal {
 
@@ -129,6 +131,7 @@ std::string Expr::ToString() const {
 }
 
 bool Expr::Equals(const Expr& other) const {
+  if (this == &other) return true;  // Shared DAG subtrees compare in O(1).
   if (kind_ != other.kind_) return false;
   if (kind_ == OpKind::kName) return name_ == other.name_;
   if ((kind_ == OpKind::kSelect || kind_ == OpKind::kWordMatch) &&
@@ -199,6 +202,171 @@ ExprPtr Expr::Chain(OpKind op, const std::vector<std::string>& names) {
     e = Binary(op, Name(names[i]), std::move(e));
   }
   return e;
+}
+
+// --- Canonical form & fingerprint ---
+
+namespace {
+
+// splitmix64 finalizer: cheap, well-distributed mixing for the fingerprint.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t Combine(uint64_t h, uint64_t x) { return Mix(h ^ Mix(x)); }
+
+uint64_t HashString(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a over the bytes.
+  for (unsigned char c : s) h = (h ^ c) * 0x100000001b3ull;
+  return h;
+}
+
+/// Non-owning alias, for fingerprinting from a bare `this`. The resulting
+/// pointers never escape the member-function call that made them.
+ExprPtr BorrowExpr(const Expr* e) { return ExprPtr(ExprPtr(), e); }
+
+// Appends the operands of a right-grouped canonical `op` chain (or the
+// single node itself when it is not an `op` node).
+void AppendChainOperands(OpKind op, const ExprPtr& e,
+                         std::vector<ExprPtr>* out) {
+  ExprPtr node = e;
+  while (node->kind() == op) {
+    out->push_back(node->child(0));
+    node = node->child(1);
+  }
+  out->push_back(std::move(node));
+}
+
+}  // namespace
+
+ExprPtr ExprCanonicalizer::Canonical(const ExprPtr& e) {
+  auto it = canon_.find(e.get());
+  if (it != canon_.end()) return it->second;
+  ExprPtr result;
+  switch (e->kind()) {
+    case OpKind::kName:
+    case OpKind::kWordMatch:
+      result = e;
+      break;
+    case OpKind::kSelect: {
+      ExprPtr child = Canonical(e->child(0));
+      if (child->kind() == OpKind::kSelect &&
+          child->pattern().CacheKey() == e->pattern().CacheKey()) {
+        // σ_p is a filter: σ_p∘σ_p = σ_p (the optimizer's select-dedup).
+        result = child;
+      } else if (child.get() == e->child(0).get()) {
+        result = e;
+      } else {
+        result = Expr::Select(e->pattern(), std::move(child));
+      }
+      break;
+    }
+    case OpKind::kUnion:
+    case OpKind::kIntersect: {
+      // Flatten the same-operator subtree (associativity), canonicalize
+      // every operand, drop duplicates (idempotence) and re-group to the
+      // right in fingerprint order (commutativity).
+      std::vector<ExprPtr> operands;
+      AppendChainOperands(e->kind(), Canonical(e->child(0)), &operands);
+      AppendChainOperands(e->kind(), Canonical(e->child(1)), &operands);
+      std::vector<std::pair<uint64_t, ExprPtr>> keyed;
+      keyed.reserve(operands.size());
+      for (ExprPtr& op : operands) {
+        uint64_t h = HashCanonical(op);
+        keyed.emplace_back(h, std::move(op));
+      }
+      std::stable_sort(keyed.begin(), keyed.end(),
+                       [](const auto& a, const auto& b) {
+                         if (a.first != b.first) return a.first < b.first;
+                         return a.second->ToString() < b.second->ToString();
+                       });
+      std::vector<ExprPtr> unique;
+      unique.reserve(keyed.size());
+      for (auto& [h, op] : keyed) {
+        if (!unique.empty() && h == HashCanonical(unique.back()) &&
+            unique.back()->Equals(*op)) {
+          continue;
+        }
+        unique.push_back(std::move(op));
+      }
+      result = unique.back();
+      for (size_t i = unique.size() - 1; i-- > 0;) {
+        result = Expr::Binary(e->kind(), unique[i], std::move(result));
+      }
+      break;
+    }
+    case OpKind::kBothIncluded: {
+      ExprPtr r = Canonical(e->child(0));
+      ExprPtr s = Canonical(e->child(1));
+      ExprPtr t = Canonical(e->child(2));
+      if (r.get() == e->child(0).get() && s.get() == e->child(1).get() &&
+          t.get() == e->child(2).get()) {
+        result = e;
+      } else {
+        result = Expr::BothIncluded(std::move(r), std::move(s), std::move(t));
+      }
+      break;
+    }
+    default: {  // Non-commutative binary operators.
+      ExprPtr a = Canonical(e->child(0));
+      ExprPtr b = Canonical(e->child(1));
+      if (a.get() == e->child(0).get() && b.get() == e->child(1).get()) {
+        result = e;
+      } else {
+        result = Expr::Binary(e->kind(), std::move(a), std::move(b));
+      }
+      break;
+    }
+  }
+  canon_.emplace(e.get(), result);
+  return result;
+}
+
+uint64_t ExprCanonicalizer::HashCanonical(const ExprPtr& canonical) {
+  auto it = hashes_.find(canonical.get());
+  if (it != hashes_.end()) return it->second;
+  uint64_t h = Mix(static_cast<uint64_t>(canonical->kind()) + 1);
+  switch (canonical->kind()) {
+    case OpKind::kName:
+      h = Combine(h, HashString(canonical->name()));
+      break;
+    case OpKind::kSelect:
+    case OpKind::kWordMatch:
+      h = Combine(h, HashString(canonical->pattern().CacheKey()));
+      break;
+    default:
+      break;
+  }
+  for (const ExprPtr& c : canonical->children()) {
+    h = Combine(h, HashCanonical(c));
+  }
+  hashes_.emplace(canonical.get(), h);
+  return h;
+}
+
+uint64_t ExprCanonicalizer::Hash(const ExprPtr& e) {
+  return HashCanonical(Canonical(e));
+}
+
+uint64_t Expr::CanonicalHash() const {
+  ExprCanonicalizer canonicalizer;
+  return canonicalizer.Hash(BorrowExpr(this));
+}
+
+bool Expr::CanonicalEquals(const Expr& other) const {
+  if (this == &other) return true;
+  ExprCanonicalizer canonicalizer;
+  ExprPtr a = canonicalizer.Canonical(BorrowExpr(this));
+  ExprPtr b = canonicalizer.Canonical(BorrowExpr(&other));
+  return a->Equals(*b);
+}
+
+ExprPtr Expr::Canonicalize(const ExprPtr& e) {
+  ExprCanonicalizer canonicalizer;
+  return canonicalizer.Canonical(e);
 }
 
 }  // namespace regal

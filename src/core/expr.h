@@ -1,9 +1,11 @@
 #ifndef REGAL_CORE_EXPR_H_
 #define REGAL_CORE_EXPR_H_
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "text/pattern.h"
@@ -78,6 +80,27 @@ class Expr {
   /// Structural equality.
   bool Equals(const Expr& other) const;
 
+  /// Canonical structural hash: equal for expressions the engine treats as
+  /// interchangeable regardless of parse provenance. Union/intersection
+  /// operand order (and grouping) does not affect the hash, duplicate
+  /// operands of those operators collapse, and so do repeated selections
+  /// with the same pattern — the normalizations whose soundness the
+  /// optimizer's identity rules already rely on. This is the fingerprint
+  /// half of the cross-query result cache key (see cache/result_cache.h);
+  /// colliding fingerprints are disambiguated with CanonicalEquals.
+  uint64_t CanonicalHash() const;
+
+  /// True iff Canonicalize maps both expressions to the same tree — i.e.
+  /// they are equal up to the normalizations described at CanonicalHash.
+  bool CanonicalEquals(const Expr& other) const;
+
+  /// The canonical form itself: union/intersection chains are flattened,
+  /// deduplicated and re-grouped to the right in fingerprint order, and
+  /// selection chains with a repeated pattern collapse to one selection.
+  /// Evaluating the canonical form yields the same result set on every
+  /// instance. Idempotent; preserves subtree sharing.
+  static ExprPtr Canonicalize(const ExprPtr& e);
+
   // --- Factories ---
   static ExprPtr Name(std::string name);
   static ExprPtr Union(ExprPtr a, ExprPtr b);
@@ -117,6 +140,24 @@ class Expr {
 
 /// Keyword used by the query language / ToString for each operator.
 const char* OpKindToken(OpKind kind);
+
+/// Memoizing canonicalizer: Expr::CanonicalHash / Canonicalize wrap one of
+/// these per call, but bulk users (the evaluator fingerprints every node of
+/// the executed tree once per query) hold one so shared DAG subtrees are
+/// canonicalized exactly once. Not thread-safe; guard externally.
+class ExprCanonicalizer {
+ public:
+  /// Canonical form of `e` (see Expr::Canonicalize). Memoized by node.
+  ExprPtr Canonical(const ExprPtr& e);
+  /// Canonical structural hash of `e` (see Expr::CanonicalHash).
+  uint64_t Hash(const ExprPtr& e);
+
+ private:
+  uint64_t HashCanonical(const ExprPtr& canonical);
+
+  std::unordered_map<const Expr*, ExprPtr> canon_;     // input -> canonical
+  std::unordered_map<const Expr*, uint64_t> hashes_;   // canonical -> hash
+};
 
 }  // namespace regal
 

@@ -1,10 +1,16 @@
 #include "core/instance.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "core/algebra.h"
 
 namespace regal {
+
+uint64_t Instance::NextId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
 
 Instance Instance::Clone() const {
   Instance out;
@@ -25,6 +31,7 @@ Status Instance::AddRegionSet(const std::string& name, RegionSet regions) {
   names_.push_back(name);
   sets_.push_back(std::move(regions));
   tree_built_ = false;
+  ++epoch_;
   return Status::OK();
 }
 
@@ -38,6 +45,7 @@ void Instance::SetRegionSet(const std::string& name, RegionSet regions) {
     sets_[it->second] = std::move(regions);
   }
   tree_built_ = false;
+  ++epoch_;
 }
 
 Result<const RegionSet*> Instance::Get(const std::string& name) const {
@@ -67,11 +75,13 @@ void Instance::BindText(std::shared_ptr<const Text> text,
                         std::shared_ptr<const WordIndex> index) {
   text_ = std::move(text);
   word_index_ = std::move(index);
+  ++epoch_;  // Selections and word matches now answer differently.
 }
 
 void Instance::SetSyntheticPattern(const Pattern& p,
                                    RegionSet regions_where_true) {
   synthetic_w_[p.CacheKey()] = std::move(regions_where_true);
+  ++epoch_;
 }
 
 RegionSet Instance::Select(const RegionSet& r, const Pattern& p) const {

@@ -1,6 +1,7 @@
 #ifndef REGAL_CORE_INSTANCE_H_
 #define REGAL_CORE_INSTANCE_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -95,6 +96,20 @@ class Instance {
   /// names, and the union of all sets is laminar (disjoint-or-nested).
   Status Validate() const;
 
+  // --- Mutation epoch (cross-query result-cache invalidation) ---
+
+  /// Process-unique identity of this instance's content lineage. A fresh
+  /// id is drawn on construction and on Clone(), and moves travel with the
+  /// data — so (id, epoch) pairs never collide across distinct instances
+  /// and a shared cache/result_cache.h can key on them safely.
+  uint64_t id() const { return id_; }
+
+  /// Monotone mutation counter: bumped by every operation that can change
+  /// a query answer (AddRegionSet, SetRegionSet, BindText,
+  /// SetSyntheticPattern). Cached results are keyed by (id, epoch), so a
+  /// bump invalidates them without touching the cache.
+  uint64_t epoch() const { return epoch_; }
+
   // --- Global region tree (built on first use, invalidated by mutation) ---
 
   /// Number of regions in the tree (== NumRegions()).
@@ -122,7 +137,10 @@ class Instance {
 
  private:
   void EnsureTree() const;
+  static uint64_t NextId();
 
+  uint64_t id_ = NextId();
+  uint64_t epoch_ = 0;
   std::vector<std::string> names_;
   std::map<std::string, size_t> name_to_id_;
   std::vector<RegionSet> sets_;

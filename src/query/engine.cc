@@ -93,6 +93,15 @@ std::string QueryProfile::Json() const {
   w.EndArray();
   w.Key("peak_memory_bytes").Int(peak_memory_bytes);
   w.EndObject();
+  w.Key("cache").BeginObject();
+  w.Key("enabled").Bool(cache_enabled);
+  w.Key("hits").Int(cache.hits);
+  w.Key("misses").Int(cache.misses);
+  w.Key("inserts").Int(cache.inserts);
+  w.Key("evictions").Int(cache.evictions);
+  w.Key("insert_failures").Int(cache.insert_failures);
+  w.Key("bytes").Int(cache_bytes);
+  w.EndObject();
   w.Key("plan");
   obs::WriteSpanJson(plan, &w);
   w.EndObject();
@@ -125,7 +134,9 @@ std::vector<std::string> QueryAnswer::Rows(const Instance& instance,
 }
 
 QueryEngine::QueryEngine(Instance instance, std::optional<Digraph> rig)
-    : instance_(std::move(instance)), rig_(std::move(rig)) {
+    : instance_(std::move(instance)),
+      rig_(std::move(rig)),
+      result_cache_(std::make_unique<cache::ResultCache>()) {
   stats_ = StatsFromInstance(instance_);
 }
 
@@ -224,12 +235,17 @@ Result<QueryAnswer> QueryEngine::RunExprWithLimits(
   // Per-query, not the global metrics counter: concurrent queries must not
   // attribute each other's kernel fallbacks to this profile.
   std::atomic<int64_t> kernel_fallbacks{0};
+  cache::CacheQueryStats cache_stats;
   Status eval_status = Status::OK();
   {
     ScopedTimer timed(&answer.elapsed_ms);
     EvalOptions eval_options;
     eval_options.bindings = &materialized_views_;
     eval_options.kernel_fallbacks = &kernel_fallbacks;
+    if (result_cache_enabled_) {
+      eval_options.result_cache = result_cache_.get();
+      eval_options.cache_stats = &cache_stats;
+    }
     if (profile) eval_options.tracer = &*tracer;
     if (context.has_value()) eval_options.context = &*context;
     if (parallel_enabled_ &&
@@ -304,6 +320,11 @@ Result<QueryAnswer> QueryEngine::RunExprWithLimits(
     query_profile.fallbacks = std::move(fallbacks);
     if (context.has_value()) {
       query_profile.peak_memory_bytes = context->peak_memory_bytes();
+    }
+    query_profile.cache_enabled = result_cache_enabled_;
+    query_profile.cache = cache_stats;
+    if (result_cache_enabled_) {
+      query_profile.cache_bytes = result_cache_->bytes();
     }
     answer.profile = std::move(query_profile);
   }

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/result_cache.h"
 #include "core/eval.h"
 #include "core/instance.h"
 #include "graph/digraph.h"
@@ -37,6 +38,13 @@ struct QueryProfile {
   /// Peak bytes of materialized results charged against the memory budget
   /// (0 when no context was active).
   int64_t peak_memory_bytes = 0;
+
+  // Cross-query result-cache envelope (see cache/result_cache.h and
+  // DESIGN.md "Result caching"): this query's cache activity plus the
+  // cache's footprint when the query finished.
+  bool cache_enabled = false;
+  cache::CacheQueryStats cache;
+  int64_t cache_bytes = 0;
 
   /// Human-readable plan tree (obs::FormatSpanTree).
   std::string Tree() const;
@@ -162,6 +170,24 @@ class QueryEngine {
   void set_limits(safety::QueryLimits limits) { limits_ = std::move(limits); }
   const safety::QueryLimits& limits() const { return limits_; }
 
+  // --- Result caching (see cache/result_cache.h and DESIGN.md "Result
+  // caching") ---
+
+  /// Master switch for the cross-query result cache. When on (the
+  /// default), every query seeds its evaluator memo from cached subtree
+  /// results and publishes what it computes, so repeated structural
+  /// sub-queries — the paper's assumed access pattern — short-circuit.
+  /// Cached and recomputed answers are identical: entries are keyed by the
+  /// instance's mutation epoch and verified against the canonical
+  /// expression, never by fingerprint alone.
+  void set_result_cache_enabled(bool enabled) {
+    result_cache_enabled_ = enabled;
+  }
+  bool result_cache_enabled() const { return result_cache_enabled_; }
+
+  /// The engine's cache, for tuning and inspection (tests, benches, ops).
+  cache::ResultCache& result_cache() { return *result_cache_; }
+
  private:
   Result<QueryAnswer> RunExprWithLimits(const ExprPtr& expr,
                                         const safety::QueryLimits& limits,
@@ -180,6 +206,9 @@ class QueryEngine {
   double parallel_cost_threshold_ = 1 << 16;
   ParallelEvalPolicy parallel_policy_;
   safety::QueryLimits limits_;
+  // unique_ptr: the cache owns mutexes, and the engine must stay movable.
+  std::unique_ptr<cache::ResultCache> result_cache_;
+  bool result_cache_enabled_ = true;
 };
 
 }  // namespace regal

@@ -18,6 +18,22 @@ void WriteRegions(const RegionSet& set, std::ostream& out) {
   }
 }
 
+// Consumes one line terminator after a fixed-size payload or a formatted
+// read: "\n", "\r\n" or a bare "\r" (and nothing at EOF). A plain
+// in.ignore() would leave the '\n' of a CRLF pair in the stream.
+void SkipLineBreak(std::istream& in) {
+  if (in.peek() == '\r') in.get();
+  if (in.peek() == '\n') in.get();
+}
+
+// Line reader tolerating CRLF endings: a trailing '\r' left by getline is
+// stripped before the caller parses the line.
+bool GetLine(std::istream& in, std::string* line) {
+  if (!std::getline(in, *line)) return false;
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+  return true;
+}
+
 Result<RegionSet> ReadRegions(std::istream& in, size_t count) {
   std::vector<Region> regions;
   regions.reserve(count);
@@ -31,7 +47,7 @@ Result<RegionSet> ReadRegions(std::istream& in, size_t count) {
     }
     regions.push_back(r);
   }
-  in.ignore();  // Trailing newline.
+  SkipLineBreak(in);
   return RegionSet::FromUnsorted(std::move(regions));
 }
 
@@ -55,7 +71,18 @@ Status SaveInstance(const Instance& instance, std::ostream& out) {
     WriteRegions(set, out);
   }
   for (const auto& [key, set] : instance.synthetic_patterns()) {
-    out << "pattern " << key << " " << set.size() << "\n";
+    // A pattern key is user-controlled (the pattern spec may hold spaces,
+    // tabs, even CR/LF — think phrase patterns like "new york"). The bare
+    // `pattern <key> <count>` header tokenizes on whitespace, so such keys
+    // go out length-prefixed as `patternb` instead; whitespace-free keys
+    // keep the legacy record for compatibility with existing corpora.
+    if (key.find_first_of(" \t\r\n") == std::string::npos) {
+      out << "pattern " << key << " " << set.size() << "\n";
+    } else {
+      out << "patternb " << key.size() << " " << set.size() << "\n";
+      out.write(key.data(), static_cast<std::streamsize>(key.size()));
+      out << "\n";
+    }
     WriteRegions(set, out);
   }
   out << "end\n";
@@ -65,14 +92,14 @@ Status SaveInstance(const Instance& instance, std::ostream& out) {
 
 Result<Instance> LoadInstance(std::istream& in) {
   std::string line;
-  if (!std::getline(in, line) || line != kMagic) {
+  if (!GetLine(in, &line) || line != kMagic) {
     return Status::InvalidArgument("bad magic: expected " +
                                    std::string(kMagic));
   }
   Instance instance;
   bool saw_end = false;
   std::shared_ptr<Text> text;
-  while (std::getline(in, line)) {
+  while (GetLine(in, &line)) {
     if (line.empty()) continue;
     std::istringstream header(line);
     std::string keyword;
@@ -91,7 +118,7 @@ Result<Instance> LoadInstance(std::istream& in) {
       if (in.gcount() != static_cast<std::streamsize>(size)) {
         return Status::InvalidArgument("truncated text payload");
       }
-      in.ignore();  // Newline after payload.
+      SkipLineBreak(in);
       text = std::make_shared<Text>(std::move(content));
       continue;
     }
@@ -108,6 +135,23 @@ Result<Instance> LoadInstance(std::istream& in) {
         REGAL_ASSIGN_OR_RETURN(Pattern p, Pattern::FromCacheKey(name));
         instance.SetSyntheticPattern(p, std::move(set));
       }
+      continue;
+    }
+    if (keyword == "patternb") {
+      size_t key_size = 0;
+      size_t count = 0;
+      if (!(header >> key_size >> count)) {
+        return Status::InvalidArgument("malformed 'patternb' header");
+      }
+      std::string key(key_size, '\0');
+      in.read(key.data(), static_cast<std::streamsize>(key_size));
+      if (in.gcount() != static_cast<std::streamsize>(key_size)) {
+        return Status::InvalidArgument("truncated 'patternb' key");
+      }
+      SkipLineBreak(in);
+      REGAL_ASSIGN_OR_RETURN(Pattern p, Pattern::FromCacheKey(key));
+      REGAL_ASSIGN_OR_RETURN(RegionSet set, ReadRegions(in, count));
+      instance.SetSyntheticPattern(p, std::move(set));
       continue;
     }
     return Status::InvalidArgument("unknown record '" + keyword + "'");

@@ -20,7 +20,16 @@ namespace regal {
 ///   <left> <right>            (count lines)
 ///   pattern <cache-key> <count>
 ///   <left> <right>            (count lines; synthetic W tables)
+///   patternb <key-bytes> <count>
+///   <raw cache-key bytes>     (keys containing whitespace — e.g. the
+///   <left> <right>             phrase pattern "new york" — are written
+///                              length-prefixed; `pattern` stays the record
+///                              for whitespace-free keys so existing
+///                              corpora keep loading)
 ///   end
+///
+/// The reader tolerates CRLF ("\r\n") line endings throughout. Corrupt or
+/// truncated records are reported as InvalidArgument.
 ///
 /// Text-backed instances rebuild their suffix-array word index on load.
 /// Region names may contain any non-whitespace characters.

@@ -314,6 +314,9 @@ TEST_P(ParallelEvalTest, EngineAnswersMatchWithParallelForcedOnAndOff) {
   options.entries = 30;
   auto engine = QueryEngine::FromSgmlSource(GenerateDictionarySource(options));
   ASSERT_TRUE(engine.ok());
+  // The sequential/parallel comparison needs both runs to actually execute;
+  // the result cache would answer the second run without evaluating.
+  engine->set_result_cache_enabled(false);
   ThreadPool pool(GetParam());
 
   const char* queries[] = {

@@ -257,6 +257,10 @@ class ExplainTest : public ::testing::Test {
 
 TEST_F(ExplainTest, ExplainAnalyzeProfilesTheQuery) {
   QueryEngine engine = MakeDictionaryEngine();
+  // This test observes real execution (work counters, per-operator spans);
+  // the cross-query result cache would answer the repeated query from a
+  // single cached root span instead.
+  engine.set_result_cache_enabled(false);
   auto plain = engine.Run("sense within entry within dictionary");
   ASSERT_TRUE(plain.ok());
   EXPECT_FALSE(plain->profile.has_value());
@@ -316,6 +320,10 @@ TEST_F(ExplainTest, ExplainDoesNotExecute) {
 
 TEST_F(ExplainTest, ExplainAnalyzeMarksMemoizedSubtrees) {
   QueryEngine engine = MakeDictionaryEngine();
+  // Per-call memoization is under test; the cross-query cache would mark
+  // both sides from_cache (the canonical fingerprints match even though the
+  // parser built separate subtrees).
+  engine.set_result_cache_enabled(false);
   // `entry` appears twice; the optimizer's idempotence rule would collapse
   // an identical pair, so intersect with distinct shapes and disable it.
   auto answer =

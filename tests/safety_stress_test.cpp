@@ -512,6 +512,9 @@ TEST_F(DegradeTest, KernelDegradeKeepsAnswersBitIdentical) {
   ASSERT_TRUE(engine.ok());
   engine->set_parallel_cost_threshold(0);
   engine->mutable_parallel_policy()->min_rows = 0;
+  // Kernel degradation only fires when kernels run; the result cache would
+  // answer the armed re-runs without touching a kernel.
+  engine->set_result_cache_enabled(false);
   const char* queries[] = {
       "sense within entry",
       "(quote within sense) | (def within sense)",

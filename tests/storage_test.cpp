@@ -1,11 +1,18 @@
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "core/eval.h"
 #include "doc/sgml.h"
 #include "doc/synthetic.h"
+#include "index/word_index.h"
+#include "query/parser.h"
 #include "storage/serialize.h"
+#include "text/text.h"
+#include "util/random.h"
 
 namespace regal {
 namespace {
@@ -80,6 +87,184 @@ TEST(StorageTest, WhitespaceNameRejectedOnSave) {
   ASSERT_TRUE(instance.AddRegionSet("bad name", RegionSet{Region{0, 1}}).ok());
   std::stringstream buffer;
   EXPECT_FALSE(SaveInstance(instance, buffer).ok());
+}
+
+// A pattern cache-key can carry whitespace (phrase patterns like
+// "new york"); the length-prefixed `patternb` record must round-trip it
+// bit-identically where the legacy `pattern` record would misparse.
+TEST(StorageTest, WhitespacePatternKeyRoundTrip) {
+  Instance instance = MakeFigure3Instance(2);
+  Pattern phrase = *Pattern::Parse("new york");
+  Pattern cr = *Pattern::Parse("a\rb");
+  Pattern plain = *Pattern::Parse("plain*");
+  instance.SetSyntheticPattern(phrase, RegionSet{(**instance.Get("C"))[0]});
+  instance.SetSyntheticPattern(cr, RegionSet{(**instance.Get("A"))[0]});
+  instance.SetSyntheticPattern(plain, RegionSet{(**instance.Get("A"))[1]});
+
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveInstance(instance, buffer).ok());
+  // Whitespace-free keys keep the legacy record.
+  EXPECT_NE(buffer.str().find("pattern " + plain.CacheKey()),
+            std::string::npos);
+  EXPECT_NE(buffer.str().find("patternb "), std::string::npos);
+
+  auto loaded = LoadInstance(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->synthetic_patterns(), instance.synthetic_patterns());
+
+  // Save -> load -> save is bit-identical.
+  std::stringstream again;
+  ASSERT_TRUE(SaveInstance(*loaded, again).ok());
+  EXPECT_EQ(again.str(), buffer.str());
+}
+
+TEST(StorageTest, CrlfInputLoadsIdentically) {
+  // Single-line text and whitespace-free keys, so a global \n -> \r\n
+  // transform only rewrites line terminators (a multi-line payload mangled
+  // by a CRLF transfer changes the payload itself; no reader can undo that).
+  auto original = ParseSgml("<doc><sec>alpha beta</sec><sec>gamma</sec></doc>");
+  ASSERT_TRUE(original.ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveInstance(*original, buffer).ok());
+
+  std::string crlf;
+  for (char c : buffer.str()) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  std::stringstream in(crlf);
+  auto loaded = LoadInstance(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->names(), original->names());
+  for (const std::string& name : original->names()) {
+    EXPECT_EQ(**loaded->Get(name), **original->Get(name)) << name;
+  }
+  ASSERT_NE(loaded->text(), nullptr);
+  EXPECT_EQ(loaded->text()->content(), original->text()->content());
+}
+
+TEST(StorageTest, TruncatedPatternbKeyIsInvalidArgument) {
+  auto expect_bad = [](const std::string& payload) {
+    std::stringstream in(payload);
+    auto loaded = LoadInstance(in);
+    ASSERT_FALSE(loaded.ok()) << payload;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  };
+  expect_bad("REGAL1\npatternb 10 0\ns:x\nend\n");  // Key shorter than count.
+  expect_bad("REGAL1\npatternb x 0\nend\n");        // Malformed header.
+  expect_bad("REGAL1\npatternb 3 0\nbad\nend\n");   // Not a valid cache key.
+}
+
+// Property test: random instances — region sets of every size including
+// empty, pattern keys with spaces and CR, empty and absent text — survive
+// save -> load with all tables equal, and save -> load -> save is
+// bit-identical.
+TEST(StorageTest, RandomInstancesRoundTripBitIdentically) {
+  const char* pattern_specs[] = {"new york", "a\rb", "word*", "?x",
+                                 "three word key"};
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    Instance instance;
+    const int names = 1 + static_cast<int>(rng.Below(4));
+    for (int n = 0; n < names; ++n) {
+      std::vector<Region> regions;
+      const int count = static_cast<int>(rng.Below(9));  // 0 is interesting.
+      for (int i = 0; i < count; ++i) {
+        Offset left = static_cast<Offset>(rng.Below(1000));
+        Offset right = left + static_cast<Offset>(rng.Below(50));
+        regions.push_back(Region{left, right});
+      }
+      ASSERT_TRUE(instance
+                      .AddRegionSet("n" + std::to_string(n),
+                                    RegionSet::FromUnsorted(std::move(regions)))
+                      .ok());
+    }
+    const int patterns = static_cast<int>(rng.Below(3));
+    for (int p = 0; p < patterns; ++p) {
+      Pattern pat = *Pattern::Parse(pattern_specs[rng.Below(5)]);
+      std::vector<Region> where;
+      for (const std::string& name : instance.names()) {
+        for (const Region& r : **instance.Get(name)) {
+          if (rng.Chance(0.3)) where.push_back(r);
+        }
+      }
+      instance.SetSyntheticPattern(pat,
+                                   RegionSet::FromUnsorted(std::move(where)));
+    }
+    if (rng.Chance(0.5)) {
+      // Text-backed (possibly empty text); the word index is rebuilt on load.
+      auto text = std::make_shared<Text>(
+          rng.Chance(0.2) ? "" : "alpha beta gamma delta");
+      instance.BindText(text,
+                        std::make_shared<SuffixArrayWordIndex>(text.get()));
+    }
+
+    std::stringstream buffer;
+    ASSERT_TRUE(SaveInstance(instance, buffer).ok()) << "seed " << seed;
+    auto loaded = LoadInstance(buffer);
+    ASSERT_TRUE(loaded.ok()) << "seed " << seed << ": " << loaded.status();
+    EXPECT_EQ(loaded->names(), instance.names()) << "seed " << seed;
+    for (const std::string& name : instance.names()) {
+      EXPECT_EQ(**loaded->Get(name), **instance.Get(name))
+          << "seed " << seed << " name " << name;
+    }
+    EXPECT_EQ(loaded->synthetic_patterns(), instance.synthetic_patterns())
+        << "seed " << seed;
+    EXPECT_EQ(loaded->text() != nullptr, instance.text() != nullptr);
+    if (instance.text() != nullptr) {
+      EXPECT_EQ(loaded->text()->content(), instance.text()->content());
+    }
+    std::stringstream again;
+    ASSERT_TRUE(SaveInstance(*loaded, again).ok()) << "seed " << seed;
+    EXPECT_EQ(again.str(), buffer.str()) << "seed " << seed;
+  }
+}
+
+// LoadInstance binds text *after* the AddRegionSet calls; a natively built
+// catalog binds it first. The two orders must answer every query
+// identically (BindText keeps no per-set state, but this pins the contract).
+TEST(StorageTest, BindTextOrderIsObservationallyEquivalent) {
+  const std::string content = "alpha beta gamma alpha delta beta";
+  std::vector<Region> words;
+  for (size_t start = 0; start < content.size();) {
+    size_t end = content.find(' ', start);
+    if (end == std::string::npos) end = content.size();
+    words.push_back(Region{static_cast<Offset>(start),
+                           static_cast<Offset>(end - 1)});
+    start = end + 1;
+  }
+  RegionSet word_set = RegionSet::FromUnsorted(words);
+  RegionSet halves = RegionSet::FromUnsorted(
+      {Region{0, 15}, Region{17, static_cast<Offset>(content.size() - 1)}});
+
+  auto text = std::make_shared<Text>(content);
+  Instance bind_first;
+  bind_first.BindText(text,
+                      std::make_shared<SuffixArrayWordIndex>(text.get()));
+  ASSERT_TRUE(bind_first.AddRegionSet("word", word_set).ok());
+  ASSERT_TRUE(bind_first.AddRegionSet("half", halves).ok());
+
+  Instance bind_last;
+  ASSERT_TRUE(bind_last.AddRegionSet("word", word_set).ok());
+  ASSERT_TRUE(bind_last.AddRegionSet("half", halves).ok());
+  bind_last.BindText(text,
+                     std::make_shared<SuffixArrayWordIndex>(text.get()));
+
+  const char* queries[] = {
+      "word matching \"alpha\"",
+      "half including (word matching \"beta\")",
+      "(word matching \"a*\") within half",
+      "word \"delta\"",
+  };
+  for (const char* query : queries) {
+    auto parsed = ParseQuery(query);
+    ASSERT_TRUE(parsed.ok()) << query;
+    auto first = Evaluate(bind_first, *parsed);
+    auto last = Evaluate(bind_last, *parsed);
+    ASSERT_TRUE(first.ok()) << query << ": " << first.status();
+    ASSERT_TRUE(last.ok()) << query << ": " << last.status();
+    EXPECT_EQ(*first, *last) << query;
+  }
 }
 
 }  // namespace
