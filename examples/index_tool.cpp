@@ -15,7 +15,7 @@
 #include "doc/sgml.h"
 #include "doc/srccode.h"
 #include "query/engine.h"
-#include "storage/serialize.h"
+#include "storage/snapshot.h"
 #include "util/timer.h"
 
 namespace {
@@ -44,7 +44,8 @@ int Build(const std::string& format, const std::string& input,
                             : regal::ParseSgml(*source);
   if (!instance.ok()) return Fail(instance.status());
   if (auto st = instance->Validate(); !st.ok()) return Fail(st);
-  if (auto st = regal::SaveInstanceToFile(*instance, output); !st.ok()) {
+  if (auto st = regal::storage::SaveSnapshotToFile(*instance, output);
+      !st.ok()) {
     return Fail(st);
   }
   std::cout << "indexed " << source->size() << " bytes into "
@@ -75,7 +76,8 @@ int RunQueries(regal::QueryEngine& engine,
 
 int Query(const std::string& index_path,
           const std::vector<std::string>& queries) {
-  auto instance = regal::LoadInstanceFromFile(index_path);
+  // Sniffs REGAL2 vs legacy REGAL1 by magic, so old indexes keep working.
+  auto instance = regal::storage::LoadSnapshotFromFile(index_path);
   if (!instance.ok()) return Fail(instance.status());
   regal::QueryEngine engine(std::move(instance).value());
   return RunQueries(engine, queries);
@@ -89,7 +91,8 @@ int Demo() {
 
   auto instance = regal::ParseSgml(source);
   if (!instance.ok()) return Fail(instance.status());
-  if (auto st = regal::SaveInstanceToFile(*instance, path); !st.ok()) {
+  if (auto st = regal::storage::SaveSnapshotToFile(*instance, path);
+      !st.ok()) {
     return Fail(st);
   }
   std::cout << "built and saved a dictionary index (" << source.size()

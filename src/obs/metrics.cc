@@ -52,6 +52,14 @@ std::vector<double> Registry::DefaultLatencyBucketsMs() {
   return buckets;
 }
 
+std::vector<double> Registry::DefaultSizeBytesBuckets() {
+  std::vector<double> buckets;
+  for (double b = 1024; b <= 1024.0 * 1024.0 * 1024.0; b *= 4) {
+    buckets.push_back(b);
+  }
+  return buckets;
+}
+
 namespace {
 
 std::string EntryKey(const std::string& name, const Labels& labels) {

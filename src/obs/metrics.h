@@ -109,6 +109,11 @@ class Registry {
   /// and whole-query latencies.
   static std::vector<double> DefaultLatencyBucketsMs();
 
+  /// 1 KiB .. 1 GiB in powers of 4 — byte-sized quantities (result-set
+  /// footprints, snapshot files) share one layout so their histograms are
+  /// comparable across subsystems.
+  static std::vector<double> DefaultSizeBytesBuckets();
+
  private:
   struct Entry {
     MetricSnapshot::Kind kind;

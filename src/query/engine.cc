@@ -54,16 +54,6 @@ Status CheckNames(const Instance& instance,
   return Status::OK();
 }
 
-// 1 KiB .. 1 GiB in powers of 4 — result-set footprints span from a handful
-// of regions to catalog-sized intermediates.
-std::vector<double> MemoryBucketsBytes() {
-  std::vector<double> buckets;
-  for (double b = 1024; b <= 1024.0 * 1024.0 * 1024.0; b *= 4) {
-    buckets.push_back(b);
-  }
-  return buckets;
-}
-
 std::vector<std::string> SplitLines(const std::string& text) {
   std::vector<std::string> lines;
   size_t start = 0;
@@ -148,6 +138,37 @@ Result<QueryEngine> QueryEngine::FromProgramSource(const std::string& source) {
 Result<QueryEngine> QueryEngine::FromSgmlSource(const std::string& source) {
   REGAL_ASSIGN_OR_RETURN(Instance instance, ParseSgml(source));
   return QueryEngine(std::move(instance), std::nullopt);
+}
+
+Status QueryEngine::SaveSnapshot(const std::string& path, storage::Env* env,
+                                 storage::SnapshotFormat format) const {
+  return storage::SaveSnapshotToFile(instance_, path, env, format);
+}
+
+Result<QueryEngine> QueryEngine::OpenSnapshot(const std::string& path,
+                                              storage::Env* env,
+                                              std::optional<Digraph> rig) {
+  REGAL_ASSIGN_OR_RETURN(Instance instance,
+                         storage::LoadSnapshotFromFile(path, env));
+  return QueryEngine(std::move(instance), std::move(rig));
+}
+
+Status QueryEngine::ReloadSnapshot(const std::string& path,
+                                   storage::Env* env) {
+  REGAL_ASSIGN_OR_RETURN(Instance loaded,
+                         storage::LoadSnapshotFromFile(path, env));
+  // `loaded` was constructed by the decoder, so it carries a fresh
+  // process-unique instance id: result-cache entries keyed to the old
+  // (id, epoch) become unreachable the moment the swap lands, even if the
+  // snapshot's contents are byte-identical to the old catalog. The stale
+  // entries age out of the LRU naturally.
+  instance_ = std::move(loaded);
+  stats_ = StatsFromInstance(instance_);
+  // Views were defined against — and materialized from — the replaced
+  // catalog; carrying them across would resurrect pre-reload data.
+  expression_views_.clear();
+  materialized_views_.clear();
+  return Status::OK();
 }
 
 Status QueryEngine::Validate() const {
@@ -331,7 +352,7 @@ Result<QueryAnswer> QueryEngine::RunExprWithLimits(
   if (context.has_value()) {
     registry
         .GetHistogram("regal_query_peak_memory_bytes", {},
-                      MemoryBucketsBytes())
+                      obs::Registry::DefaultSizeBytesBuckets())
         ->Observe(static_cast<double>(context->peak_memory_bytes()));
   }
   registry.GetCounter("regal_queries_total",

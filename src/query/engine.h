@@ -14,6 +14,7 @@
 #include "opt/cost.h"
 #include "opt/optimizer.h"
 #include "safety/context.h"
+#include "storage/snapshot.h"
 #include "util/status.h"
 
 namespace regal {
@@ -87,6 +88,31 @@ class QueryEngine {
   /// Convenience constructors for the bundled corpus formats.
   static Result<QueryEngine> FromProgramSource(const std::string& source);
   static Result<QueryEngine> FromSgmlSource(const std::string& source);
+
+  // --- Durable snapshots (see storage/snapshot.h and DESIGN.md
+  // "Durability & snapshot format") ---
+
+  /// Persists the catalog to `path` through the storage Env
+  /// (Env::Default() when null): serialized as `format` (REGAL2 by
+  /// default) and committed via the atomic temp+fsync+rename protocol, so
+  /// a crash at any point leaves the previous snapshot readable.
+  Status SaveSnapshot(
+      const std::string& path, storage::Env* env = nullptr,
+      storage::SnapshotFormat format = storage::SnapshotFormat::kRegal2) const;
+
+  /// Opens an engine over a snapshot file (REGAL1 or REGAL2, sniffed by
+  /// magic). Corrupt REGAL2 snapshots fail with kDataLoss.
+  static Result<QueryEngine> OpenSnapshot(
+      const std::string& path, storage::Env* env = nullptr,
+      std::optional<Digraph> rig = std::nullopt);
+
+  /// Replaces this engine's catalog with the snapshot at `path` (the
+  /// reindex-and-swap workflow). On success the loaded instance carries a
+  /// fresh (id, epoch) identity, so result-cache entries keyed to the
+  /// pre-reload catalog can never serve stale answers; expression and
+  /// materialized views are dropped (they were derived from the old
+  /// catalog). On failure the engine is untouched.
+  Status ReloadSnapshot(const std::string& path, storage::Env* env = nullptr);
 
   const Instance& instance() const { return instance_; }
   const std::optional<Digraph>& rig() const { return rig_; }

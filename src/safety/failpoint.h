@@ -17,7 +17,11 @@ namespace safety {
 /// Deterministic fault-injection registry. Failpoints are named sites
 /// planted on the execution paths that a production deployment must survive
 /// (thread pool dispatch, partitioned kernels, index builds, evaluator
-/// nodes, the FMFT emptiness search). A site is *disabled* unless armed, and
+/// nodes, the FMFT emptiness search, and — via the storage
+/// FaultInjectionEnv, see storage/fault_env.h — the snapshot write path:
+/// storage.env.{open,write,sync,rename,dirsync}.eio, storage.env.write.
+/// {enospc,short,bitflip} and storage.env.crash). A site is *disabled*
+/// unless armed, and
 /// the disabled check is a single relaxed atomic load of a process-wide
 /// armed-site counter plus one branch — no lock, no map lookup, no string
 /// hashing — so shipping the probes costs nothing (bench_safety measures

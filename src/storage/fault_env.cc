@@ -1,0 +1,277 @@
+#include "storage/fault_env.h"
+
+#include <algorithm>
+
+#include "safety/failpoint.h"
+
+namespace regal {
+namespace storage {
+
+namespace {
+
+Status CrashedStatus() {
+  return Status::Internal("simulated crash: process died mid-write");
+}
+
+}  // namespace
+
+/// Write handle that forwards to the base file while consulting the env's
+/// crash state and the write-path failpoints on every operation.
+class FaultInjectionWritableFile : public WritableFile {
+ public:
+  FaultInjectionWritableFile(FaultInjectionEnv* env, std::string path,
+                             std::unique_ptr<WritableFile> base)
+      : env_(env), path_(std::move(path)), base_(std::move(base)) {}
+
+  Status Append(std::string_view data) override {
+    if (safety::FailpointFires(kFailpointWriteEnospc)) {
+      return Status::ResourceExhausted(
+          "no space left on device (injected at '" + path_ + "')");
+    }
+    if (safety::FailpointFires(kFailpointWriteEio)) {
+      return Status::Internal("I/O error (injected write failure at '" +
+                              path_ + "')");
+    }
+    if (safety::FailpointFires(kFailpointWriteShort)) {
+      // Half the buffer lands, then the device errors out.
+      const size_t landed = data.size() / 2;
+      ForwardBytes(data.substr(0, landed));
+      return Status::Internal("short write (injected at '" + path_ + "'): " +
+                              std::to_string(landed) + " of " +
+                              std::to_string(data.size()) + " bytes");
+    }
+    uint64_t torn_budget = 0;
+    if (!env_->AdmitOp(&torn_budget)) {
+      if (torn_budget > 0 && !data.empty()) {
+        ForwardBytes(data.substr(
+            0, std::min<size_t>(torn_budget, data.size())));
+      }
+      return CrashedStatus();
+    }
+    if (safety::FailpointFires(kFailpointWriteBitflip)) {
+      // Silent corruption: one bit of the payload flips and the write
+      // reports success — only checksums can catch this downstream.
+      std::string corrupted(data);
+      corrupted[corrupted.size() / 2] ^= 0x10;
+      return ForwardBytes(corrupted);
+    }
+    return ForwardBytes(data);
+  }
+
+  Status Sync() override {
+    if (safety::FailpointFires(kFailpointSyncEio)) {
+      return Status::Internal("I/O error (injected fsync failure at '" +
+                              path_ + "')");
+    }
+    uint64_t torn = 0;
+    if (!env_->AdmitOp(&torn)) return CrashedStatus();
+    REGAL_RETURN_NOT_OK(base_->Sync());
+    auto& state = env_->files_[path_];
+    state.synced = state.written;
+    return Status::OK();
+  }
+
+  Status Close() override {
+    uint64_t torn = 0;
+    if (!env_->AdmitOp(&torn)) return CrashedStatus();
+    return base_->Close();
+  }
+
+ private:
+  Status ForwardBytes(std::string_view data) {
+    REGAL_RETURN_NOT_OK(base_->Append(data));
+    env_->files_[path_].written += data.size();
+    return Status::OK();
+  }
+
+  FaultInjectionEnv* env_;
+  std::string path_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+FaultInjectionEnv::FaultInjectionEnv(Env* base) : base_(base) {}
+
+FaultInjectionEnv::~FaultInjectionEnv() = default;
+
+void FaultInjectionEnv::CrashAfterOps(int64_t op, uint64_t torn_tail_bytes) {
+  crash_at_op_ = op_count_ + op;
+  torn_tail_bytes_ = torn_tail_bytes;
+}
+
+bool FaultInjectionEnv::AdmitOp(uint64_t* torn_budget) {
+  *torn_budget = 0;
+  if (crashed_) return false;
+  if (safety::FailpointFires(kFailpointCrash)) {
+    crashed_ = true;
+    *torn_budget = torn_tail_bytes_;
+    return false;
+  }
+  const int64_t index = op_count_++;
+  if (crash_at_op_ >= 0 && index >= crash_at_op_) {
+    crashed_ = true;
+    *torn_budget = torn_tail_bytes_;
+    return false;
+  }
+  return true;
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
+    const std::string& path) {
+  if (safety::FailpointFires(kFailpointOpenEio)) {
+    return Status::Internal("I/O error (injected open failure at '" + path +
+                            "')");
+  }
+  uint64_t torn = 0;
+  if (!AdmitOp(&torn)) return CrashedStatus();
+  REGAL_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                         base_->NewWritableFile(path));
+  files_[path] = FileState{};  // Fresh, nothing synced, entry not durable.
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultInjectionWritableFile>(this, path,
+                                                   std::move(base)));
+}
+
+Result<std::string> FaultInjectionEnv::ReadFileToString(
+    const std::string& path) {
+  return base_->ReadFileToString(path);
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  if (safety::FailpointFires(kFailpointRenameEio)) {
+    return Status::Internal("I/O error (injected rename failure '" + from +
+                            "' -> '" + to + "')");
+  }
+  uint64_t torn = 0;
+  if (!AdmitOp(&torn)) return CrashedStatus();
+  PendingRename pending;
+  pending.from = from;
+  pending.to = to;
+  pending.to_existed = base_->FileExists(to);
+  if (pending.to_existed) {
+    // Keep the clobbered destination so an un-fsynced rename can be undone
+    // at recovery (the kernel may resurrect either directory entry).
+    REGAL_ASSIGN_OR_RETURN(pending.shadow_of_to, base_->ReadFileToString(to));
+  }
+  REGAL_RETURN_NOT_OK(base_->RenameFile(from, to));
+  auto it = files_.find(from);
+  if (it != files_.end()) {
+    FileState state = it->second;
+    files_.erase(it);
+    state.durable_entry = false;  // The rename itself needs a dir fsync.
+    files_[to] = state;
+  }
+  pending_renames_.push_back(std::move(pending));
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::SyncDir(const std::string& dir) {
+  if (safety::FailpointFires(kFailpointDirSyncEio)) {
+    return Status::Internal("I/O error (injected dir-fsync failure at '" +
+                            dir + "')");
+  }
+  uint64_t torn = 0;
+  if (!AdmitOp(&torn)) return CrashedStatus();
+  REGAL_RETURN_NOT_OK(base_->SyncDir(dir));
+  pending_renames_.erase(
+      std::remove_if(pending_renames_.begin(), pending_renames_.end(),
+                     [&](const PendingRename& p) {
+                       return ParentDir(p.to) == dir;
+                     }),
+      pending_renames_.end());
+  for (auto& [path, state] : files_) {
+    if (ParentDir(path) == dir) state.durable_entry = true;
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& path) {
+  uint64_t torn = 0;
+  if (!AdmitOp(&torn)) return CrashedStatus();
+  REGAL_RETURN_NOT_OK(base_->RemoveFile(path));
+  files_.erase(path);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::TruncateFile(const std::string& path,
+                                       uint64_t size) {
+  uint64_t torn = 0;
+  if (!AdmitOp(&torn)) return CrashedStatus();
+  REGAL_RETURN_NOT_OK(base_->TruncateFile(path, size));
+  auto it = files_.find(path);
+  if (it != files_.end()) {
+    it->second.written = std::min(it->second.written, size);
+    it->second.synced = std::min(it->second.synced, size);
+  }
+  return Status::OK();
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Status FaultInjectionEnv::Recover(bool renames_survive) {
+  Status first_error;
+  auto note = [&first_error](Status status) {
+    if (first_error.ok() && !status.ok()) first_error = status;
+  };
+
+  // 1. Unsynced appended bytes are gone, except a torn prefix of at most
+  //    torn_tail_bytes_ (writes reach the platter in order).
+  for (const auto& [path, state] : files_) {
+    if (!base_->FileExists(path)) continue;
+    const uint64_t keep =
+        std::min(state.written, state.synced + torn_tail_bytes_);
+    if (keep < state.written) note(base_->TruncateFile(path, keep));
+  }
+
+  // 2. Renames whose directory fsync never completed land on either side
+  //    of the crash; the caller picks which outcome to simulate.
+  if (!renames_survive) {
+    for (auto it = pending_renames_.rbegin(); it != pending_renames_.rend();
+         ++it) {
+      if (!base_->FileExists(it->to)) continue;
+      note(base_->RenameFile(it->to, it->from));
+      auto state_it = files_.find(it->to);
+      if (state_it != files_.end()) {
+        FileState state = state_it->second;
+        files_.erase(state_it);
+        files_[it->from] = state;
+      }
+      if (it->to_existed) {
+        // Restore the clobbered destination from its shadow copy.
+        auto file = base_->NewWritableFile(it->to);
+        if (!file.ok()) {
+          note(file.status());
+          continue;
+        }
+        note((*file)->Append(it->shadow_of_to));
+        note((*file)->Sync());
+        note((*file)->Close());
+      }
+    }
+  }
+
+  // 3. Directory entries created after the last dir fsync are lost — except
+  //    the targets of renames this recovery chose to keep, whose survival
+  //    is the premise of the renames_survive branch.
+  for (const auto& [path, state] : files_) {
+    if (state.durable_entry || !base_->FileExists(path)) continue;
+    if (renames_survive &&
+        std::any_of(pending_renames_.begin(), pending_renames_.end(),
+                    [&](const PendingRename& p) { return p.to == path; })) {
+      continue;
+    }
+    note(base_->RemoveFile(path));
+  }
+
+  files_.clear();
+  pending_renames_.clear();
+  crashed_ = false;
+  crash_at_op_ = -1;
+  torn_tail_bytes_ = 0;
+  return first_error;
+}
+
+}  // namespace storage
+}  // namespace regal

@@ -1,0 +1,116 @@
+#ifndef REGAL_STORAGE_FAULT_ENV_H_
+#define REGAL_STORAGE_FAULT_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/env.h"
+
+namespace regal {
+namespace storage {
+
+/// Failpoint sites planted in FaultInjectionEnv, armable through the
+/// REGAL_FAILPOINTS registry (safety/failpoint.h) — e.g.
+/// REGAL_FAILPOINTS="storage.env.write.enospc=0.01@7" makes one save in a
+/// hundred hit a simulated full disk, deterministically from the seed.
+inline constexpr char kFailpointOpenEio[] = "storage.env.open.eio";
+inline constexpr char kFailpointWriteEio[] = "storage.env.write.eio";
+inline constexpr char kFailpointWriteEnospc[] = "storage.env.write.enospc";
+inline constexpr char kFailpointWriteShort[] = "storage.env.write.short";
+inline constexpr char kFailpointWriteBitflip[] = "storage.env.write.bitflip";
+inline constexpr char kFailpointSyncEio[] = "storage.env.sync.eio";
+inline constexpr char kFailpointRenameEio[] = "storage.env.rename.eio";
+inline constexpr char kFailpointDirSyncEio[] = "storage.env.dirsync.eio";
+inline constexpr char kFailpointCrash[] = "storage.env.crash";
+
+/// An Env that forwards to a base Env (the real filesystem by default)
+/// while injecting the failures a production deployment must survive:
+///
+///  * **Typed syscall failures** via the failpoint sites above: EIO on
+///    open/write/sync/rename/dir-sync, ENOSPC (reported as
+///    kResourceExhausted, like the POSIX env), *short writes* (a prefix of
+///    the buffer lands, then EIO) and *silent bit flips* (one bit of the
+///    appended data is corrupted and the write "succeeds" — what the
+///    REGAL2 checksums exist to catch).
+///
+///  * **Crash-at-syscall-boundary** simulation: CrashAfterOps(k) kills the
+///    "process" at the k-th mutating env operation (0-based; open, append,
+///    sync, close, rename, dir-sync, remove, truncate each count one).
+///    The op at index k and everything after it has no filesystem effect
+///    and returns an error, except that an append at the kill point may
+///    first land `torn_tail_bytes` of its buffer — a torn write.
+///
+/// After a simulated crash, Recover() applies the losses a real kernel may
+/// inflict on the surviving disk image, then resets the env for reuse:
+///
+///  * appended-but-unsynced bytes are dropped (files truncate back to
+///    their last Sync()ed size, plus the torn tail at the kill point);
+///  * renames in directories whose SyncDir() never completed are undone —
+///    or kept, when `renames_survive` is true, since a real crash may land
+///    either way (the crash matrix asserts both outcomes are consistent);
+///  * files created but never made durable by a SyncDir() are deleted.
+///
+/// Reads are never failed or counted: the injection models the write path,
+/// and recovery asserts what a *reader* observes afterwards.
+class FaultInjectionEnv : public Env {
+ public:
+  explicit FaultInjectionEnv(Env* base = Env::Default());
+  ~FaultInjectionEnv() override;
+
+  // --- Crash simulation -------------------------------------------------
+  /// Arms the crash: the op with 0-based index `op` (counting from *now*)
+  /// dies. `torn_tail_bytes` of an append at the kill point still land.
+  void CrashAfterOps(int64_t op, uint64_t torn_tail_bytes = 0);
+  bool crashed() const { return crashed_; }
+  /// Mutating env ops seen so far (to size a crash matrix).
+  int64_t op_count() const { return op_count_; }
+  /// Applies post-crash data loss (see class comment) and disarms.
+  Status Recover(bool renames_survive = false);
+
+  // --- Env interface ----------------------------------------------------
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  Result<std::string> ReadFileToString(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status SyncDir(const std::string& dir) override;
+  Status RemoveFile(const std::string& path) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+  bool FileExists(const std::string& path) override;
+
+ private:
+  friend class FaultInjectionWritableFile;
+
+  struct FileState {
+    uint64_t written = 0;  ///< Bytes appended through this env.
+    uint64_t synced = 0;   ///< Bytes covered by the last successful Sync().
+    bool durable_entry = false;  ///< Parent dir fsynced since creation.
+  };
+
+  struct PendingRename {
+    std::string from;
+    std::string to;
+    bool to_existed = false;
+    std::string shadow_of_to;  ///< Pre-rename contents of `to`, for revert.
+  };
+
+  /// Returns false when the env is dead (crashed) or the crash fires on
+  /// this op; `torn_budget` is set to the torn-tail byte allowance when the
+  /// kill point is exactly this op (appends only).
+  bool AdmitOp(uint64_t* torn_budget);
+
+  Env* base_;
+  bool crashed_ = false;
+  int64_t op_count_ = 0;
+  int64_t crash_at_op_ = -1;
+  uint64_t torn_tail_bytes_ = 0;
+  std::map<std::string, FileState> files_;
+  std::vector<PendingRename> pending_renames_;
+};
+
+}  // namespace storage
+}  // namespace regal
+
+#endif  // REGAL_STORAGE_FAULT_ENV_H_

@@ -1,16 +1,43 @@
 #include "storage/serialize.h"
 
-#include <fstream>
+#include <algorithm>
 #include <memory>
 #include <sstream>
 
 #include "index/word_index.h"
+#include "storage/env.h"
+#include "storage/snapshot.h"
 
 namespace regal {
 
 namespace {
 
 constexpr char kMagic[] = "REGAL1";
+
+// Upper bound on the bytes left in a seekable stream, or -1 when the stream
+// cannot tell. Used to reject absurd declared counts *before* allocating:
+// a hand-edited "name r 999999999" header must fail with InvalidArgument,
+// not OOM the process reserving gigabytes it can never read.
+std::streamoff RemainingBytes(std::istream& in) {
+  const std::streamoff current = in.tellg();
+  if (current < 0) return -1;
+  in.seekg(0, std::ios::end);
+  const std::streamoff end = in.tellg();
+  in.seekg(current);
+  if (end < 0 || end < current) return -1;
+  return end - current;
+}
+
+// Fallback reserve cap when the stream is not seekable; vectors still grow
+// to any genuine size, they just do it incrementally.
+constexpr size_t kBlindReserveCap = 1 << 20;
+
+// The smallest serialized region is "0 0" plus a separator: 4 bytes per
+// record (the final record may omit its terminator, hence the +1).
+bool RegionCountPlausible(size_t count, std::streamoff remaining) {
+  if (remaining < 0) return true;  // Unknown size: parse will hit EOF.
+  return count <= (static_cast<uint64_t>(remaining) + 1) / 4;
+}
 
 void WriteRegions(const RegionSet& set, std::ostream& out) {
   for (const Region& r : set) {
@@ -35,8 +62,13 @@ bool GetLine(std::istream& in, std::string* line) {
 }
 
 Result<RegionSet> ReadRegions(std::istream& in, size_t count) {
+  if (!RegionCountPlausible(count, RemainingBytes(in))) {
+    return Status::InvalidArgument(
+        "declared region count " + std::to_string(count) +
+        " exceeds remaining input");
+  }
   std::vector<Region> regions;
-  regions.reserve(count);
+  regions.reserve(std::min(count, kBlindReserveCap));
   for (size_t i = 0; i < count; ++i) {
     Region r;
     if (!(in >> r.left >> r.right)) {
@@ -113,6 +145,12 @@ Result<Instance> LoadInstance(std::istream& in) {
       if (!(header >> size)) {
         return Status::InvalidArgument("malformed text header");
       }
+      if (std::streamoff remaining = RemainingBytes(in);
+          remaining >= 0 && size > static_cast<uint64_t>(remaining)) {
+        return Status::InvalidArgument(
+            "declared text size " + std::to_string(size) +
+            " exceeds remaining input");
+      }
       std::string content(size, '\0');
       in.read(content.data(), static_cast<std::streamsize>(size));
       if (in.gcount() != static_cast<std::streamsize>(size)) {
@@ -143,6 +181,12 @@ Result<Instance> LoadInstance(std::istream& in) {
       if (!(header >> key_size >> count)) {
         return Status::InvalidArgument("malformed 'patternb' header");
       }
+      if (std::streamoff remaining = RemainingBytes(in);
+          remaining >= 0 && key_size > static_cast<uint64_t>(remaining)) {
+        return Status::InvalidArgument(
+            "declared key size " + std::to_string(key_size) +
+            " exceeds remaining input");
+      }
       std::string key(key_size, '\0');
       in.read(key.data(), static_cast<std::streamsize>(key_size));
       if (in.gcount() != static_cast<std::streamsize>(key_size)) {
@@ -166,16 +210,18 @@ Result<Instance> LoadInstance(std::istream& in) {
   return instance;
 }
 
-Status SaveInstanceToFile(const Instance& instance, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::InvalidArgument("cannot open '" + path + "'");
-  return SaveInstance(instance, out);
+Status SaveInstanceToFile(const Instance& instance, const std::string& path,
+                          storage::Env* env) {
+  // The legacy REGAL1 format, but through the same atomic temp+fsync+rename
+  // protocol as REGAL2: the destination is never clobbered before the new
+  // contents are known-good and durable.
+  return storage::SaveSnapshotToFile(instance, path, env,
+                                     storage::SnapshotFormat::kRegal1);
 }
 
-Result<Instance> LoadInstanceFromFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open '" + path + "'");
-  return LoadInstance(in);
+Result<Instance> LoadInstanceFromFile(const std::string& path,
+                                      storage::Env* env) {
+  return storage::LoadSnapshotFromFile(path, env);
 }
 
 }  // namespace regal

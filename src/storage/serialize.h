@@ -5,6 +5,7 @@
 #include <string>
 
 #include "core/instance.h"
+#include "storage/env.h"
 #include "util/status.h"
 
 namespace regal {
@@ -29,17 +30,30 @@ namespace regal {
 ///   end
 ///
 /// The reader tolerates CRLF ("\r\n") line endings throughout. Corrupt or
-/// truncated records are reported as InvalidArgument.
+/// truncated records are reported as InvalidArgument, and declared counts
+/// and sizes are validated against the remaining input before any
+/// allocation (a hand-edited "name r 999999999" cannot OOM the loader).
 ///
 /// Text-backed instances rebuild their suffix-array word index on load.
 /// Region names may contain any non-whitespace characters.
+///
+/// REGAL1 has no checksums: corruption that still parses (a flipped digit)
+/// loads silently. New snapshots should use the REGAL2 binary format
+/// (storage/snapshot.h), which detects torn writes and bit rot as
+/// kDataLoss; this text format remains the compatibility read/write path.
 Status SaveInstance(const Instance& instance, std::ostream& out);
 
 Result<Instance> LoadInstance(std::istream& in);
 
-/// File-path conveniences.
-Status SaveInstanceToFile(const Instance& instance, const std::string& path);
-Result<Instance> LoadInstanceFromFile(const std::string& path);
+/// File-path conveniences, routed through the storage Env (Env::Default()
+/// when null). Saving writes REGAL1 via the atomic temp+fsync+rename
+/// protocol — a crash or failure mid-save leaves the previous file intact.
+/// Loading sniffs the format by magic, so both REGAL1 and REGAL2 files
+/// open through this entry point.
+Status SaveInstanceToFile(const Instance& instance, const std::string& path,
+                          storage::Env* env = nullptr);
+Result<Instance> LoadInstanceFromFile(const std::string& path,
+                                      storage::Env* env = nullptr);
 
 }  // namespace regal
 

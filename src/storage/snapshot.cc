@@ -1,0 +1,408 @@
+#include "storage/snapshot.h"
+
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "index/word_index.h"
+#include "obs/metrics.h"
+#include "storage/checksum.h"
+#include "storage/compress.h"
+#include "storage/serialize.h"
+
+namespace regal {
+namespace storage {
+
+namespace {
+
+// "REGAL2\0" + format version 1.
+constexpr char kMagic[8] = {'R', 'E', 'G', 'A', 'L', '2', '\0', '\x01'};
+constexpr size_t kMagicSize = sizeof(kMagic);
+
+constexpr uint8_t kTagText = 0x01;
+constexpr uint8_t kTagRegions = 0x02;
+constexpr uint8_t kTagPattern = 0x03;
+constexpr uint8_t kTagFooter = 0x7F;
+
+// tag (1) + payload_len (8); the trailing CRC adds 4 more after the payload.
+constexpr size_t kSectionHeader = 9;
+constexpr size_t kSectionCrc = 4;
+constexpr size_t kFooterPayload = 8 + 4;  // body_section_count + file crc.
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  std::memcpy(&v, p, 4);  // Little-endian host assumed (x86/arm64 linux).
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+// Frames `payload` as a section: tag, length, payload, CRC over all three.
+void AppendSection(std::string* out, uint8_t tag, std::string_view payload) {
+  const size_t start = out->size();
+  out->push_back(static_cast<char>(tag));
+  PutU64(out, payload.size());
+  out->append(payload.data(), payload.size());
+  PutU32(out, Crc32c(std::string_view(out->data() + start,
+                                      out->size() - start)));
+}
+
+void PutVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+// Zigzag maps small-magnitude signed deltas to small unsigned varints
+// (0,-1,1,-2 -> 0,1,2,3); region lists are sorted by left, so both deltas
+// below are typically tiny and a region costs ~2 bytes instead of 8.
+uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+int64_t UnZigZag(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+bool GetVarint(const char** p, const char* end, uint64_t* v) {
+  uint64_t result = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (*p == end) return false;
+    const uint8_t byte = static_cast<uint8_t>(*(*p)++);
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return true;
+    }
+  }
+  return false;  // More than 10 continuation bytes: not a valid varint.
+}
+
+void AppendRegions(std::string* out, const RegionSet& set) {
+  PutU64(out, set.size());
+  int64_t prev_left = 0;
+  for (const Region& r : set) {
+    PutVarint(out, ZigZag(r.left - prev_left));
+    PutVarint(out, ZigZag(r.right - static_cast<int64_t>(r.left)));
+    prev_left = r.left;
+  }
+}
+
+Status DataLossCounted(const char* kind, std::string message) {
+  obs::Registry::Default()
+      .GetCounter("regal_storage_checksum_failures_total", {{"kind", kind}})
+      ->Increment();
+  return Status::DataLoss(std::move(message));
+}
+
+// Parses a regions/pattern payload: u32 label_len, label, u64 count, then
+// count x (zigzag-varint left-delta, zigzag-varint width). The count is
+// validated against the payload size *before* the reserve — and the payload
+// itself already passed its section CRC — so no allocation is ever driven
+// by unverified bytes.
+Status ParseLabeledRegions(std::string_view payload, std::string* label,
+                           std::vector<Region>* regions) {
+  if (payload.size() < 4) {
+    return Status::DataLoss("corrupt snapshot: section payload too short");
+  }
+  const uint64_t label_len = GetU32(payload.data());
+  if (payload.size() < 4 + label_len + 8) {
+    return Status::DataLoss("corrupt snapshot: label overruns section");
+  }
+  label->assign(payload.data() + 4, label_len);
+  const uint64_t count = GetU64(payload.data() + 4 + label_len);
+  const char* p = payload.data() + 4 + label_len + 8;
+  const char* end = payload.data() + payload.size();
+  // Two varints of at least one byte each per region.
+  if (count > static_cast<uint64_t>(end - p) / 2) {
+    return Status::DataLoss(
+        "corrupt snapshot: region count disagrees with section size");
+  }
+  regions->reserve(count);
+  int64_t prev_left = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t left_delta = 0;
+    uint64_t width = 0;
+    if (!GetVarint(&p, end, &left_delta) || !GetVarint(&p, end, &width)) {
+      return Status::DataLoss("corrupt snapshot: truncated region varints");
+    }
+    const int64_t left = prev_left + UnZigZag(left_delta);
+    const int64_t right = left + UnZigZag(width);
+    if (left < INT32_MIN || left > INT32_MAX || right < INT32_MIN ||
+        right > INT32_MAX) {
+      return Status::DataLoss("corrupt snapshot: region offset out of range");
+    }
+    if (left > right) {
+      return Status::InvalidArgument("region with left > right");
+    }
+    regions->push_back(Region{static_cast<Offset>(left),
+                              static_cast<Offset>(right)});
+    prev_left = left;
+  }
+  if (p != end) {
+    return Status::DataLoss(
+        "corrupt snapshot: trailing bytes after region list");
+  }
+  return Status::OK();
+}
+
+struct Section {
+  uint8_t tag;
+  std::string_view payload;
+};
+
+}  // namespace
+
+bool LooksLikeRegal2(std::string_view bytes) {
+  return bytes.size() >= kMagicSize &&
+         std::memcmp(bytes.data(), kMagic, kMagicSize) == 0;
+}
+
+Result<std::string> EncodeSnapshot(const Instance& instance) {
+  std::string out;
+  out.append(kMagic, kMagicSize);
+  uint64_t body_sections = 0;
+  std::string payload;
+  if (instance.text() != nullptr) {
+    // Text dominates snapshot size, and a durable save pays disk writeback
+    // for every byte fsynced — so the text ships LZ-compressed whenever
+    // that actually shrinks it (codec byte 1; 0 = stored raw).
+    const std::string& content = instance.text()->content();
+    const std::string compressed = LzCompress(content);
+    payload.clear();
+    if (compressed.size() < content.size()) {
+      payload.push_back('\x01');
+      PutU64(&payload, content.size());
+      payload += compressed;
+    } else {
+      payload.push_back('\x00');
+      PutU64(&payload, content.size());
+      payload += content;
+    }
+    AppendSection(&out, kTagText, payload);
+    ++body_sections;
+  }
+  for (const std::string& name : instance.names()) {
+    if (name.size() > UINT32_MAX) {
+      return Status::InvalidArgument("region name too long to encode");
+    }
+    payload.clear();
+    PutU32(&payload, static_cast<uint32_t>(name.size()));
+    payload += name;
+    AppendRegions(&payload, **instance.Get(name));
+    AppendSection(&out, kTagRegions, payload);
+    ++body_sections;
+  }
+  for (const auto& [key, set] : instance.synthetic_patterns()) {
+    if (key.size() > UINT32_MAX) {
+      return Status::InvalidArgument("pattern key too long to encode");
+    }
+    payload.clear();
+    PutU32(&payload, static_cast<uint32_t>(key.size()));
+    payload += key;
+    AppendRegions(&payload, set);
+    AppendSection(&out, kTagPattern, payload);
+    ++body_sections;
+  }
+  // The footer commits the file: section count + CRC of everything above.
+  payload.clear();
+  PutU64(&payload, body_sections);
+  PutU32(&payload, Crc32c(out));
+  AppendSection(&out, kTagFooter, payload);
+  return out;
+}
+
+Result<Instance> DecodeSnapshot(std::string_view bytes) {
+  if (bytes.size() < kMagicSize) {
+    return DataLossCounted("truncated",
+                           "truncated snapshot: missing header");
+  }
+  if (!LooksLikeRegal2(bytes)) {
+    return DataLossCounted("format", "corrupt snapshot: bad REGAL2 magic");
+  }
+
+  // Pass 1 — structural validation of the framing. No instance state is
+  // built until every section CRC, the footer and the whole-file CRC have
+  // been verified, so a corrupt file can never yield a partially-loaded
+  // (silently wrong) instance.
+  std::vector<Section> sections;
+  size_t pos = kMagicSize;
+  bool saw_footer = false;
+  while (!saw_footer) {
+    if (pos == bytes.size()) {
+      return DataLossCounted("truncated",
+                             "truncated snapshot: missing footer");
+    }
+    const size_t remaining = bytes.size() - pos;
+    if (remaining < kSectionHeader + kSectionCrc) {
+      return DataLossCounted(
+          "truncated", "truncated snapshot: section header overruns file");
+    }
+    const uint8_t tag = static_cast<uint8_t>(bytes[pos]);
+    const uint64_t len = GetU64(bytes.data() + pos + 1);
+    if (len > remaining - kSectionHeader - kSectionCrc) {
+      return DataLossCounted("truncated",
+                             "truncated snapshot: section payload overruns "
+                             "file (torn tail)");
+    }
+    const std::string_view framed = bytes.substr(pos, kSectionHeader + len);
+    const uint32_t stored_crc =
+        GetU32(bytes.data() + pos + kSectionHeader + len);
+    if (Crc32c(framed) != stored_crc) {
+      return DataLossCounted(
+          "section", "checksum mismatch in section at offset " +
+                         std::to_string(pos) + " (mid-file corruption)");
+    }
+    const std::string_view payload = framed.substr(kSectionHeader);
+    if (tag == kTagFooter) {
+      if (len != kFooterPayload) {
+        return DataLossCounted("format",
+                               "corrupt snapshot: footer payload size");
+      }
+      const uint64_t declared_sections = GetU64(payload.data());
+      if (declared_sections != sections.size()) {
+        return DataLossCounted(
+            "file", "corrupt snapshot: footer section count mismatch");
+      }
+      const uint32_t declared_file_crc = GetU32(payload.data() + 8);
+      if (Crc32c(bytes.substr(0, pos)) != declared_file_crc) {
+        return DataLossCounted(
+            "file",
+            "checksum mismatch for whole file (sections spliced, "
+            "reordered or dropped)");
+      }
+      pos += kSectionHeader + len + kSectionCrc;
+      if (pos != bytes.size()) {
+        return DataLossCounted("format",
+                               "corrupt snapshot: bytes after footer");
+      }
+      saw_footer = true;
+      break;
+    }
+    if (tag != kTagText && tag != kTagRegions && tag != kTagPattern) {
+      return DataLossCounted(
+          "format", "corrupt snapshot: unknown section tag " +
+                        std::to_string(tag) + " at offset " +
+                        std::to_string(pos));
+    }
+    sections.push_back(Section{tag, payload});
+    pos += kSectionHeader + len + kSectionCrc;
+  }
+
+  // Pass 2 — build the instance from the verified sections.
+  Instance instance;
+  std::shared_ptr<Text> text;
+  for (const Section& section : sections) {
+    if (section.tag == kTagText) {
+      if (text != nullptr) {
+        return Status::DataLoss("corrupt snapshot: duplicate text section");
+      }
+      if (section.payload.size() < 9) {
+        return Status::DataLoss("corrupt snapshot: text header too short");
+      }
+      const uint8_t codec = static_cast<uint8_t>(section.payload[0]);
+      const uint64_t raw_size = GetU64(section.payload.data() + 1);
+      // Offsets are int32, so no valid catalog can carry a larger text; the
+      // cap also bounds the decompression allocation for crafted files.
+      if (raw_size > INT32_MAX) {
+        return Status::DataLoss("corrupt snapshot: text size out of range");
+      }
+      const std::string_view body = section.payload.substr(9);
+      if (codec == 0) {
+        if (body.size() != raw_size) {
+          return Status::DataLoss(
+              "corrupt snapshot: stored text size disagrees with section");
+        }
+        text = std::make_shared<Text>(std::string(body));
+      } else if (codec == 1) {
+        REGAL_ASSIGN_OR_RETURN(std::string content,
+                               LzDecompress(body, raw_size));
+        text = std::make_shared<Text>(std::move(content));
+      } else {
+        return Status::DataLoss("corrupt snapshot: unknown text codec " +
+                                std::to_string(codec));
+      }
+      continue;
+    }
+    std::string label;
+    std::vector<Region> regions;
+    REGAL_RETURN_NOT_OK(ParseLabeledRegions(section.payload, &label,
+                                            &regions));
+    if (section.tag == kTagRegions) {
+      REGAL_RETURN_NOT_OK(instance.AddRegionSet(
+          label, RegionSet::FromUnsorted(std::move(regions))));
+    } else {
+      REGAL_ASSIGN_OR_RETURN(Pattern p, Pattern::FromCacheKey(label));
+      instance.SetSyntheticPattern(p,
+                                   RegionSet::FromUnsorted(std::move(regions)));
+    }
+  }
+  if (text != nullptr) {
+    auto index = std::make_shared<SuffixArrayWordIndex>(text.get());
+    instance.BindText(text, std::move(index));
+  }
+  return instance;
+}
+
+Status SaveSnapshotToFile(const Instance& instance, const std::string& path,
+                          Env* env, SnapshotFormat format) {
+  if (env == nullptr) env = Env::Default();
+  std::string payload;
+  if (format == SnapshotFormat::kRegal2) {
+    REGAL_ASSIGN_OR_RETURN(payload, EncodeSnapshot(instance));
+  } else {
+    std::ostringstream out;
+    REGAL_RETURN_NOT_OK(SaveInstance(instance, out));
+    payload = out.str();
+  }
+  return AtomicWriteFile(env, path, payload);
+}
+
+Result<Instance> LoadSnapshotFromFile(const std::string& path, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  REGAL_ASSIGN_OR_RETURN(std::string bytes, env->ReadFileToString(path));
+  obs::Registry& registry = obs::Registry::Default();
+  if (LooksLikeRegal2(bytes)) {
+    Result<Instance> decoded = DecodeSnapshot(bytes);
+    registry
+        .GetCounter("regal_storage_loads_total",
+                    {{"format", "regal2"},
+                     {"outcome", decoded.ok() ? "ok" : "error"}})
+        ->Increment();
+    return decoded;
+  }
+  if (bytes.rfind("REGAL1", 0) == 0) {
+    std::istringstream in(bytes);
+    Result<Instance> loaded = LoadInstance(in);
+    registry
+        .GetCounter("regal_storage_loads_total",
+                    {{"format", "regal1"},
+                     {"outcome", loaded.ok() ? "ok" : "error"}})
+        ->Increment();
+    return loaded;
+  }
+  registry
+      .GetCounter("regal_storage_loads_total",
+                  {{"format", "unknown"}, {"outcome", "error"}})
+      ->Increment();
+  return Status::DataLoss("corrupt snapshot '" + path +
+                          "': unrecognized magic");
+}
+
+}  // namespace storage
+}  // namespace regal

@@ -1,0 +1,95 @@
+#ifndef REGAL_STORAGE_SNAPSHOT_H_
+#define REGAL_STORAGE_SNAPSHOT_H_
+
+#include <string>
+#include <string_view>
+
+#include "core/instance.h"
+#include "storage/env.h"
+#include "util/status.h"
+
+namespace regal {
+namespace storage {
+
+/// REGAL2: the durable binary snapshot format. Every byte up to and
+/// including the footer is covered by a checksum, so a torn write, flipped
+/// bit, dropped/duplicated/reordered section or truncated tail is *detected*
+/// (reported as kDataLoss) rather than silently loaded. Layout (all
+/// integers little-endian):
+///
+///   [0, 8)   magic "REGAL2\0" + format version 0x01
+///   sections, each framed as
+///     u8   tag          0x01 text | 0x02 regions | 0x03 pattern | 0x7F footer
+///     u64  payload_len
+///     payload
+///     u32  crc32c(tag || payload_len || payload)
+///   payloads:
+///     text:    u8 codec (0 = stored, 1 = LZ — storage/compress.h),
+///              u64 raw_size, the stored or compressed text bytes
+///     regions: u32 name_len, name, u64 count, count x region
+///     pattern: u32 key_len, key, u64 count, count x region
+///     footer:  u64 body_section_count,
+///              u32 crc32c of every byte before the footer's tag
+///   region:    zigzag-varint(left - previous left), zigzag-varint(right -
+///              left) — region lists are sorted by left, so both deltas are
+///              small and a region typically costs 2 bytes instead of 8
+///              (smaller snapshots fsync faster)
+///   nothing may follow the footer's trailing CRC.
+///
+/// The footer is the commit marker: a file without a valid footer is a
+/// truncated write, never a shorter-but-plausible snapshot. The whole-file
+/// CRC in the footer catches splices of individually-valid sections
+/// (duplication, reordering, cross-file grafts) that per-section CRCs alone
+/// would admit. Sections appear in a canonical order (text, regions in
+/// definition order, patterns in key order, footer), so encoding is
+/// deterministic and save -> load -> save is bit-identical.
+///
+/// Failure taxonomy of the reader — all kDataLoss, distinguished in the
+/// message (and the regal_storage_checksum_failures_total{kind} metric):
+///   * "truncated snapshot ..."       the tail is missing (header cut
+///                                    short, a section overruns EOF, or no
+///                                    footer) — the signature of a torn
+///                                    write or lost unsynced tail;
+///   * "checksum mismatch ..."        a section or the file CRC failed —
+///                                    mid-file corruption;
+///   * "corrupt snapshot ..."         framing is structurally wrong (bad
+///                                    magic, unknown tag, payload/count
+///                                    disagreement, bytes after footer).
+/// Declared lengths are validated against the actual buffer before any
+/// allocation, so corrupt counts cannot OOM the loader.
+
+/// Encodes `instance` as REGAL2 bytes. Fails (InvalidArgument) only for
+/// un-encodable inputs (name/text larger than 4 GiB guards).
+Result<std::string> EncodeSnapshot(const Instance& instance);
+
+/// Decodes REGAL2 bytes; text-backed instances rebuild their word index.
+Result<Instance> DecodeSnapshot(std::string_view bytes);
+
+/// True when `bytes` begin with the REGAL2 magic (format sniffing).
+bool LooksLikeRegal2(std::string_view bytes);
+
+/// On-disk snapshot format selector for the file-level helpers.
+enum class SnapshotFormat {
+  kRegal1,  ///< Legacy line-oriented text format (storage/serialize.h).
+  kRegal2,  ///< Checksummed binary format (this header). The default.
+};
+
+/// Serializes and atomically writes `instance` to `path` via `env`
+/// (Env::Default() when null) using the temp+fsync+rename protocol of
+/// AtomicWriteFile: a crash at any point leaves the previous committed
+/// snapshot (or no file) — never a partial one.
+Status SaveSnapshotToFile(const Instance& instance, const std::string& path,
+                          Env* env = nullptr,
+                          SnapshotFormat format = SnapshotFormat::kRegal2);
+
+/// Reads `path` via `env` and decodes it, sniffing REGAL2 vs legacy REGAL1
+/// by magic. Corruption in a REGAL2 file reports kDataLoss; a REGAL1 file
+/// keeps its legacy InvalidArgument reporting (it has no checksums to
+/// distinguish corruption from malformed input).
+Result<Instance> LoadSnapshotFromFile(const std::string& path,
+                                      Env* env = nullptr);
+
+}  // namespace storage
+}  // namespace regal
+
+#endif  // REGAL_STORAGE_SNAPSHOT_H_

@@ -23,6 +23,10 @@ enum class StatusCode {
   kInternal,          ///< Invariant violation inside the library (a bug).
   kDeadlineExceeded,  ///< A wall-clock deadline passed before completion.
   kCancelled,         ///< Caller-requested cooperative cancellation.
+  kDataLoss,          ///< Persistent data is unrecoverably corrupt or torn
+                      ///< (checksum mismatch, truncated snapshot, bad
+                      ///< framing). Distinct from kInvalidArgument: the
+                      ///< *caller* did nothing wrong — the bytes rotted.
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -67,6 +71,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

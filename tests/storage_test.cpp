@@ -11,6 +11,7 @@
 #include "index/word_index.h"
 #include "query/parser.h"
 #include "storage/serialize.h"
+#include "storage/snapshot.h"
 #include "text/text.h"
 #include "util/random.h"
 
@@ -80,6 +81,28 @@ TEST(StorageTest, MalformedInputs) {
   expect_bad("REGAL1\nname A 0\nname A 0\nend\n"); // Duplicate name.
   expect_bad("REGAL1\ntext 100\nshort\nend\n");    // Truncated text.
   expect_bad("REGAL1\npattern nokey 0\nend\n");    // Bad pattern key.
+}
+
+// Regression for the loader memory bomb: a hand-edited header declaring a
+// huge count/size must fail fast with InvalidArgument *before* any
+// allocation sized by the declared value. (Before the fix, "name r
+// 999999999" reserved ~8 GB and the text/patternb paths allocated the full
+// declared size up front.)
+TEST(StorageTest, HugeDeclaredCountsRejectedWithoutAllocating) {
+  auto expect_invalid = [](const std::string& payload) {
+    std::stringstream in(payload);
+    auto loaded = LoadInstance(in);
+    ASSERT_FALSE(loaded.ok()) << payload;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument) << payload;
+    EXPECT_NE(loaded.status().message().find("exceeds remaining input"),
+              std::string::npos)
+        << loaded.status();
+  };
+  expect_invalid("REGAL1\nname r 999999999\nend\n");
+  expect_invalid("REGAL1\nname r 18446744073709551615\nend\n");
+  expect_invalid("REGAL1\ntext 999999999999\nshort\nend\n");
+  expect_invalid("REGAL1\npatternb 999999999999 0\nx\nend\n");
+  expect_invalid("REGAL1\npattern p:x 999999999\nend\n");
 }
 
 TEST(StorageTest, WhitespaceNameRejectedOnSave) {
@@ -217,6 +240,28 @@ TEST(StorageTest, RandomInstancesRoundTripBitIdentically) {
     std::stringstream again;
     ASSERT_TRUE(SaveInstance(*loaded, again).ok()) << "seed " << seed;
     EXPECT_EQ(again.str(), buffer.str()) << "seed " << seed;
+
+    // Differential parity with the REGAL2 binary format: the same instance
+    // through encode -> decode must agree table-for-table with the REGAL1
+    // round trip, and the binary round trip is bit-identical too.
+    auto encoded = storage::EncodeSnapshot(instance);
+    ASSERT_TRUE(encoded.ok()) << "seed " << seed << ": " << encoded.status();
+    auto decoded = storage::DecodeSnapshot(*encoded);
+    ASSERT_TRUE(decoded.ok()) << "seed " << seed << ": " << decoded.status();
+    EXPECT_EQ(decoded->names(), loaded->names()) << "seed " << seed;
+    for (const std::string& name : loaded->names()) {
+      EXPECT_EQ(**decoded->Get(name), **loaded->Get(name))
+          << "seed " << seed << " name " << name;
+    }
+    EXPECT_EQ(decoded->synthetic_patterns(), loaded->synthetic_patterns())
+        << "seed " << seed;
+    EXPECT_EQ(decoded->text() != nullptr, loaded->text() != nullptr);
+    if (loaded->text() != nullptr) {
+      EXPECT_EQ(decoded->text()->content(), loaded->text()->content());
+    }
+    auto re_encoded = storage::EncodeSnapshot(*decoded);
+    ASSERT_TRUE(re_encoded.ok()) << "seed " << seed;
+    EXPECT_EQ(*re_encoded, *encoded) << "seed " << seed;
   }
 }
 
