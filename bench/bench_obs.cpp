@@ -1,0 +1,167 @@
+// Experiment: the <2% always-on budget of the telemetry layer. Telemetry is
+// not a feature flag — the recorder, the latency histogram and the in-flight
+// gauge run on every query — so the layer is only shippable if an engine with
+// telemetry at default sampling is indistinguishable from one with it off.
+// The three engine benches measure the same query stream with (a) telemetry
+// disabled, (b) telemetry on at the default 1-in-16 sampling, and (c) every
+// query sampled and traced — (a) vs (b) must stay within ~2%; (c) bounds the
+// "record everything" debug mode. The result cache is disabled so every run
+// pays full evaluation and the timing is stable.
+//
+// The micro benches isolate the three per-event primitives the budget is
+// built from: one Histogram::Observe (lock-free CAS loop), the recorder's
+// not-kept path (id draw + sampling modulo + threshold compare), and one
+// EventLog::Log emission.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "bench_report.h"
+#include "doc/dictionary.h"
+#include "obs/flight_recorder.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "query/engine.h"
+
+namespace regal {
+namespace {
+
+// Discards every line: the engine benches must measure telemetry, not
+// stderr throughput, and the log bench must measure encoding, not I/O.
+class NullSink : public obs::LogSink {
+ public:
+  void Write(std::string_view line) override {
+    benchmark::DoNotOptimize(line.data());
+  }
+};
+
+obs::EventLog& QuietLog() {
+  static obs::EventLog* log = [] {
+    obs::EventLogOptions options;
+    options.max_records_per_second = 0;  // Unlimited; drops are not the
+                                         // quantity under test here.
+    return new obs::EventLog(std::make_shared<NullSink>(), options);
+  }();
+  return *log;
+}
+
+// One mid-sized text-backed catalog shared by every benchmark; construction
+// is not the quantity under test. The result cache is off so repeated runs
+// of the same query keep exercising the full evaluation pipeline.
+QueryEngine& Engine() {
+  static QueryEngine* engine = [] {
+    DictionaryGeneratorOptions options;
+    options.entries = 400;
+    auto built = QueryEngine::FromSgmlSource(GenerateDictionarySource(options));
+    if (!built.ok()) std::abort();
+    auto* e = new QueryEngine(std::move(*built));
+    e->set_result_cache_enabled(false);
+    return e;
+  }();
+  return *engine;
+}
+
+const char* kQuery =
+    "(quote within sense) | (def within sense) | "
+    "entry including (headword matching \"term*\")";
+
+void RunQueries(benchmark::State& state) {
+  for (auto _ : state) {
+    auto answer = Engine().Run(kQuery);
+    if (!answer.ok()) std::abort();
+    benchmark::DoNotOptimize(answer->regions.size());
+  }
+}
+
+void BM_EngineTelemetryOff(benchmark::State& state) {
+  Engine().set_telemetry_enabled(false);
+  RunQueries(state);
+  Engine().set_telemetry_enabled(true);
+}
+
+// A private recorder per configuration: Default()'s ring would otherwise
+// accumulate bench traffic, and the quiet log keeps any slow-query echo off
+// stderr. Default options: 1-in-16 sampling, 100 ms slow threshold.
+void BM_EngineTelemetryDefault(benchmark::State& state) {
+  obs::FlightRecorderOptions options;
+  options.log = &QuietLog();
+  obs::FlightRecorder recorder(options);
+  Engine().set_flight_recorder(&recorder);
+  RunQueries(state);
+  Engine().set_flight_recorder(nullptr);
+}
+
+// Cost ceiling: every query is sampled, so every query runs with a live
+// Tracer and lands in the ring — the "record everything" debug mode.
+void BM_EngineSampleEvery(benchmark::State& state) {
+  obs::FlightRecorderOptions options;
+  options.sample_period = 1;
+  options.log = &QuietLog();
+  obs::FlightRecorder recorder(options);
+  Engine().set_flight_recorder(&recorder);
+  RunQueries(state);
+  Engine().set_flight_recorder(nullptr);
+}
+
+void BM_HistogramObserve(benchmark::State& state) {
+  obs::Histogram* histogram =
+      obs::Registry::Default().GetHistogram("regal_bench_observe_latency_ms");
+  double value = 0;
+  for (auto _ : state) {
+    histogram->Observe(value);
+    value = value < 512 ? value + 1 : 0;  // Walk the buckets.
+  }
+}
+
+// The per-query cost when nothing is kept: one atomic id draw, the sampling
+// modulo, and the threshold compare. This is what every un-kept query pays.
+void BM_RecorderSkipPath(benchmark::State& state) {
+  obs::FlightRecorderOptions options;
+  options.sample_period = 0;  // Never sample: stay on the skip path.
+  options.log = &QuietLog();
+  obs::FlightRecorder recorder(options);
+  for (auto _ : state) {
+    uint64_t id = recorder.NextQueryId();
+    bool sampled = recorder.ShouldSample(id);
+    benchmark::DoNotOptimize(recorder.WouldKeep(/*ok=*/true,
+                                                /*elapsed_ms=*/0.05, sampled));
+  }
+}
+
+void BM_EventLogLog(benchmark::State& state) {
+  uint64_t id = 0;
+  for (auto _ : state) {
+    QuietLog().Log(obs::Severity::kInfo, "bench", "event", ++id,
+                   {{"elapsed_ms", "0.05"}, {"rows_out", "12"}});
+  }
+}
+
+// The drop path: a saturated token bucket turns Log() into a counter bump —
+// the cost a misbehaving caller pays once the limiter engages.
+void BM_EventLogRateLimitedDrop(benchmark::State& state) {
+  obs::EventLogOptions options;
+  options.max_records_per_second = 1;
+  obs::EventLog log(std::make_shared<NullSink>(), options);
+  log.Log(obs::Severity::kInfo, "bench", "drain the bucket");
+  for (auto _ : state) {
+    log.Log(obs::Severity::kInfo, "bench", "dropped");
+  }
+}
+
+BENCHMARK(BM_EngineTelemetryOff);
+BENCHMARK(BM_EngineTelemetryDefault);
+BENCHMARK(BM_EngineSampleEvery);
+BENCHMARK(BM_HistogramObserve);
+BENCHMARK(BM_RecorderSkipPath);
+BENCHMARK(BM_EventLogLog);
+BENCHMARK(BM_EventLogRateLimitedDrop);
+
+}  // namespace
+}  // namespace regal
+
+int main(int argc, char** argv) {
+  return regal::RunBenchmarksWithJson(argc, argv, "BENCH_obs.json");
+}

@@ -1,0 +1,116 @@
+#ifndef REGAL_ADMIN_ADMIN_SERVER_H_
+#define REGAL_ADMIN_ADMIN_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace regal {
+namespace admin {
+
+/// Configuration for the embedded admin endpoint. The defaults are the safe
+/// ones: loopback only, ephemeral port, process-wide registry and recorder.
+struct AdminOptions {
+  /// Address to bind. Loopback by default — this surface exposes query
+  /// text and corpus structure, so binding wider is an explicit decision.
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  int port = 0;
+  /// Metrics source for /metrics; null means obs::Registry::Default().
+  obs::Registry* registry = nullptr;
+  /// Trace source for /tracez; null means obs::FlightRecorder::Default().
+  obs::FlightRecorder* recorder = nullptr;
+};
+
+/// A /statusz section: a titled list of key/value rows, produced on demand.
+/// Callbacks run on the server thread and must be thread-safe against the
+/// process they describe.
+using StatusRows = std::vector<std::pair<std::string, std::string>>;
+using StatusSource = std::function<StatusRows()>;
+
+/// The embedded admin endpoint: a deliberately minimal single-threaded
+/// HTTP/1.0 server on one background thread, serving
+///
+///   /healthz   liveness probe ("ok")
+///   /metrics   Prometheus text exposition of the registry
+///              (?format=json for the JSON exporter)
+///   /statusz   build info, uptime, and every registered status section
+///              (?format=json)
+///   /tracez    recent flight-recorder entries, plans rendered with
+///              FormatSpanTree (?format=json emits QueryRecord::Json)
+///
+/// One connection is served at a time — scrapes and operators, not user
+/// traffic; the multi-tenant query service (ROADMAP item 1) gets its own
+/// front-end. Requests are capped at 8 KiB, only GET is answered, and the
+/// response always closes the connection, so the server cannot be wedged by
+/// a misbehaving client for longer than one socket timeout.
+class AdminServer {
+ public:
+  /// Binds, listens and starts the serving thread. Fails with kInternal
+  /// when the address/port cannot be bound (kInvalidArgument for a
+  /// malformed address).
+  static Result<std::unique_ptr<AdminServer>> Start(AdminOptions options = {});
+
+  ~AdminServer();
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Stops accepting and joins the serving thread. Idempotent.
+  void Stop();
+
+  /// The bound port (resolves port 0 requests).
+  int port() const { return port_; }
+
+  /// Registers a /statusz section. Sections render in registration order
+  /// under their name. Thread-safe.
+  void AddStatusSection(std::string name, StatusSource source);
+
+ private:
+  explicit AdminServer(AdminOptions options);
+
+  void Serve();
+  void HandleConnection(int fd);
+  /// Routes one request; fills body/content type, returns the HTTP status.
+  int Route(const std::string& path, std::string* body,
+            std::string* content_type);
+
+  std::string MetricsBody(bool json) const;
+  std::string StatuszBody(bool json) const;
+  std::string TracezBody(bool json) const;
+
+  AdminOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+  Timer uptime_;
+
+  mutable std::mutex sections_mu_;
+  std::vector<std::pair<std::string, StatusSource>> sections_;
+};
+
+/// Minimal blocking HTTP/1.0 GET client for tests, examples and CLI use —
+/// the in-repo `curl`. Returns the response *body*; the status code and
+/// content type come back through the out-params when non-null. Fails with
+/// kInternal on connect/IO errors and kInvalidArgument on malformed
+/// responses.
+Result<std::string> HttpGet(const std::string& host, int port,
+                            const std::string& path,
+                            int* status_code = nullptr,
+                            std::string* content_type = nullptr);
+
+}  // namespace admin
+}  // namespace regal
+
+#endif  // REGAL_ADMIN_ADMIN_SERVER_H_

@@ -36,6 +36,15 @@ ResultCache::ResultCache(ResultCacheOptions options)
   evictions_ = registry.GetCounter("regal_cache_evictions_total");
   insert_failures_ = registry.GetCounter("regal_cache_insert_failures_total");
   bytes_gauge_ = registry.GetGauge("regal_cache_bytes");
+  hit_ratio_gauge_ = registry.GetGauge("regal_cache_hit_ratio");
+}
+
+void ResultCache::PublishHitRatio() const {
+  // Lifetime ratio from the lock-free counters: cheap enough to refresh on
+  // every lookup, and scrape-time consistent enough for an efficiency gauge.
+  const double hits = static_cast<double>(hits_->value());
+  const double misses = static_cast<double>(misses_->value());
+  if (hits + misses > 0) hit_ratio_gauge_->Set(hits / (hits + misses));
 }
 
 int64_t ResultCache::EntryBytes(const RegionSet& value) {
@@ -61,11 +70,13 @@ std::shared_ptr<const RegionSet> ResultCache::Lookup(const Key& key,
     if (MatchesLocked(*it->second, key, canonical)) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       hits_->Increment();
+      PublishHitRatio();
       if (stats != nullptr) ++stats->hits;
       return it->second->value;
     }
   }
   misses_->Increment();
+  PublishHitRatio();
   if (stats != nullptr) ++stats->misses;
   return nullptr;
 }

@@ -55,7 +55,9 @@ struct CacheQueryStats {
 /// Activity is exported through obs as regal_cache_hits_total,
 /// regal_cache_misses_total, regal_cache_inserts_total,
 /// regal_cache_evictions_total, regal_cache_insert_failures_total and the
-/// regal_cache_bytes gauge. The eviction loop carries the
+/// regal_cache_bytes / regal_cache_hit_ratio gauges (the latter refreshed on
+/// every lookup, so a /metrics scrape always sees the current lifetime
+/// ratio). The eviction loop carries the
 /// `cache.evict.pressure` failpoint: when armed and firing, the insert is
 /// abandoned instead of evicting — the degradation a deployment must
 /// survive when eviction cannot keep up.
@@ -118,6 +120,7 @@ class ResultCache {
                      const ExprPtr& canonical) const;
   void EraseLocked(Shard& shard, std::list<Entry>::iterator it);
   void PublishBytes() const;
+  void PublishHitRatio() const;
 
   ResultCacheOptions options_;
   int64_t shard_max_bytes_ = 0;
@@ -130,6 +133,7 @@ class ResultCache {
   obs::Counter* evictions_;
   obs::Counter* insert_failures_;
   obs::Gauge* bytes_gauge_;
+  obs::Gauge* hit_ratio_gauge_;
 };
 
 }  // namespace cache

@@ -11,9 +11,11 @@ namespace exec {
 
 namespace {
 
-// All registry updates happen on the submitting thread, fetching the metric
-// fresh each time: pointers cached across obs::Registry::Clear() (used for
-// test/bench isolation) would dangle.
+// Registry updates fetch the metric fresh each time: pointers cached across
+// obs::Registry::Clear() (used for test/bench isolation) would dangle.
+// Dispatch bookkeeping still happens on the submitting thread only;
+// ActiveLaneScope additionally updates the utilization gauge from whichever
+// lane runs the work, which is safe for the same fetch-fresh reason.
 void RecordDispatch(size_t queue_depth, int64_t tasks, int64_t steals) {
   obs::Registry& registry = obs::Registry::Default();
   registry.GetGauge("regal_exec_queue_depth")
@@ -23,6 +25,25 @@ void RecordDispatch(size_t queue_depth, int64_t tasks, int64_t steals) {
     registry.GetCounter("regal_exec_steals_total")->Increment(steals);
   }
 }
+
+// Up-down gauge of lanes currently executing pool work — the utilization
+// numerator against the regal_exec_threads denominator. One registry fetch
+// + two atomic adds per lane *participation* (a Submit task or one lane's
+// share of a ParallelFor), not per claimed index, so the always-on cost is
+// amortized over the chunk work the lane does.
+class ActiveLaneScope {
+ public:
+  ActiveLaneScope()
+      : gauge_(obs::Registry::Default().GetGauge("regal_exec_active_lanes")) {
+    gauge_->Add(1);
+  }
+  ~ActiveLaneScope() { gauge_->Add(-1); }
+  ActiveLaneScope(const ActiveLaneScope&) = delete;
+  ActiveLaneScope& operator=(const ActiveLaneScope&) = delete;
+
+ private:
+  obs::Gauge* gauge_;
+};
 
 }  // namespace
 
@@ -41,7 +62,10 @@ struct ThreadPool::TaskHandle::State {
     bool expected = false;
     if (!claimed.compare_exchange_strong(expected, true)) return false;
     if (on_worker) ran_on_worker.store(true, std::memory_order_relaxed);
-    fn();
+    {
+      ActiveLaneScope active;
+      fn();
+    }
     {
       std::lock_guard<std::mutex> lock(mu);
       done = true;
@@ -200,7 +224,12 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     task->fn = [state] { state->Drive(/*on_worker=*/true); };
     Enqueue(task);
   }
-  state->Drive(/*on_worker=*/false);
+  {
+    // Worker-side drives are counted by TryRun; the caller's lane counts
+    // itself here.
+    ActiveLaneScope active;
+    state->Drive(/*on_worker=*/false);
+  }
   {
     std::unique_lock<std::mutex> lock(state->mu);
     state->cv.wait(lock, [&] {

@@ -1,0 +1,128 @@
+#include "obs/flight_recorder.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "obs/export.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace regal {
+namespace obs {
+
+namespace {
+
+std::string FormatMs(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", ms);
+  return buf;
+}
+
+}  // namespace
+
+std::string QueryRecord::Json() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("query_id").Int(static_cast<int64_t>(query_id));
+  w.Key("ts_ms").Int(ts_ms);
+  w.Key("query").String(query);
+  w.Key("ok").Bool(ok);
+  w.Key("status_code").String(status_code);
+  if (!status.empty()) w.Key("status").String(status);
+  w.Key("elapsed_ms").Double(elapsed_ms);
+  w.Key("rows_out").Int(rows_out);
+  w.Key("slow").Bool(slow);
+  w.Key("sampled").Bool(sampled);
+  w.Key("traced").Bool(traced);
+  w.Key("plan");
+  WriteSpanJson(plan, &w);
+  w.EndObject();
+  return w.Take();
+}
+
+FlightRecorder::FlightRecorder(FlightRecorderOptions options)
+    : options_(std::move(options)),
+      slow_threshold_ms_(options_.slow_threshold_ms),
+      sample_period_(options_.sample_period) {
+  if (options_.capacity == 0) options_.capacity = 1;
+}
+
+FlightRecorder& FlightRecorder::Default() {
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+uint64_t FlightRecorder::NextQueryId() {
+  return next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+bool FlightRecorder::ShouldSample(uint64_t query_id) const {
+  uint32_t period = sample_period();
+  return period > 0 && query_id % period == 0;
+}
+
+bool FlightRecorder::WouldKeep(bool record_ok, double elapsed_ms,
+                               bool sampled) const {
+  return !record_ok || elapsed_ms >= slow_threshold_ms() || sampled;
+}
+
+bool FlightRecorder::Record(QueryRecord record) {
+  Registry& registry = Registry::Default();
+  record.slow = record.elapsed_ms >= slow_threshold_ms();
+  if (record.ts_ms == 0) {
+    record.ts_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::system_clock::now().time_since_epoch())
+                       .count();
+  }
+  if (!record.ok || record.slow || record.sampled) {
+    // Precedence for the metric reason mirrors the keep rule: errors beat
+    // slowness beats sampling.
+    const char* reason =
+        !record.ok ? "error" : (record.slow ? "slow" : "sampled");
+    registry.GetCounter("regal_recorder_kept_total", {{"reason", reason}})
+        ->Increment();
+    // The slow-query log: every unconditional keep is worth a line — these
+    // are exactly the queries someone will ask about tomorrow morning.
+    if (!record.ok || record.slow) {
+      EventLog* log = options_.log != nullptr ? options_.log
+                                              : &EventLog::Default();
+      log->Log(!record.ok ? Severity::kError : Severity::kWarning, "recorder",
+               !record.ok ? "query failed" : "slow query", record.query_id,
+               {{"elapsed_ms", FormatMs(record.elapsed_ms)},
+                {"rows_out", std::to_string(record.rows_out)},
+                {"status_code", record.status_code},
+                {"query", record.query}});
+    }
+    size_t entries_now;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ring_.push_back(std::move(record));
+      while (ring_.size() > options_.capacity) ring_.pop_front();
+      entries_now = ring_.size();
+    }
+    registry.GetGauge("regal_recorder_entries")
+        ->Set(static_cast<double>(entries_now));
+    return true;
+  }
+  registry.GetCounter("regal_recorder_skipped_total")->Increment();
+  return false;
+}
+
+std::vector<QueryRecord> FlightRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<QueryRecord>(ring_.rbegin(), ring_.rend());
+}
+
+size_t FlightRecorder::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+void FlightRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  Registry::Default().GetGauge("regal_recorder_entries")->Set(0);
+}
+
+}  // namespace obs
+}  // namespace regal

@@ -1,0 +1,131 @@
+#ifndef REGAL_OBS_FLIGHT_RECORDER_H_
+#define REGAL_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/log.h"
+#include "obs/trace.h"
+
+namespace regal {
+namespace obs {
+
+/// One completed query as the flight recorder keeps it: identity, outcome,
+/// timing, and a plan tree for /tracez. `plan` is the live execution trace
+/// when one was collected (explain analyze, or a sampled query — sampling is
+/// decided before execution precisely so the trace exists); otherwise an
+/// estimate-only skeleton of the executed expression, which still renders
+/// with FormatSpanTree.
+struct QueryRecord {
+  uint64_t query_id = 0;
+  int64_t ts_ms = 0;  // Wall-clock completion time (Unix millis).
+  std::string query;  // Executed expression, query-language rendering.
+  bool ok = true;
+  std::string status;  // Status message when !ok, empty otherwise.
+  std::string status_code = "ok";  // "ok", "deadline_exceeded", ...
+  double elapsed_ms = 0;
+  int64_t rows_out = 0;
+  bool slow = false;     // elapsed_ms >= the recorder's slow threshold.
+  bool sampled = false;  // Kept by the 1-in-N sampler.
+  bool traced = false;   // `plan` is a live trace, not a skeleton.
+  Span plan;
+
+  /// The record as one JSON object (plan included) — the /tracez payload.
+  std::string Json() const;
+};
+
+struct FlightRecorderOptions {
+  /// Ring capacity: the retroactive-diagnosis window. Records beyond it
+  /// evict oldest-first.
+  size_t capacity = 256;
+  /// Queries at or above this wall time are kept unconditionally (and
+  /// logged). <= 0 keeps every query — the "record everything" debug mode.
+  double slow_threshold_ms = 100.0;
+  /// Keep every Nth completed query regardless of speed, so the recorder
+  /// always holds a background sample of healthy traffic; 0 disables
+  /// sampling. Sampling is decided from the query id before execution, so
+  /// sampled queries can carry a full trace.
+  uint32_t sample_period = 16;
+  /// Slow and errored queries are echoed here as structured records (the
+  /// slow-query log). Null falls back to EventLog::Default().
+  EventLog* log = nullptr;
+};
+
+/// The always-on flight recorder: a bounded, thread-safe ring of completed
+/// QueryRecords. Every slow or errored query is kept unconditionally; the
+/// rest are sampled 1-in-N. Query ids are assigned monotonically from here
+/// (NextQueryId), so records, log lines and metrics correlate.
+///
+/// Exported metrics: regal_recorder_kept_total{reason=slow|error|sampled},
+/// regal_recorder_skipped_total, regal_recorder_entries (gauge).
+///
+/// The cost when a query is *not* kept is one atomic increment (id), one
+/// modulo (sampling), and one mutex-free threshold compare — the recorder's
+/// contribution to the <2% always-on budget (see bench/bench_obs.cpp).
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderOptions options = {});
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// The process-wide recorder all engines share unless configured apart.
+  static FlightRecorder& Default();
+
+  /// Draws the next monotonic query id (first id is 1; 0 means "no query").
+  uint64_t NextQueryId();
+
+  /// Pre-execution sampling decision for `query_id` (deterministic 1-in-N).
+  bool ShouldSample(uint64_t query_id) const;
+
+  /// True when a record with these properties would be kept.
+  bool WouldKeep(bool ok, double elapsed_ms, bool sampled) const;
+
+  /// Applies the keep policy: stores the record (evicting oldest first) and
+  /// echoes slow/errored queries to the log, or counts it skipped. Fills
+  /// record.slow from the threshold. Returns whether it was kept.
+  bool Record(QueryRecord record);
+
+  /// Most-recent-first copy of the ring.
+  std::vector<QueryRecord> Snapshot() const;
+
+  size_t entries() const;
+  uint64_t last_query_id() const {
+    return next_id_.load(std::memory_order_relaxed);
+  }
+  size_t capacity() const { return options_.capacity; }
+
+  // The two tunables live in atomics so operators can adjust a running
+  // recorder without racing in-flight keep decisions.
+  double slow_threshold_ms() const {
+    return slow_threshold_ms_.load(std::memory_order_relaxed);
+  }
+  void set_slow_threshold_ms(double ms) {
+    slow_threshold_ms_.store(ms, std::memory_order_relaxed);
+  }
+  uint32_t sample_period() const {
+    return sample_period_.load(std::memory_order_relaxed);
+  }
+  void set_sample_period(uint32_t period) {
+    sample_period_.store(period, std::memory_order_relaxed);
+  }
+
+  /// Drops all records (tests / operator reset via the admin endpoint).
+  void Clear();
+
+ private:
+  FlightRecorderOptions options_;
+  std::atomic<double> slow_threshold_ms_;
+  std::atomic<uint32_t> sample_period_;
+  std::atomic<uint64_t> next_id_{0};
+  mutable std::mutex mu_;
+  std::deque<QueryRecord> ring_;  // Front = oldest.
+};
+
+}  // namespace obs
+}  // namespace regal
+
+#endif  // REGAL_OBS_FLIGHT_RECORDER_H_

@@ -6,36 +6,28 @@
 namespace regal {
 namespace obs {
 
-Histogram::Histogram(std::vector<double> buckets) : bounds_(std::move(buckets)) {
-  bucket_counts_.assign(bounds_.size() + 1, 0);
+Histogram::Histogram(std::vector<double> buckets)
+    : bounds_(std::move(buckets)),
+      bucket_counts_(new std::atomic<int64_t>[bounds_.size() + 1]) {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    bucket_counts_[i].store(0, std::memory_order_relaxed);
+  }
 }
 
 void Histogram::Observe(double value) {
-  std::lock_guard<std::mutex> lock(mu_);
   size_t i =
       static_cast<size_t>(std::lower_bound(bounds_.begin(), bounds_.end(), value) -
                           bounds_.begin());
-  ++bucket_counts_[i];
-  ++count_;
-  sum_ += value;
-}
-
-int64_t Histogram::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return count_;
-}
-
-double Histogram::sum() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return sum_;
+  bucket_counts_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&sum_, value);
 }
 
 std::vector<int64_t> Histogram::CumulativeBucketCounts() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::vector<int64_t> cumulative(bucket_counts_.size());
+  std::vector<int64_t> cumulative(bounds_.size() + 1);
   int64_t running = 0;
-  for (size_t i = 0; i < bucket_counts_.size(); ++i) {
-    running += bucket_counts_[i];
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    running += bucket_counts_[i].load(std::memory_order_relaxed);
     cumulative[i] = running;
   }
   return cumulative;

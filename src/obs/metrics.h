@@ -29,10 +29,24 @@ class Counter {
   std::atomic<int64_t> value_{0};
 };
 
-/// Last-written-wins gauge.
+/// Adds `delta` to an atomic double with a CAS loop (std::atomic<double>
+/// has no fetch_add before C++20's floating-point overloads are universally
+/// lock-free; the loop is portable and contention here is light).
+inline void AtomicAddDouble(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+/// Gauge with last-written-wins Set() plus an atomic Add() for up-down
+/// quantities (in-flight queries, active pool lanes, queue depths): unlike a
+/// read-modify-write through Set(), concurrent Add(+1)/Add(-1) pairs from
+/// different threads can never lose updates.
 class Gauge {
  public:
   void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) { AtomicAddDouble(&value_, delta); }
   double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
@@ -40,27 +54,35 @@ class Gauge {
 };
 
 /// Fixed-bucket histogram: `buckets` are inclusive upper bounds in ascending
-/// order, with an implicit +inf bucket at the end. Observe() is guarded by a
-/// per-histogram mutex — histograms sit on per-query paths, not per-region
-/// ones, so contention is not a concern.
+/// order, with an implicit +inf bucket at the end. Observe() is lock-free
+/// (relaxed per-bucket atomics plus an atomic count and sum) — histograms
+/// now sit on always-on per-query paths, so a mutex would serialize
+/// concurrent queries on one latency family.
+///
+/// Snapshot semantics (count(), sum(), CumulativeBucketCounts()) are
+/// *consistent enough* rather than linearizable: a reader racing writers may
+/// see a count that differs transiently from the bucket totals or the sum
+/// (each is updated by its own relaxed atomic op), but every individual
+/// value is a torn-free monotone total, and once writers quiesce all three
+/// agree exactly. Prometheus-style scrapes tolerate this by design.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> buckets);
 
   void Observe(double value);
 
-  int64_t count() const;
-  double sum() const;
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
   const std::vector<double>& bucket_bounds() const { return bounds_; }
-  /// Cumulative counts per bucket (last entry == count()).
+  /// Cumulative counts per bucket (last entry == count() once quiesced).
   std::vector<int64_t> CumulativeBucketCounts() const;
 
  private:
-  mutable std::mutex mu_;
   std::vector<double> bounds_;
-  std::vector<int64_t> bucket_counts_;  // bounds_.size() + 1 entries.
-  int64_t count_ = 0;
-  double sum_ = 0;
+  // bounds_.size() + 1 slots; a plain array because atomics aren't movable.
+  std::unique_ptr<std::atomic<int64_t>[]> bucket_counts_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0};
 };
 
 /// Point-in-time view of one metric, produced by Registry::Snapshot() for

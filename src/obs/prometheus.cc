@@ -1,0 +1,252 @@
+#include "obs/prometheus.h"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <mutex>
+
+namespace regal {
+namespace obs {
+
+namespace {
+
+// Help lines for the always-on families, so a scrape is self-describing
+// without every registration site carrying prose. SetMetricHelp extends or
+// overrides this at runtime.
+const std::map<std::string, std::string>& BuiltinHelp() {
+  static const auto* help = new std::map<std::string, std::string>{
+      {"regal_queries_total", "Queries executed, by statement verb."},
+      {"regal_query_latency_ms", "End-to-end query latency in milliseconds."},
+      {"regal_query_peak_memory_bytes",
+       "Peak bytes of materialized results per governed query."},
+      {"regal_engine_inflight_queries",
+       "Queries currently inside the engine's evaluation section."},
+      {"regal_recorder_kept_total",
+       "Flight-recorder records kept, by reason (slow/error/sampled)."},
+      {"regal_recorder_skipped_total",
+       "Completed queries the flight recorder chose not to keep."},
+      {"regal_recorder_entries",
+       "Records currently resident in the flight-recorder ring."},
+      {"regal_log_records_total", "Structured log records emitted, by severity."},
+      {"regal_log_dropped_total",
+       "Structured log records dropped by the rate limiter."},
+      {"regal_exec_threads", "Lanes (workers + caller) of the default pool."},
+      {"regal_exec_queue_depth", "Thread-pool queue length sampled at submit."},
+      {"regal_exec_active_lanes",
+       "Pool lanes currently executing work (utilization numerator)."},
+      {"regal_exec_tasks_total", "Thread-pool chunk/task executions."},
+      {"regal_exec_steals_total", "Task executions claimed by a worker."},
+      {"regal_exec_parallel_ops_total", "Operator kernels run partitioned."},
+      {"regal_cache_hits_total", "Result-cache lookups that short-circuited."},
+      {"regal_cache_misses_total", "Result-cache lookups that found nothing."},
+      {"regal_cache_inserts_total", "Results published to the result cache."},
+      {"regal_cache_evictions_total", "Result-cache entries evicted under pressure."},
+      {"regal_cache_insert_failures_total",
+       "Result-cache inserts abandoned (pressure/failpoint)."},
+      {"regal_cache_bytes", "Accounted bytes resident in the result cache."},
+      {"regal_cache_hit_ratio",
+       "Lifetime hits / (hits + misses) of the result cache."},
+      {"regal_safety_queries_admitted_total",
+       "Governed queries passing admission control."},
+      {"regal_safety_queries_rejected_total",
+       "Queries refused up front, by reason."},
+      {"regal_safety_queries_degraded_total",
+       "Queries that fell back to sequential paths, by reason."},
+      {"regal_safety_queries_stopped_total",
+       "Queries stopped mid-flight, by governance reason."},
+      {"regal_safety_kernel_fallbacks_total",
+       "Parallel kernels that fell back to sequential execution."},
+      {"regal_safety_index_build_fallbacks_total",
+       "Index builds that fell back to sequential execution."},
+      {"regal_storage_loads_total", "Snapshot loads, by format and outcome."},
+      {"regal_storage_save_latency_ms",
+       "Durable snapshot save latency in milliseconds."},
+      {"regal_storage_load_latency_ms",
+       "Snapshot load latency in milliseconds."},
+      {"regal_storage_checksum_failures_total",
+       "Snapshot reads rejected as kDataLoss, by kind."},
+      {"regal_storage_bytes_written_total", "Bytes handed to storage writes."},
+      {"regal_storage_fsyncs_total", "fsync/fdatasync calls issued."},
+      {"regal_storage_commits_total", "Atomic snapshot commits (renames)."},
+      {"regal_storage_write_failures_total", "Failed storage write protocols."},
+      {"regal_storage_snapshot_bytes", "Size of the last committed snapshot."},
+      {"regal_storage_orphan_tmp_recovered_total",
+       "Orphaned temp files removed by Recover()."},
+  };
+  return *help;
+}
+
+std::mutex& HelpMutex() {
+  static auto* mu = new std::mutex();
+  return *mu;
+}
+
+std::map<std::string, std::string>& RuntimeHelp() {
+  static auto* help = new std::map<std::string, std::string>();
+  return *help;
+}
+
+std::string HelpFor(const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(HelpMutex());
+    auto it = RuntimeHelp().find(name);
+    if (it != RuntimeHelp().end()) return it->second;
+  }
+  auto it = BuiltinHelp().find(name);
+  if (it != BuiltinHelp().end()) return it->second;
+  return "regal metric (no help registered)";
+}
+
+void AppendDouble(double value, std::string* out) {
+  if (std::isnan(value)) {
+    *out += "NaN";
+  } else if (std::isinf(value)) {
+    *out += value > 0 ? "+Inf" : "-Inf";
+  } else {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    *out += buf;
+  }
+}
+
+// {k1="v1",k2="v2"} with escaped values; empty string for no labels. `extra`
+// appends one more pair (the histogram `le` label) without copying the map.
+void AppendLabels(const Labels& labels, const std::string* extra_key,
+                  const std::string* extra_value, std::string* out) {
+  if (labels.empty() && extra_key == nullptr) return;
+  *out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) *out += ',';
+    first = false;
+    *out += k;
+    *out += "=\"";
+    *out += PrometheusEscapeLabel(v);
+    *out += '"';
+  }
+  if (extra_key != nullptr) {
+    if (!first) *out += ',';
+    *out += *extra_key;
+    *out += "=\"";
+    *out += PrometheusEscapeLabel(*extra_value);
+    *out += '"';
+  }
+  *out += '}';
+}
+
+void AppendSample(const std::string& name, const Labels& labels, double value,
+                  std::string* out) {
+  *out += name;
+  AppendLabels(labels, nullptr, nullptr, out);
+  *out += ' ';
+  AppendDouble(value, out);
+  *out += '\n';
+}
+
+const char* KindName(MetricSnapshot::Kind kind) {
+  switch (kind) {
+    case MetricSnapshot::Kind::kCounter:
+      return "counter";
+    case MetricSnapshot::Kind::kGauge:
+      return "gauge";
+    case MetricSnapshot::Kind::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+std::string PrometheusEscapeLabel(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string PrometheusEscapeHelp(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+void SetMetricHelp(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(HelpMutex());
+  RuntimeHelp()[name] = help;
+}
+
+std::string MetricsToPrometheus(const std::vector<MetricSnapshot>& snapshot) {
+  std::string out;
+  const std::string* previous_family = nullptr;
+  static const std::string kLe = "le";
+  for (const MetricSnapshot& m : snapshot) {
+    if (previous_family == nullptr || *previous_family != m.name) {
+      out += "# HELP " + m.name + ' ' + PrometheusEscapeHelp(HelpFor(m.name)) +
+             '\n';
+      out += "# TYPE " + m.name + ' ' + KindName(m.kind) + '\n';
+      previous_family = &m.name;
+    }
+    switch (m.kind) {
+      case MetricSnapshot::Kind::kCounter:
+      case MetricSnapshot::Kind::kGauge:
+        AppendSample(m.name, m.labels, m.value, &out);
+        break;
+      case MetricSnapshot::Kind::kHistogram: {
+        for (size_t i = 0; i < m.bucket_counts.size(); ++i) {
+          std::string le;
+          if (i < m.bucket_bounds.size()) {
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "%.17g", m.bucket_bounds[i]);
+            le = buf;
+          } else {
+            le = "+Inf";
+          }
+          out += m.name;
+          out += "_bucket";
+          AppendLabels(m.labels, &kLe, &le, &out);
+          out += ' ';
+          out += std::to_string(m.bucket_counts[i]);
+          out += '\n';
+        }
+        AppendSample(m.name + "_sum", m.labels, m.sum, &out);
+        out += m.name;
+        out += "_count";
+        AppendLabels(m.labels, nullptr, nullptr, &out);
+        out += ' ';
+        out += std::to_string(m.count);
+        out += '\n';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace regal

@@ -1,6 +1,7 @@
 #include "query/engine.h"
 
 #include <atomic>
+#include <cctype>
 
 #include "core/construct.h"
 #include "doc/sgml.h"
@@ -52,6 +53,16 @@ Status CheckNames(const Instance& instance,
     }
   }
   return Status::OK();
+}
+
+// StatusCodeToString lowered to the label form used by flight-recorder
+// records and log fields ("DEADLINE_EXCEEDED" -> "deadline_exceeded").
+std::string StatusCodeLabel(StatusCode code) {
+  std::string label = StatusCodeToString(code);
+  for (char& c : label) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return label;
 }
 
 std::vector<std::string> SplitLines(const std::string& text) {
@@ -221,8 +232,35 @@ Result<QueryAnswer> QueryEngine::RunExprWithLimits(
     const ExprPtr& expr, const safety::QueryLimits& limits, bool optimize,
     bool profile) {
   ExprPtr resolved = ResolveViews(expr);
-  REGAL_RETURN_NOT_OK(CheckNames(instance_, materialized_views_, resolved));
   obs::Registry& registry = obs::Registry::Default();
+  obs::FlightRecorder* recorder =
+      telemetry_enabled_ ? flight_recorder() : nullptr;
+  const uint64_t query_id =
+      recorder != nullptr ? recorder->NextQueryId() : 0;
+  // Sampling is decided before execution so a sampled query can collect a
+  // live trace for /tracez (a post-hoc decision could only rebuild an
+  // estimate skeleton).
+  const bool sampled = recorder != nullptr && recorder->ShouldSample(query_id);
+  // Pre-execution rejections (unknown names, admission control) also reach
+  // the flight recorder — they are exactly the queries operators get asked
+  // about. Nothing ran, so the plan is an estimate-only skeleton.
+  auto record_rejection = [&](const Status& status) {
+    if (recorder == nullptr) return;
+    obs::QueryRecord record;
+    record.query_id = query_id;
+    record.ok = false;
+    record.status = status.ToString();
+    record.status_code = StatusCodeLabel(status.code());
+    record.sampled = sampled;
+    record.query = resolved->ToString();
+    record.plan = PlanFromExpr(resolved, stats_);
+    recorder->Record(std::move(record));
+  };
+  Status names_ok = CheckNames(instance_, materialized_views_, resolved);
+  if (!names_ok.ok()) {
+    record_rejection(names_ok);
+    return names_ok;
+  }
   const bool governed = limits.Any();
   if (governed) {
     Status admitted = safety::AdmitExpr(resolved, limits);
@@ -231,6 +269,7 @@ Result<QueryAnswer> QueryEngine::RunExprWithLimits(
           .GetCounter("regal_safety_queries_rejected_total",
                       {{"reason", "complexity"}})
           ->Increment();
+      record_rejection(admitted);
       return admitted;
     }
     registry.GetCounter("regal_safety_queries_admitted_total")->Increment();
@@ -248,7 +287,7 @@ Result<QueryAnswer> QueryEngine::RunExprWithLimits(
     answer.rewrites = std::move(outcome.rewrites);
   }
   std::optional<obs::Tracer> tracer;
-  if (profile) tracer.emplace();
+  if (profile || sampled) tracer.emplace();
   std::optional<safety::QueryContext> context;
   if (governed) context.emplace(limits);
   bool degraded = false;
@@ -258,6 +297,8 @@ Result<QueryAnswer> QueryEngine::RunExprWithLimits(
   std::atomic<int64_t> kernel_fallbacks{0};
   cache::CacheQueryStats cache_stats;
   Status eval_status = Status::OK();
+  obs::Gauge* inflight = registry.GetGauge("regal_engine_inflight_queries");
+  inflight->Add(1);
   {
     ScopedTimer timed(&answer.elapsed_ms);
     EvalOptions eval_options;
@@ -267,7 +308,7 @@ Result<QueryAnswer> QueryEngine::RunExprWithLimits(
       eval_options.result_cache = result_cache_.get();
       eval_options.cache_stats = &cache_stats;
     }
-    if (profile) eval_options.tracer = &*tracer;
+    if (tracer.has_value()) eval_options.tracer = &*tracer;
     if (context.has_value()) eval_options.context = &*context;
     if (parallel_enabled_ &&
         EstimateCost(answer.executed, stats_).cost >=
@@ -298,6 +339,7 @@ Result<QueryAnswer> QueryEngine::RunExprWithLimits(
       eval_status = result.status();
     }
   }
+  inflight->Add(-1);
   const int64_t degraded_kernels =
       kernel_fallbacks.load(std::memory_order_relaxed);
   if (degraded_kernels > 0) {
@@ -305,6 +347,36 @@ Result<QueryAnswer> QueryEngine::RunExprWithLimits(
     fallbacks.push_back("kernel fallback x" +
                         std::to_string(degraded_kernels) +
                         ": sequential operators");
+  }
+  if (recorder != nullptr) {
+    obs::QueryRecord record;
+    record.query_id = query_id;
+    record.ok = eval_status.ok();
+    record.elapsed_ms = answer.elapsed_ms;
+    record.rows_out = static_cast<int64_t>(answer.regions.size());
+    record.sampled = sampled;
+    if (!eval_status.ok()) {
+      record.status = eval_status.ToString();
+      record.status_code = StatusCodeLabel(eval_status.code());
+    }
+    // Strings and plan trees are built only for records the keep policy
+    // will accept, so the common skip path stays allocation-free.
+    if (recorder->WouldKeep(record.ok, record.elapsed_ms, record.sampled)) {
+      record.query = answer.executed->ToString();
+      if (tracer.has_value()) {
+        record.plan = tracer->Build();
+        AttachEstimates(&record.plan, answer.executed, stats_);
+        record.traced = true;
+      } else {
+        // A slow/errored query that was neither profiled nor sampled has no
+        // trace; /tracez still gets the plan shape with estimates, stamped
+        // with the whole-query outcome at the root.
+        record.plan = PlanFromExpr(answer.executed, stats_);
+        record.plan.rows_out = static_cast<int64_t>(answer.regions.size());
+        record.plan.dur_us = answer.elapsed_ms * 1000.0;
+      }
+    }
+    recorder->Record(std::move(record));
   }
   if (!eval_status.ok()) {
     const char* reason = nullptr;
@@ -387,6 +459,75 @@ Result<QueryAnswer> QueryEngine::ExplainExpr(const ExprPtr& expr,
       ->Increment();
   return answer;
 }
+
+Status QueryEngine::EnableAdminServer(admin::AdminOptions options) {
+  if (admin_server_ != nullptr) {
+    return Status::AlreadyExists("admin server already running on port " +
+                                 std::to_string(admin_server_->port()));
+  }
+  if (options.recorder == nullptr) options.recorder = flight_recorder();
+  REGAL_ASSIGN_OR_RETURN(std::unique_ptr<admin::AdminServer> server,
+                         admin::AdminServer::Start(std::move(options)));
+  // Sections run on the server thread. They read counters and sizes that
+  // are either internally synchronized (cache, pool, recorder) or stable
+  // outside of catalog mutations; a scrape racing a ReloadSnapshot may see
+  // a torn row, which is acceptable for a diagnostics page.
+  server->AddStatusSection("catalog", [this] {
+    admin::StatusRows rows;
+    rows.emplace_back("instance_id", std::to_string(instance_.id()));
+    rows.emplace_back("epoch", std::to_string(instance_.epoch()));
+    rows.emplace_back("region_names", std::to_string(instance_.names().size()));
+    rows.emplace_back("regions", std::to_string(instance_.NumRegions()));
+    rows.emplace_back("text_bytes",
+                      std::to_string(instance_.text() != nullptr
+                                         ? instance_.text()->size()
+                                         : 0));
+    rows.emplace_back("views",
+                      std::to_string(expression_views_.size() +
+                                     materialized_views_.size()));
+    return rows;
+  });
+  server->AddStatusSection("cache", [this] {
+    admin::StatusRows rows;
+    rows.emplace_back("enabled", result_cache_enabled_ ? "true" : "false");
+    rows.emplace_back("bytes", std::to_string(result_cache_->bytes()));
+    rows.emplace_back("entries", std::to_string(result_cache_->entries()));
+    rows.emplace_back("max_bytes", std::to_string(result_cache_->max_bytes()));
+    return rows;
+  });
+  server->AddStatusSection("exec", [this] {
+    admin::StatusRows rows;
+    exec::ThreadPool* pool = parallel_policy_.pool != nullptr
+                                 ? parallel_policy_.pool
+                                 : &exec::ThreadPool::Default();
+    rows.emplace_back("parallel_enabled",
+                      parallel_enabled_ ? "true" : "false");
+    rows.emplace_back("cost_threshold",
+                      std::to_string(parallel_cost_threshold_));
+    rows.emplace_back("threads", std::to_string(pool->num_threads()));
+    rows.emplace_back("queue_depth", std::to_string(pool->ApproxQueueDepth()));
+    return rows;
+  });
+  server->AddStatusSection("telemetry", [this] {
+    admin::StatusRows rows;
+    obs::FlightRecorder* recorder = flight_recorder();
+    rows.emplace_back("enabled", telemetry_enabled_ ? "true" : "false");
+    rows.emplace_back("recorder_entries", std::to_string(recorder->entries()));
+    rows.emplace_back("recorder_capacity",
+                      std::to_string(recorder->capacity()));
+    rows.emplace_back("last_query_id",
+                      std::to_string(recorder->last_query_id()));
+    rows.emplace_back("slow_threshold_ms",
+                      std::to_string(recorder->slow_threshold_ms()));
+    rows.emplace_back("sample_period",
+                      std::to_string(recorder->sample_period()));
+    return rows;
+  });
+  admin_server_ = std::move(server);
+  return Status::OK();
+}
+
+void QueryEngine::DisableAdminServer() { admin_server_.reset(); }
 
 Status QueryEngine::CheckViewName(const std::string& name) const {
   if (instance_.Has(name)) {

@@ -6,10 +6,12 @@
 #include <string>
 #include <vector>
 
+#include "admin/admin_server.h"
 #include "cache/result_cache.h"
 #include "core/eval.h"
 #include "core/instance.h"
 #include "graph/digraph.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 #include "opt/cost.h"
 #include "opt/optimizer.h"
@@ -214,6 +216,43 @@ class QueryEngine {
   /// The engine's cache, for tuning and inspection (tests, benches, ops).
   cache::ResultCache& result_cache() { return *result_cache_; }
 
+  // --- Always-on telemetry & admin endpoint (see obs/, admin/ and
+  // DESIGN.md "Always-on telemetry & admin endpoint") ---
+
+  /// Master switch for per-query telemetry. When on (the default), every
+  /// Run / RunExpr draws a monotonic query id, is counted in the
+  /// regal_engine_inflight_queries gauge, and is offered to the flight
+  /// recorder: errored and slow queries are always kept, the rest sampled
+  /// 1-in-N (sampled queries additionally collect a live execution trace
+  /// for /tracez). When off, only the pre-existing aggregate metrics
+  /// remain — the recorder is never consulted.
+  void set_telemetry_enabled(bool enabled) { telemetry_enabled_ = enabled; }
+  bool telemetry_enabled() const { return telemetry_enabled_; }
+
+  /// Recorder override for tests and multi-engine embeddings; null (the
+  /// default) shares obs::FlightRecorder::Default().
+  void set_flight_recorder(obs::FlightRecorder* recorder) {
+    recorder_ = recorder;
+  }
+  /// The recorder this engine records into (override or process default).
+  obs::FlightRecorder* flight_recorder() {
+    return recorder_ != nullptr ? recorder_ : &obs::FlightRecorder::Default();
+  }
+
+  /// Starts the embedded admin endpoint (opt-in; loopback + ephemeral port
+  /// by default) and registers this engine's /statusz sections (catalog,
+  /// cache, exec, telemetry). The options' recorder defaults to this
+  /// engine's flight recorder. Fails with kAlreadyExists when already
+  /// enabled. The engine must outlive — and must not be moved while —
+  /// the server runs: the status sections point back at it.
+  Status EnableAdminServer(admin::AdminOptions options = {});
+
+  /// Stops and destroys the admin server. Idempotent.
+  void DisableAdminServer();
+
+  /// The running server (port() gives the bound port), or null.
+  admin::AdminServer* admin_server() { return admin_server_.get(); }
+
  private:
   Result<QueryAnswer> RunExprWithLimits(const ExprPtr& expr,
                                         const safety::QueryLimits& limits,
@@ -235,6 +274,11 @@ class QueryEngine {
   // unique_ptr: the cache owns mutexes, and the engine must stay movable.
   std::unique_ptr<cache::ResultCache> result_cache_;
   bool result_cache_enabled_ = true;
+  bool telemetry_enabled_ = true;
+  obs::FlightRecorder* recorder_ = nullptr;
+  // Declared last so it stops (joining its thread) before the state its
+  // status sections read is torn down.
+  std::unique_ptr<admin::AdminServer> admin_server_;
 };
 
 }  // namespace regal

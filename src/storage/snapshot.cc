@@ -10,6 +10,7 @@
 #include "storage/checksum.h"
 #include "storage/compress.h"
 #include "storage/serialize.h"
+#include "util/timer.h"
 
 namespace regal {
 namespace storage {
@@ -361,6 +362,13 @@ Result<Instance> DecodeSnapshot(std::string_view bytes) {
 
 Status SaveSnapshotToFile(const Instance& instance, const std::string& path,
                           Env* env, SnapshotFormat format) {
+  // Always-on latency histogram: encode + the full durable commit protocol
+  // (temp write, fsyncs, rename), success or not.
+  ScopedTimer timed([](double ms) {
+    obs::Registry::Default()
+        .GetHistogram("regal_storage_save_latency_ms")
+        ->Observe(ms);
+  });
   if (env == nullptr) env = Env::Default();
   std::string payload;
   if (format == SnapshotFormat::kRegal2) {
@@ -374,6 +382,11 @@ Status SaveSnapshotToFile(const Instance& instance, const std::string& path,
 }
 
 Result<Instance> LoadSnapshotFromFile(const std::string& path, Env* env) {
+  ScopedTimer timed([](double ms) {
+    obs::Registry::Default()
+        .GetHistogram("regal_storage_load_latency_ms")
+        ->Observe(ms);
+  });
   if (env == nullptr) env = Env::Default();
   REGAL_ASSIGN_OR_RETURN(std::string bytes, env->ReadFileToString(path));
   obs::Registry& registry = obs::Registry::Default();

@@ -1,0 +1,312 @@
+// Integration suite for the embedded admin endpoint (label `admin`): a real
+// QueryEngine serves real HTTP on a loopback socket, and the tests scrape
+// /metrics, /statusz and /tracez the way a Prometheus collector or an
+// operator's curl would.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "admin/admin_server.h"
+#include "json_checker.h"
+#include "obs/flight_recorder.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "query/engine.h"
+
+namespace regal {
+namespace {
+
+using testutil::ValidJson;
+
+constexpr char kDoc[] =
+    "<doc><sec><para>alpha beta</para><para>gamma</para></sec>"
+    "<sec><para>delta epsilon</para></sec></doc>";
+
+// Checks the Prometheus text exposition format line by line: comment lines
+// must be well-formed HELP/TYPE, sample lines must be
+// `name[{labels}] value`, and every sample's family must have been
+// announced by a preceding # TYPE.
+bool ValidPrometheus(const std::string& text, std::string* why) {
+  std::set<std::string> typed_families;
+  size_t start = 0;
+  auto fail = [&](const std::string& line, const char* what) {
+    *why = std::string(what) + ": " + line;
+    return false;
+  };
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) {
+      *why = "missing trailing newline";
+      return false;
+    }
+    std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      if (line.rfind("# HELP ", 0) != 0 && line.rfind("# TYPE ", 0) != 0) {
+        return fail(line, "unknown comment");
+      }
+      if (line.rfind("# TYPE ", 0) == 0) {
+        size_t name_end = line.find(' ', 7);
+        if (name_end == std::string::npos) return fail(line, "bad TYPE");
+        std::string kind = line.substr(name_end + 1);
+        if (kind != "counter" && kind != "gauge" && kind != "histogram" &&
+            kind != "untyped") {
+          return fail(line, "bad TYPE kind");
+        }
+        typed_families.insert(line.substr(7, name_end - 7));
+      }
+      continue;
+    }
+    // Sample line: name, optional {...} (quotes may hide '}'), space, value.
+    size_t pos = 0;
+    while (pos < line.size() &&
+           (std::isalnum(static_cast<unsigned char>(line[pos])) ||
+            line[pos] == '_' || line[pos] == ':')) {
+      ++pos;
+    }
+    if (pos == 0) return fail(line, "no metric name");
+    std::string name = line.substr(0, pos);
+    if (pos < line.size() && line[pos] == '{') {
+      bool in_quotes = false;
+      ++pos;
+      while (pos < line.size()) {
+        char c = line[pos];
+        if (in_quotes) {
+          if (c == '\\') ++pos;
+          else if (c == '"') in_quotes = false;
+        } else if (c == '"') {
+          in_quotes = true;
+        } else if (c == '}') {
+          break;
+        }
+        ++pos;
+      }
+      if (pos >= line.size()) return fail(line, "unterminated labels");
+      ++pos;  // '}'
+    }
+    if (pos >= line.size() || line[pos] != ' ') {
+      return fail(line, "no sample value");
+    }
+    std::string value = line.substr(pos + 1);
+    if (value != "+Inf" && value != "-Inf" && value != "NaN") {
+      size_t parsed = 0;
+      try {
+        std::stod(value, &parsed);
+      } catch (...) {
+        return fail(line, "unparseable value");
+      }
+      if (parsed != value.size()) return fail(line, "trailing junk in value");
+    }
+    // Histogram series carry the family name plus a suffix.
+    bool announced = false;
+    for (const char* suffix : {"", "_bucket", "_sum", "_count"}) {
+      std::string family = name;
+      std::string s(suffix);
+      if (!s.empty() && family.size() > s.size() &&
+          family.compare(family.size() - s.size(), s.size(), s) == 0) {
+        family.resize(family.size() - s.size());
+      }
+      if (typed_families.count(family) > 0) {
+        announced = true;
+        break;
+      }
+    }
+    if (!announced) return fail(line, "sample without # TYPE");
+  }
+  return true;
+}
+
+// One engine + admin server + private flight recorder per fixture, so tests
+// never race each other's records through the process-wide default.
+class AdminEndpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    quiet_log_ = std::make_unique<obs::EventLog>(
+        std::make_shared<obs::CaptureSink>());
+    obs::FlightRecorderOptions options;
+    options.capacity = 64;
+    // Threshold 0: every completed query counts as slow, so /tracez must
+    // show all of them — the acceptance property under mixed traffic.
+    options.slow_threshold_ms = 0;
+    options.sample_period = 0;
+    options.log = quiet_log_.get();
+    recorder_ = std::make_unique<obs::FlightRecorder>(options);
+
+    auto engine = QueryEngine::FromSgmlSource(kDoc);
+    ASSERT_TRUE(engine.ok()) << engine.status();
+    engine_ = std::make_unique<QueryEngine>(std::move(engine).value());
+    engine_->set_flight_recorder(recorder_.get());
+    Status started = engine_->EnableAdminServer();
+    ASSERT_TRUE(started.ok()) << started;
+    port_ = engine_->admin_server()->port();
+    ASSERT_GT(port_, 0);
+  }
+
+  std::string Get(const std::string& path, int* status = nullptr,
+                  std::string* content_type = nullptr) {
+    auto body = admin::HttpGet("127.0.0.1", port_, path, status, content_type);
+    EXPECT_TRUE(body.ok()) << body.status();
+    return body.ok() ? *body : std::string();
+  }
+
+  // Mixed traffic: plain runs, a profiled run, and a failing query.
+  // Returns each executed expression's canonical rendering — the string the
+  // flight recorder stores.
+  std::vector<std::string> RunMixedTraffic() {
+    std::vector<std::string> executed;
+    for (const char* q :
+         {"para within sec", "word \"alpha\"", "sec",
+          "explain analyze para within sec",
+          "word \"delta\" | word \"gamma\""}) {
+      auto answer = engine_->Run(q);
+      EXPECT_TRUE(answer.ok()) << q << ": " << answer.status();
+      if (answer.ok()) executed.push_back(answer->executed->ToString());
+    }
+    auto failed = engine_->Run("no_such_region");
+    EXPECT_FALSE(failed.ok());
+    return executed;
+  }
+
+  std::unique_ptr<obs::EventLog> quiet_log_;
+  std::unique_ptr<obs::FlightRecorder> recorder_;
+  std::unique_ptr<QueryEngine> engine_;
+  int port_ = 0;
+};
+
+TEST_F(AdminEndpointTest, HealthzAnswersOk) {
+  int status = 0;
+  std::string content_type;
+  std::string body = Get("/healthz", &status, &content_type);
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "ok\n");
+  EXPECT_NE(content_type.find("text/plain"), std::string::npos);
+}
+
+TEST_F(AdminEndpointTest, MetricsIsValidPrometheusExposition) {
+  RunMixedTraffic();
+  int status = 0;
+  std::string content_type;
+  std::string body = Get("/metrics", &status, &content_type);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(content_type.find("version=0.0.4"), std::string::npos)
+      << content_type;
+  std::string why;
+  EXPECT_TRUE(ValidPrometheus(body, &why)) << why;
+  EXPECT_NE(body.find("# TYPE regal_queries_total counter"),
+            std::string::npos);
+  EXPECT_NE(body.find("regal_query_latency_ms_bucket"), std::string::npos);
+  EXPECT_NE(body.find("regal_engine_inflight_queries 0"), std::string::npos);
+  EXPECT_NE(body.find("regal_cache_hit_ratio"), std::string::npos);
+
+  int json_status = 0;
+  std::string json_type;
+  std::string json = Get("/metrics?format=json", &json_status, &json_type);
+  EXPECT_EQ(json_status, 200);
+  EXPECT_NE(json_type.find("application/json"), std::string::npos);
+  EXPECT_TRUE(ValidJson(json)) << json.substr(0, 400);
+}
+
+TEST_F(AdminEndpointTest, StatuszShowsEngineSections) {
+  RunMixedTraffic();
+  int status = 0;
+  std::string body = Get("/statusz", &status);
+  EXPECT_EQ(status, 200);
+  for (const char* expected :
+       {"uptime_s", "catalog", "instance_id", "epoch", "regions", "cache",
+        "max_bytes", "exec", "threads", "telemetry", "recorder_entries",
+        "last_query_id"}) {
+    EXPECT_NE(body.find(expected), std::string::npos)
+        << "missing " << expected << " in:\n" << body;
+  }
+  std::string json = Get("/statusz?format=json", &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_TRUE(ValidJson(json)) << json.substr(0, 400);
+}
+
+TEST_F(AdminEndpointTest, TracezShowsEverySlowQuery) {
+  std::vector<std::string> executed = RunMixedTraffic();
+  int status = 0;
+  std::string body = Get("/tracez", &status);
+  EXPECT_EQ(status, 200);
+  // Threshold 0 makes every query slow, so every executed query — and the
+  // failing one — must have a record, newest first, with its plan rendered.
+  for (const std::string& q : executed) {
+    EXPECT_NE(body.find(q), std::string::npos)
+        << "missing query " << q << " in:\n" << body;
+  }
+  EXPECT_NE(body.find("not_found"), std::string::npos) << body;
+  ASSERT_EQ(recorder_->entries(), executed.size() + 1);
+  // Each record's header line carries its id; ids were assigned 1..N.
+  for (size_t id = 1; id <= executed.size() + 1; ++id) {
+    EXPECT_NE(body.find("#" + std::to_string(id) + " "), std::string::npos)
+        << "missing record id " << id << " in:\n" << body;
+  }
+
+  std::string json = Get("/tracez?format=json", &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_TRUE(ValidJson(json)) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"records\""), std::string::npos);
+}
+
+TEST_F(AdminEndpointTest, SampledQueriesCarryLiveTraces) {
+  recorder_->set_slow_threshold_ms(1e9);  // Nothing is slow now.
+  recorder_->set_sample_period(1);        // ... but everything is sampled.
+  auto answer = engine_->Run("para within sec");
+  ASSERT_TRUE(answer.ok());
+  std::vector<obs::QueryRecord> records = recorder_->Snapshot();
+  ASSERT_FALSE(records.empty());
+  EXPECT_TRUE(records[0].sampled);
+  EXPECT_TRUE(records[0].traced);  // Pre-execution sampling enabled a trace.
+  EXPECT_EQ(records[0].plan.name, "within");
+  EXPECT_GT(records[0].plan.rows_out, 0);
+}
+
+TEST_F(AdminEndpointTest, TelemetryOffRecordsNothing) {
+  engine_->set_telemetry_enabled(false);
+  ASSERT_TRUE(engine_->Run("para within sec").ok());
+  EXPECT_FALSE(engine_->Run("no_such_region").ok());
+  EXPECT_EQ(recorder_->entries(), 0u);
+  EXPECT_EQ(recorder_->last_query_id(), 0u);
+}
+
+TEST_F(AdminEndpointTest, UnknownPathsAnswer404) {
+  int status = 0;
+  Get("/nope", &status);
+  EXPECT_EQ(status, 404);
+  std::string index = Get("/", &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(index.find("/metrics"), std::string::npos);
+}
+
+TEST_F(AdminEndpointTest, EnableIsExclusiveAndDisableIsIdempotent) {
+  Status again = engine_->EnableAdminServer();
+  EXPECT_FALSE(again.ok());
+  EXPECT_EQ(again.code(), StatusCode::kAlreadyExists);
+  engine_->DisableAdminServer();
+  EXPECT_EQ(engine_->admin_server(), nullptr);
+  engine_->DisableAdminServer();  // No-op.
+  Status restarted = engine_->EnableAdminServer();
+  EXPECT_TRUE(restarted.ok()) << restarted;
+  int status = 0;
+  auto body = admin::HttpGet("127.0.0.1", engine_->admin_server()->port(),
+                             "/healthz", &status);
+  ASSERT_TRUE(body.ok()) << body.status();
+  EXPECT_EQ(status, 200);
+}
+
+TEST(AdminServerTest, RejectsUnbindableAddress) {
+  admin::AdminOptions options;
+  options.bind_address = "203.0.113.1";  // TEST-NET: never local.
+  auto server = admin::AdminServer::Start(options);
+  EXPECT_FALSE(server.ok());
+  EXPECT_EQ(server.status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace regal

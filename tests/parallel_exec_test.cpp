@@ -11,6 +11,7 @@
 #include <memory>
 #include <numeric>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/algebra.h"
@@ -21,6 +22,9 @@
 #include "exec/parallel_text.h"
 #include "exec/thread_pool.h"
 #include "index/word_index.h"
+#include "obs/flight_recorder.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
 #include "query/engine.h"
 #include "text/text.h"
 #include "util/random.h"
@@ -359,6 +363,98 @@ TEST(ParallelEvalTest, ExplainAnalyzeStillWorksOnTheParallelPath) {
   EXPECT_TRUE(answer->profile->analyzed);
   EXPECT_EQ(answer->profile->plan.rows_out,
             static_cast<int64_t>(answer->regions.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Lock-free telemetry primitives. These hammers live in the parallel suite
+// so the TSAN configuration (-DREGAL_SANITIZE=thread) validates the relaxed
+// atomics in obs/metrics.h and the flight-recorder ring.
+
+TEST(ObsHammerTest, HistogramObserveIsExactUnderConcurrency) {
+  obs::Registry registry;
+  obs::Histogram* h = registry.GetHistogram(
+      "hammer_ms", {}, std::vector<double>{1.0, 8.0, 64.0});
+  obs::Gauge* inflight = registry.GetGauge("hammer_inflight");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h->Observe((t * kPerThread + i) % 100);
+        inflight->Add(1);
+        inflight->Add(-1);
+      }
+    });
+  }
+  // Concurrent scrapes while writers hammer: each snapshot must be
+  // internally sane (cumulative buckets monotone, count within range) even
+  // though it may interleave with in-flight observations.
+  for (int scrape = 0; scrape < 50; ++scrape) {
+    std::vector<int64_t> cumulative = h->CumulativeBucketCounts();
+    ASSERT_EQ(cumulative.size(), 4u);
+    for (size_t i = 1; i < cumulative.size(); ++i) {
+      EXPECT_LE(cumulative[i - 1], cumulative[i]);
+    }
+    EXPECT_LE(h->count(), int64_t{kThreads} * kPerThread);
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Quiesced totals are exact: every fetch_add landed, the CAS-loop double
+  // sum lost no update (integer values stay exactly representable).
+  EXPECT_EQ(h->count(), int64_t{kThreads} * kPerThread);
+  // Sum of k % 100 over k = 0..159999: 1600 full cycles of 0+..+99.
+  EXPECT_DOUBLE_EQ(h->sum(), 1600.0 * 4950.0);
+  std::vector<int64_t> cumulative = h->CumulativeBucketCounts();
+  ASSERT_EQ(cumulative.size(), 4u);
+  EXPECT_EQ(cumulative[0], 1600 * 2);    // values 0, 1
+  EXPECT_EQ(cumulative[1], 1600 * 9);    // values 0..8
+  EXPECT_EQ(cumulative[2], 1600 * 65);   // values 0..64
+  EXPECT_EQ(cumulative[3], int64_t{kThreads} * kPerThread);
+  EXPECT_DOUBLE_EQ(inflight->value(), 0.0);
+}
+
+TEST(ObsHammerTest, FlightRecorderConcurrentRecordScrapeAndRetune) {
+  // Every record is "slow" (threshold 0), so route the slow-query log to a
+  // capture sink instead of spamming stderr for 8000 records.
+  obs::EventLog quiet_log(std::make_shared<obs::CaptureSink>());
+  obs::FlightRecorderOptions options;
+  options.capacity = 64;
+  options.slow_threshold_ms = 0;  // Keep everything: maximal ring churn.
+  options.sample_period = 0;
+  options.log = &quiet_log;
+  obs::FlightRecorder recorder(options);
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 2000;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        obs::QueryRecord record;
+        record.query_id = recorder.NextQueryId();
+        record.ts_ms = 1;  // Skip the wall-clock stamp in the hot loop.
+        record.elapsed_ms = static_cast<double>(i % 7);
+        recorder.Record(std::move(record));
+      }
+    });
+  }
+  std::thread scraper([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      std::vector<obs::QueryRecord> snapshot = recorder.Snapshot();
+      EXPECT_LE(snapshot.size(), 64u);
+      // The tunables race with in-flight keep decisions by design; the
+      // atomics just keep that race benign.
+      recorder.set_slow_threshold_ms(snapshot.size() % 2 == 0 ? 0.0 : -1.0);
+      recorder.set_sample_period(static_cast<uint32_t>(snapshot.size() % 3));
+    }
+  });
+  for (std::thread& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  scraper.join();
+  EXPECT_EQ(recorder.entries(), 64u);
+  EXPECT_EQ(recorder.last_query_id(),
+            static_cast<uint64_t>(kWriters) * kPerWriter);
 }
 
 }  // namespace

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Lints obs metric registrations in the C++ sources.
+
+Every metric registered through obs::Registry::Get{Counter,Gauge,Histogram}
+in src/ must follow the naming convention
+
+    regal_<subsystem>_<noun>[_<unit>]
+
+with these rules:
+
+  * lowercase [a-z0-9_] only, at least three '_'-separated components,
+    'regal' first;
+  * counters end in '_total' (Prometheus counter convention);
+  * gauges and histograms do NOT end in '_total';
+  * histograms end in a recognized unit suffix (_ms, _us, _s, _seconds,
+    _bytes, _ratio) so the bucket bounds are interpretable;
+  * one name is registered as exactly one kind — the same string must not
+    appear as both a counter and a gauge anywhere in the tree.
+
+Usage: check_metric_names.py <source-dir> [<source-dir>...]
+Exits non-zero and prints one line per violation (file:line: message).
+"""
+
+import os
+import re
+import sys
+
+REGISTRATION = re.compile(
+    r'Get(Counter|Gauge|Histogram)\(\s*"([^"]*)"', re.MULTILINE)
+NAME = re.compile(r"^regal_[a-z][a-z0-9]*(_[a-z0-9]+)+$")
+HISTOGRAM_UNITS = ("_ms", "_us", "_s", "_seconds", "_bytes", "_ratio")
+SOURCE_EXTENSIONS = (".cc", ".h", ".cpp", ".hpp")
+
+
+def find_sources(roots):
+    for root in roots:
+        if os.path.isfile(root):
+            yield root
+            continue
+        for dirpath, _, filenames in os.walk(root):
+            for filename in sorted(filenames):
+                if filename.endswith(SOURCE_EXTENSIONS):
+                    yield os.path.join(dirpath, filename)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors = []
+    # name -> (kind, first registration site), for duplicate-kind detection.
+    kinds = {}
+    registrations = 0
+    for path in find_sources(argv[1:]):
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        for match in REGISTRATION.finditer(text):
+            kind, name = match.group(1), match.group(2)
+            line = text.count("\n", 0, match.start()) + 1
+            site = f"{path}:{line}"
+            registrations += 1
+
+            if not NAME.match(name):
+                errors.append(
+                    f"{site}: '{name}' does not match "
+                    "regal_<subsystem>_<noun>[_<unit>] "
+                    "(lowercase, >= 3 components)")
+                continue
+            if kind == "Counter" and not name.endswith("_total"):
+                errors.append(
+                    f"{site}: counter '{name}' must end in '_total'")
+            if kind != "Counter" and name.endswith("_total"):
+                errors.append(
+                    f"{site}: {kind.lower()} '{name}' must not end in "
+                    "'_total' (reserved for counters)")
+            if kind == "Histogram" and not name.endswith(HISTOGRAM_UNITS):
+                errors.append(
+                    f"{site}: histogram '{name}' must end in a unit suffix "
+                    f"({', '.join(HISTOGRAM_UNITS)})")
+
+            previous = kinds.get(name)
+            if previous is None:
+                kinds[name] = (kind, site)
+            elif previous[0] != kind:
+                errors.append(
+                    f"{site}: '{name}' registered as {kind} but as "
+                    f"{previous[0]} at {previous[1]}")
+
+    for error in errors:
+        print(error)
+    if errors:
+        print(f"check_metric_names: {len(errors)} violation(s) in "
+              f"{registrations} registration(s)")
+        return 1
+    print(f"check_metric_names: OK — {registrations} registration(s), "
+          f"{len(kinds)} metric name(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
