@@ -6,8 +6,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "bench_report.h"
 #include "core/algebra.h"
+#include "core/simd/simd_kernels.h"
 #include "doc/synthetic.h"
 #include "util/random.h"
 
@@ -101,6 +104,67 @@ void BM_SelectByTokens(benchmark::State& state) {
   }
 }
 
+// Per-ISA variants of the span merge kernels, registered dynamically for
+// every tier the CPU supports so one run produces directly comparable
+// BM_Union/avx2/... vs BM_Union/scalar/... rows. Two input shapes: "runny"
+// alternates 64-region blocks between R and S (long intra-side runs — the
+// shape the vector bulk-append is built for), "interleaved" alternates
+// single regions (the worst case for run skimming).
+using MergeFn = void (*)(const Region*, const Region*, const Region*,
+                         const Region*, std::vector<Region>*,
+                         obs::OpCounters*);
+
+void MergeBenchBody(benchmark::State& state, MergeFn fn, size_t block) {
+  constexpr size_t kN = size_t{1} << 16;  // Regions per side.
+  std::vector<Region> r, s;
+  for (size_t p = 0; p < 2 * kN; ++p) {
+    Region reg{static_cast<Offset>(p), static_cast<Offset>(p + 1)};
+    ((p / block) % 2 == 0 ? r : s).push_back(reg);
+  }
+  std::vector<Region> out;
+  out.reserve(r.size() + s.size());
+  for (auto _ : state) {
+    out.clear();
+    obs::OpCounters c;
+    fn(r.data(), r.data() + r.size(), s.data(), s.data() + s.size(), &out, &c);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(r.size() + s.size()));
+}
+
+void RegisterSimdBenches() {
+  constexpr simd::Isa kIsas[] = {simd::Isa::kScalar, simd::Isa::kSse4,
+                                 simd::Isa::kAvx2};
+  for (simd::Isa isa : kIsas) {
+    const simd::KernelTable& kt = simd::KernelsFor(isa);
+    if (kt.isa != isa) continue;  // Tier degraded: CPU lacks it.
+    const struct {
+      const char* op;
+      MergeFn fn;
+    } kOps[] = {{"BM_Union", kt.union_span},
+                {"BM_Intersect", kt.intersect_span},
+                {"BM_Difference", kt.difference_span}};
+    const struct {
+      const char* shape;
+      size_t block;
+    } kShapes[] = {{"runny", 64}, {"interleaved", 1}};
+    for (const auto& op : kOps) {
+      for (const auto& shape : kShapes) {
+        const std::string name =
+            std::string(op.op) + "/" + kt.name + "/" + shape.shape;
+        const MergeFn fn = op.fn;
+        const size_t block = shape.block;
+        benchmark::RegisterBenchmark(
+            name.c_str(), [fn, block](benchmark::State& state) {
+              MergeBenchBody(state, fn, block);
+            });
+      }
+    }
+  }
+}
+
 BENCHMARK(BM_Including)->Range(1 << 8, 1 << 18);
 BENCHMARK(BM_IncludingNaive)->Range(1 << 8, 1 << 12);
 BENCHMARK(BM_Included)->Range(1 << 8, 1 << 18);
@@ -114,5 +178,6 @@ BENCHMARK(BM_SelectByTokens)->Range(1 << 8, 1 << 16);
 }  // namespace regal
 
 int main(int argc, char** argv) {
+  regal::RegisterSimdBenches();
   return regal::RunBenchmarksWithJson(argc, argv, "BENCH_operators.json");
 }

@@ -13,8 +13,10 @@
 #include <string>
 #include <vector>
 
+#include "core/simd/simd_kernels.h"
 #include "exec/thread_pool.h"
 #include "obs/json.h"
+#include "util/cpu.h"
 
 // Build provenance, injected by bench/CMakeLists.txt so that every BENCH_*.json
 // records which revision and build type produced it.
@@ -52,6 +54,12 @@ class BenchJsonReporter : public benchmark::BenchmarkReporter {
     writer_.Key("num_threads").Int(exec::ThreadPool::DefaultNumThreads());
     writer_.Key("git_revision").String(REGAL_GIT_REVISION);
     writer_.Key("build_type").String(REGAL_BUILD_TYPE);
+    // The ISA tier the operator kernels dispatched to (after the REGAL_SIMD
+    // override, if any) plus the raw CPU features; numbers from different
+    // tiers are not comparable either.
+    writer_.Key("simd_isa").String(simd::ActiveKernels().name);
+    writer_.Key("cpu_sse42").Bool(util::CpuInfo().sse42);
+    writer_.Key("cpu_avx2").Bool(util::CpuInfo().avx2);
     writer_.EndObject();
     writer_.Key("benchmarks").BeginArray();
     return console_.ReportContext(context);

@@ -2,18 +2,27 @@
 
 #include <algorithm>
 #include <bit>
+#include <limits>
 
 #include "core/algebra_kernels.h"
+#include "core/simd/simd_kernels.h"
 #include "obs/counters.h"
 
 namespace regal {
 
 namespace {
 
-RegionSet FilterR(const RegionSet& r, const std::function<bool(const Region&)>& keep) {
+// Query regions probed through the batched lower-bound kernel per call;
+// sized so the query/index scratch stays within a couple of L1 cache lines'
+// worth of stack.
+constexpr size_t kProbeTile = 256;
+
+// Keep x in r iff keep[i] != 0; r is already sorted and duplicate-free, and
+// filtering preserves both.
+RegionSet KeepMarked(const RegionSet& r, const unsigned char* keep) {
   std::vector<Region> out;
-  for (const Region& x : r) {
-    if (keep(x)) out.push_back(x);
+  for (size_t i = 0; i < r.size(); ++i) {
+    if (keep[i]) out.push_back(r[i]);
   }
   return RegionSet::FromSortedUnique(std::move(out));
 }
@@ -118,6 +127,110 @@ bool ContainmentIndex::ExistsContainedIn(const Region& r) const {
   return a < b && min_right_.Query(a, b) <= r.right;
 }
 
+// The batched probes rewrite each Exists* predicate in terms of plain lower
+// bounds only — upper_bound(x) over integer left endpoints equals
+// lower_bound(x + 1) — so one lower_bound_offsets kernel call resolves every
+// binary search of a tile, and only the O(1) sparse-table range-minimum
+// checks remain per query region. Endpoints at the Offset maximum cannot
+// form the +1 query; their bound is the full array, patched after the call.
+
+void ContainmentIndex::ProbeIncludedIn(const Region* b, size_t n,
+                                       unsigned char* keep,
+                                       const simd::KernelTable* kernels) const {
+  if (lefts_.empty()) {
+    std::fill(keep, keep + n, 0);
+    return;
+  }
+  const simd::KernelTable& kt = kernels ? *kernels : simd::ActiveKernels();
+  constexpr Offset kMaxOff = std::numeric_limits<Offset>::max();
+  const size_t sn = lefts_.size();
+  Offset q[3 * kProbeTile];
+  uint32_t idx[3 * kProbeTile];
+  for (size_t base = 0; base < n; base += kProbeTile) {
+    const size_t m = std::min(kProbeTile, n - base);
+    for (size_t i = 0; i < m; ++i) {
+      const Region& r = b[base + i];
+      q[i] = r.left;
+      q[m + i] = r.left == kMaxOff ? kMaxOff : r.left + 1;
+      q[2 * m + i] = r.right == kMaxOff ? kMaxOff : r.right + 1;
+    }
+    kt.lower_bound_offsets(lefts_.data(), sn, q, 3 * m, idx);
+    for (size_t i = 0; i < m; ++i) {
+      const Region& r = b[base + i];
+      const size_t a0 = idx[i];
+      const size_t a1 = r.left == kMaxOff ? sn : idx[m + i];
+      const size_t b1 = r.right == kMaxOff ? sn : idx[2 * m + i];
+      // s with left(s) == left(r) needs right(s) < right(r); s with left(s)
+      // in (left(r), right(r)] only needs right(s) <= right(r).
+      keep[base + i] =
+          (a0 < a1 && min_right_.Query(a0, a1) < r.right) ||
+          (a1 < b1 && min_right_.Query(a1, b1) <= r.right);
+    }
+  }
+}
+
+void ContainmentIndex::ProbeIncluding(const Region* b, size_t n,
+                                      unsigned char* keep,
+                                      const simd::KernelTable* kernels) const {
+  if (lefts_.empty()) {
+    std::fill(keep, keep + n, 0);
+    return;
+  }
+  const simd::KernelTable& kt = kernels ? *kernels : simd::ActiveKernels();
+  constexpr Offset kMaxOff = std::numeric_limits<Offset>::max();
+  const size_t sn = lefts_.size();
+  Offset q[2 * kProbeTile];
+  uint32_t idx[2 * kProbeTile];
+  for (size_t base = 0; base < n; base += kProbeTile) {
+    const size_t m = std::min(kProbeTile, n - base);
+    for (size_t i = 0; i < m; ++i) {
+      const Region& r = b[base + i];
+      q[i] = r.left;
+      q[m + i] = r.left == kMaxOff ? kMaxOff : r.left + 1;
+    }
+    kt.lower_bound_offsets(lefts_.data(), sn, q, 2 * m, idx);
+    for (size_t i = 0; i < m; ++i) {
+      const Region& r = b[base + i];
+      const size_t a0 = idx[i];
+      const size_t a1 = r.left == kMaxOff ? sn : idx[m + i];
+      // s with left(s) < left(r) needs right(s) >= right(r); s with
+      // left(s) == left(r) needs right(s) > right(r).
+      keep[base + i] =
+          (a0 > 0 && max_right_.Query(0, a0) >= r.right) ||
+          (a0 < a1 && max_right_.Query(a0, a1) > r.right);
+    }
+  }
+}
+
+void ContainmentIndex::ProbeContainedIn(const Region* b, size_t n,
+                                        unsigned char* keep,
+                                        const simd::KernelTable* kernels) const {
+  if (lefts_.empty()) {
+    std::fill(keep, keep + n, 0);
+    return;
+  }
+  const simd::KernelTable& kt = kernels ? *kernels : simd::ActiveKernels();
+  constexpr Offset kMaxOff = std::numeric_limits<Offset>::max();
+  const size_t sn = lefts_.size();
+  Offset q[2 * kProbeTile];
+  uint32_t idx[2 * kProbeTile];
+  for (size_t base = 0; base < n; base += kProbeTile) {
+    const size_t m = std::min(kProbeTile, n - base);
+    for (size_t i = 0; i < m; ++i) {
+      const Region& r = b[base + i];
+      q[i] = r.left;
+      q[m + i] = r.right == kMaxOff ? kMaxOff : r.right + 1;
+    }
+    kt.lower_bound_offsets(lefts_.data(), sn, q, 2 * m, idx);
+    for (size_t i = 0; i < m; ++i) {
+      const Region& r = b[base + i];
+      const size_t a0 = idx[i];
+      const size_t b1 = r.right == kMaxOff ? sn : idx[m + i];
+      keep[base + i] = a0 < b1 && min_right_.Query(a0, b1) <= r.right;
+    }
+  }
+}
+
 bool ContainmentIndex::MinRightContainedIn(const Region& r, Offset* out) const {
   if (lefts_.empty()) return false;
   auto [a, b] = LeftRange(r.left, r.right);
@@ -152,14 +265,18 @@ RegionSet Including(const RegionSet& r, const RegionSet& s) {
   ContainmentIndex index(s);
   ReportCounters(static_cast<int64_t>(r.size()) * ProbeDepth(s.size()), 0,
                  static_cast<int64_t>(r.size()));
-  return FilterR(r, [&](const Region& x) { return index.ExistsIncludedIn(x); });
+  std::vector<unsigned char> keep(r.size());
+  index.ProbeIncludedIn(r.regions().data(), r.size(), keep.data());
+  return KeepMarked(r, keep.data());
 }
 
 RegionSet Included(const RegionSet& r, const RegionSet& s) {
   ContainmentIndex index(s);
   ReportCounters(static_cast<int64_t>(r.size()) * ProbeDepth(s.size()), 0,
                  static_cast<int64_t>(r.size()));
-  return FilterR(r, [&](const Region& x) { return index.ExistsIncluding(x); });
+  std::vector<unsigned char> keep(r.size());
+  index.ProbeIncluding(r.regions().data(), r.size(), keep.data());
+  return KeepMarked(r, keep.data());
 }
 
 RegionSet Precedes(const RegionSet& r, const RegionSet& s) {
@@ -168,17 +285,20 @@ RegionSet Precedes(const RegionSet& r, const RegionSet& s) {
   if (s.empty()) return RegionSet();
   // r precedes some s iff right(r) < the largest left endpoint in S, which
   // document order puts in the last element.
-  Offset max_left = s[s.size() - 1].left;
-  return FilterR(r, [&](const Region& x) { return x.right < max_left; });
+  const Offset max_left = s[s.size() - 1].left;
+  std::vector<Region> out;
+  kernels::FilterRightBefore(r.regions().data(), r.size(), max_left, &out);
+  return RegionSet::FromSortedUnique(std::move(out));
 }
 
 RegionSet Follows(const RegionSet& r, const RegionSet& s) {
   ReportCounters(static_cast<int64_t>(r.size()),
                  static_cast<int64_t>(r.size() + s.size()), 0);
   if (s.empty()) return RegionSet();
-  Offset min_right = s[0].right;
-  for (const Region& x : s) min_right = std::min(min_right, x.right);
-  return FilterR(r, [&](const Region& x) { return x.left > min_right; });
+  const Offset min_right = kernels::MinRightEndpoint(s.regions().data(), s.size());
+  std::vector<Region> out;
+  kernels::FilterLeftAfter(r.regions().data(), r.size(), min_right, &out);
+  return RegionSet::FromSortedUnique(std::move(out));
 }
 
 RegionSet SelectByTokens(const RegionSet& r, const std::vector<Token>& tokens) {
@@ -188,7 +308,9 @@ RegionSet SelectByTokens(const RegionSet& r, const std::vector<Token>& tokens) {
   ContainmentIndex index(RegionSet::FromUnsorted(std::move(as_regions)));
   ReportCounters(static_cast<int64_t>(r.size()) * ProbeDepth(tokens.size()), 0,
                  static_cast<int64_t>(r.size()));
-  return FilterR(r, [&](const Region& x) { return index.ExistsContainedIn(x); });
+  std::vector<unsigned char> keep(r.size());
+  index.ProbeContainedIn(r.regions().data(), r.size(), keep.data());
+  return KeepMarked(r, keep.data());
 }
 
 namespace naive {

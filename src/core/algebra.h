@@ -1,6 +1,7 @@
 #ifndef REGAL_CORE_ALGEBRA_H_
 #define REGAL_CORE_ALGEBRA_H_
 
+#include <cstddef>
 #include <utility>
 #include <vector>
 
@@ -10,6 +11,10 @@
 #include "util/rmq.h"
 
 namespace regal {
+
+namespace simd {
+struct KernelTable;
+}  // namespace simd
 
 /// Efficient implementations of the region algebra operators of
 /// Definition 2.3. All inputs/outputs are document-ordered RegionSets; no
@@ -58,6 +63,20 @@ class ContainmentIndex {
   bool ExistsIncluding(const Region& r) const;
   /// ∃s ∈ S with s contained in r, allowing s == r.
   bool ExistsContainedIn(const Region& r) const;
+
+  /// Batched forms of the existential tests: keep[i] = whether the predicate
+  /// holds for b[i], for all n query regions. Equivalent to calling the
+  /// corresponding Exists* per element, but the left-endpoint binary
+  /// searches are batched through the SIMD lower-bound kernel (8 probes per
+  /// gather on AVX2). `kernels` selects the kernel tier; nullptr means the
+  /// process-wide active set. The structural semi-joins and their
+  /// partitioned parallel counterparts both route through these.
+  void ProbeIncludedIn(const Region* b, size_t n, unsigned char* keep,
+                       const simd::KernelTable* kernels = nullptr) const;
+  void ProbeIncluding(const Region* b, size_t n, unsigned char* keep,
+                      const simd::KernelTable* kernels = nullptr) const;
+  void ProbeContainedIn(const Region* b, size_t n, unsigned char* keep,
+                        const simd::KernelTable* kernels = nullptr) const;
 
   /// Smallest right endpoint among S-regions contained in r (equality with
   /// r allowed); returns false if none.

@@ -1,135 +1,83 @@
+// Dispatching facade over the per-ISA kernel variants in core/simd. The
+// merge/search loop bodies that used to live here moved to
+// core/simd/kernels_body.inc, where one shared source is compiled per
+// instruction set; these wrappers resolve the active table once and forward.
+// Each dispatch bumps regal_exec_kernel_dispatch_total{isa=...} so operators
+// can be attributed to the tier that actually ran them.
+
 #include "core/algebra_kernels.h"
 
-#include <algorithm>
+#include "core/simd/simd_kernels.h"
+#include "obs/metrics.h"
 
 namespace regal {
 namespace kernels {
 
 namespace {
 
-// True when [b, e) is at least kGallopRatio times the other side — the
-// switch point where a logarithmic skip beats stepping element-wise.
-inline bool Skewed(ptrdiff_t longer, ptrdiff_t shorter) {
-  return longer >= kGallopRatio * shorter;
+// The active table and its dispatch counter never change after startup;
+// resolve both once so the per-call cost is a load and a relaxed fetch_add.
+const simd::KernelTable& Active() {
+  static const simd::KernelTable& table = simd::ActiveKernels();
+  return table;
+}
+
+obs::Counter* DispatchCounter() {
+  static obs::Counter* counter = obs::Registry::Default().GetCounter(
+      "regal_exec_kernel_dispatch_total", {{"isa", Active().name}});
+  return counter;
 }
 
 }  // namespace
 
 const Region* GallopLowerBound(const Region* first, const Region* last,
                                const Region& v, int64_t* comparisons) {
-  RegionDocumentOrder less;
-  const size_t n = static_cast<size_t>(last - first);
-  // Exponential probe: grow `bound` until first[bound - 1] >= v (or the
-  // range is exhausted). Each probe is one comparison.
-  size_t bound = 1;
-  while (bound <= n) {
-    ++*comparisons;
-    if (!less(first[bound - 1], v)) break;
-    bound *= 2;
-  }
-  const size_t lo = bound / 2;            // first[lo - 1] < v (or lo == 0).
-  const size_t hi = bound <= n ? bound - 1 : n;  // first[hi] >= v (or hi == n).
-  return std::lower_bound(first + lo, first + hi, v,
-                          [&](const Region& a, const Region& b) {
-                            ++*comparisons;
-                            return less(a, b);
-                          });
+  DispatchCounter()->Increment();
+  return Active().gallop_lower_bound(first, last, v, comparisons);
 }
 
 void UnionSpan(const Region* rb, const Region* re, const Region* sb,
                const Region* se, std::vector<Region>* out,
                obs::OpCounters* counters) {
-  RegionDocumentOrder less;
-  // Every input element is consumed exactly once by a union.
-  counters->merge_steps += (re - rb) + (se - sb);
-  while (rb != re && sb != se) {
-    if (Skewed(re - rb, se - sb)) {
-      const Region* run = GallopLowerBound(rb, re, *sb, &counters->comparisons);
-      out->insert(out->end(), rb, run);
-      rb = run;
-      if (rb == re) break;
-    } else if (Skewed(se - sb, re - rb)) {
-      const Region* run = GallopLowerBound(sb, se, *rb, &counters->comparisons);
-      out->insert(out->end(), sb, run);
-      sb = run;
-      if (sb == se) break;
-    }
-    ++counters->comparisons;
-    if (*rb == *sb) {
-      out->push_back(*rb);
-      ++rb;
-      ++sb;
-    } else if (less(*rb, *sb)) {
-      out->push_back(*rb++);
-    } else {
-      out->push_back(*sb++);
-    }
-  }
-  out->insert(out->end(), rb, re);
-  out->insert(out->end(), sb, se);
+  DispatchCounter()->Increment();
+  Active().union_span(rb, re, sb, se, out, counters);
 }
 
 void IntersectSpan(const Region* rb, const Region* re, const Region* sb,
                    const Region* se, std::vector<Region>* out,
                    obs::OpCounters* counters) {
-  RegionDocumentOrder less;
-  const Region* const r0 = rb;
-  const Region* const s0 = sb;
-  while (rb != re && sb != se) {
-    if (Skewed(re - rb, se - sb)) {
-      rb = GallopLowerBound(rb, re, *sb, &counters->comparisons);
-      if (rb == re) break;
-    } else if (Skewed(se - sb, re - rb)) {
-      sb = GallopLowerBound(sb, se, *rb, &counters->comparisons);
-      if (sb == se) break;
-    }
-    ++counters->comparisons;
-    if (*rb == *sb) {
-      out->push_back(*rb);
-      ++rb;
-      ++sb;
-    } else if (less(*rb, *sb)) {
-      ++rb;
-    } else {
-      ++sb;
-    }
-  }
-  counters->merge_steps += (rb - r0) + (sb - s0);
+  DispatchCounter()->Increment();
+  Active().intersect_span(rb, re, sb, se, out, counters);
 }
 
 void DifferenceSpan(const Region* rb, const Region* re, const Region* sb,
                     const Region* se, std::vector<Region>* out,
                     obs::OpCounters* counters) {
-  RegionDocumentOrder less;
-  const Region* const r0 = rb;
-  const Region* const s0 = sb;
-  while (rb != re) {
-    if (sb == se) {
-      out->insert(out->end(), rb, re);
-      rb = re;
-      break;
-    }
-    if (Skewed(re - rb, se - sb)) {
-      // The whole run of R before *sb survives the subtraction.
-      const Region* run = GallopLowerBound(rb, re, *sb, &counters->comparisons);
-      out->insert(out->end(), rb, run);
-      rb = run;
-      if (rb == re) break;
-    } else if (Skewed(se - sb, re - rb)) {
-      sb = GallopLowerBound(sb, se, *rb, &counters->comparisons);
-      if (sb == se) continue;  // Tail of R appended at the top of the loop.
-    }
-    ++counters->comparisons;
-    if (less(*rb, *sb)) {
-      out->push_back(*rb++);
-    } else if (*rb == *sb) {
-      ++rb;
-      ++sb;
-    } else {
-      ++sb;
-    }
-  }
-  counters->merge_steps += (rb - r0) + (sb - s0);
+  DispatchCounter()->Increment();
+  Active().difference_span(rb, re, sb, se, out, counters);
+}
+
+void FilterRightBefore(const Region* b, size_t n, Offset bound,
+                       std::vector<Region>* out) {
+  DispatchCounter()->Increment();
+  Active().filter_right_before(b, n, bound, out);
+}
+
+void FilterLeftAfter(const Region* b, size_t n, Offset bound,
+                     std::vector<Region>* out) {
+  DispatchCounter()->Increment();
+  Active().filter_left_after(b, n, bound, out);
+}
+
+Offset MinRightEndpoint(const Region* b, size_t n) {
+  DispatchCounter()->Increment();
+  return Active().min_right(b, n);
+}
+
+void LowerBoundOffsets(const Offset* arr, size_t n, const Offset* q, size_t m,
+                       uint32_t* out) {
+  DispatchCounter()->Increment();
+  Active().lower_bound_offsets(arr, n, q, m, out);
 }
 
 void FlushCounters(const obs::OpCounters& counters) {

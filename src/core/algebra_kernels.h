@@ -1,6 +1,7 @@
 #ifndef REGAL_CORE_ALGEBRA_KERNELS_H_
 #define REGAL_CORE_ALGEBRA_KERNELS_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -26,6 +27,12 @@ namespace kernels {
 /// set operations cost O(small * log(large)) instead of O(small + large).
 inline constexpr ptrdiff_t kGallopRatio = 16;
 
+/// Every function below dispatches once per call to the active SIMD kernel
+/// set (core/simd), selected from the CPU's capabilities and the REGAL_SIMD
+/// environment override. All variants are bit-identical in output and exact
+/// in counters, so callers — sequential and partitioned alike — see the same
+/// results on every tier; only throughput differs.
+
 void UnionSpan(const Region* rb, const Region* re, const Region* sb,
                const Region* se, std::vector<Region>* out,
                obs::OpCounters* counters);
@@ -40,10 +47,30 @@ void DifferenceSpan(const Region* rb, const Region* re, const Region* sb,
                     obs::OpCounters* counters);
 
 /// Smallest position in [first, last) not ordered before `v` (lower bound by
-/// document order), found by exponential search from `first`. Probe count is
-/// charged to `comparisons`.
+/// document order), found by exponential search from `first`. The exponential
+/// probes charge one comparison each; the binary phase then charges the
+/// deterministic ceil(log2(window)) for the window it narrowed to, so the
+/// charge is a pure function of the inputs and identical across ISA tiers.
 const Region* GallopLowerBound(const Region* first, const Region* last,
                                const Region& v, int64_t* comparisons);
+
+/// Order-preserving endpoint filters behind the ordering joins: append to
+/// `out` every x in [b, b+n) with x.right < bound (FilterRightBefore), resp.
+/// x.left > bound (FilterLeftAfter). No counter tallying — the join
+/// operators charge analytically per element scanned.
+void FilterRightBefore(const Region* b, size_t n, Offset bound,
+                       std::vector<Region>* out);
+void FilterLeftAfter(const Region* b, size_t n, Offset bound,
+                     std::vector<Region>* out);
+
+/// Minimum right endpoint over [b, b+n); n must be > 0.
+Offset MinRightEndpoint(const Region* b, size_t n);
+
+/// Batched lower_bound: out[i] = index of the first element of the sorted
+/// array arr[0, n) that is >= q[i], for each of the m queries. Wide tiers
+/// resolve 8 probes per gather instruction.
+void LowerBoundOffsets(const Offset* arr, size_t n, const Offset* q, size_t m,
+                       uint32_t* out);
 
 /// Adds `counters` to the calling thread's obs sink, if one is installed —
 /// the flush half of the tally-locally/flush-once discipline of

@@ -1,0 +1,11 @@
+// Scalar instantiation of the shared kernel body. This is the oracle tier:
+// every vector variant must match its output bit for bit and its counters
+// exactly, and it is the only tier built on non-x86 targets.
+
+#include "core/simd/simd_variants.h"
+
+#define REGAL_ISA_ATTR
+#define REGAL_ISA_NS scalar
+#define REGAL_ISA_LEVEL 0
+
+#include "core/simd/kernels_body.inc"

@@ -121,26 +121,39 @@ RegionSet PartitionedMerge(const char* op, const RegionSet& r,
   return RegionSet::FromSortedUnique(Concatenate(&outs));
 }
 
-// Partitioned order-preserving filter of R: chunk k keeps the elements of
-// R[cut_k, cut_{k+1}) satisfying `pred`. `per_element` is the deterministic
-// counter charge per probed element (matching the sequential operators) and
-// `fixed` the per-call charge.
-template <typename Pred>
-RegionSet PartitionedFilter(const char* op, const RegionSet& r, Pred pred,
-                            const obs::OpCounters& per_element,
-                            const obs::OpCounters& fixed,
-                            const ParallelConfig& cfg) {
-  const Region* rd = r.regions().data();
+// Analytic counter charge of a partitioned filter over R: `per_element`
+// per probed element (matching the sequential operators) plus `fixed` per
+// call. The charge is independent of how R is chunked, so sequential and
+// partitioned runs report identical counters.
+obs::OpCounters FilterCharge(size_t rows, const obs::OpCounters& per_element,
+                             const obs::OpCounters& fixed) {
   obs::OpCounters total = fixed;
-  total.comparisons += per_element.comparisons * static_cast<int64_t>(r.size());
-  total.merge_steps += per_element.merge_steps * static_cast<int64_t>(r.size());
-  total.index_probes +=
-      per_element.index_probes * static_cast<int64_t>(r.size());
+  total.comparisons += per_element.comparisons * static_cast<int64_t>(rows);
+  total.merge_steps += per_element.merge_steps * static_cast<int64_t>(rows);
+  total.index_probes += per_element.index_probes * static_cast<int64_t>(rows);
+  return total;
+}
+
+// Partitioned batched-probe filter of R: chunk k runs `probe` (one of the
+// ContainmentIndex::Probe* batch predicates) over R[cut_k, cut_{k+1}) into a
+// chunk-local keep mask and collects the marked elements. The probes batch
+// their binary searches through the SIMD lower-bound kernel; chunking only
+// changes tile boundaries, never the per-element answers.
+template <typename Probe>
+RegionSet PartitionedProbeFilter(const char* op, const RegionSet& r,
+                                 Probe probe,
+                                 const obs::OpCounters& per_element,
+                                 const obs::OpCounters& fixed,
+                                 const ParallelConfig& cfg) {
+  const Region* rd = r.regions().data();
+  const obs::OpCounters total = FilterCharge(r.size(), per_element, fixed);
   const int parts = PartitionCount(cfg, r.size());
   if (parts <= 1) {
+    std::vector<unsigned char> keep(r.size());
+    probe(rd, r.size(), keep.data());
     std::vector<Region> out;
-    for (const Region& x : r) {
-      if (pred(x)) out.push_back(x);
+    for (size_t i = 0; i < r.size(); ++i) {
+      if (keep[i]) out.push_back(rd[i]);
     }
     kernels::FlushCounters(total);
     return RegionSet::FromSortedUnique(std::move(out));
@@ -151,9 +164,45 @@ RegionSet PartitionedFilter(const char* op, const RegionSet& r, Pred pred,
     if (cfg.ctx != nullptr && cfg.ctx->ShouldAbort()) return;
     const size_t begin = k * r.size() / np;
     const size_t end = (k + 1) * r.size() / np;
+    std::vector<unsigned char> keep(end - begin);
+    probe(rd + begin, end - begin, keep.data());
     for (size_t i = begin; i < end; ++i) {
-      if (pred(rd[i])) outs[k].push_back(rd[i]);
+      if (keep[i - begin]) outs[k].push_back(rd[i]);
     }
+  });
+  kernels::FlushCounters(total);
+  CountParallelDispatch(op);
+  return RegionSet::FromSortedUnique(Concatenate(&outs));
+}
+
+// Partitioned endpoint filter of R behind Precedes/Follows: chunk k runs the
+// dispatched left-packing filter kernel over its slice straight into its
+// output vector. Order-preserving per chunk, so concatenation is the full
+// filtered set.
+using FilterKernel = void (*)(const Region*, size_t, Offset,
+                              std::vector<Region>*);
+
+RegionSet PartitionedEndpointFilter(const char* op, const RegionSet& r,
+                                    FilterKernel kernel, Offset bound,
+                                    const obs::OpCounters& per_element,
+                                    const obs::OpCounters& fixed,
+                                    const ParallelConfig& cfg) {
+  const Region* rd = r.regions().data();
+  const obs::OpCounters total = FilterCharge(r.size(), per_element, fixed);
+  const int parts = PartitionCount(cfg, r.size());
+  if (parts <= 1) {
+    std::vector<Region> out;
+    kernel(rd, r.size(), bound, &out);
+    kernels::FlushCounters(total);
+    return RegionSet::FromSortedUnique(std::move(out));
+  }
+  const size_t np = static_cast<size_t>(parts);
+  std::vector<std::vector<Region>> outs(np);
+  PoolOf(cfg).ParallelFor(np, [&](size_t k) {
+    if (cfg.ctx != nullptr && cfg.ctx->ShouldAbort()) return;
+    const size_t begin = k * r.size() / np;
+    const size_t end = (k + 1) * r.size() / np;
+    kernel(rd + begin, end - begin, bound, &outs[k]);
   });
   kernels::FlushCounters(total);
   CountParallelDispatch(op);
@@ -197,9 +246,11 @@ RegionSet ParallelIncluding(const RegionSet& r, const RegionSet& s,
   if (BelowGate(cfg, r.size() + s.size())) return Including(r, s);
   if (DegradeKernel("including", cfg)) return Including(r, s);
   ContainmentIndex index(s);
-  return PartitionedFilter(
+  return PartitionedProbeFilter(
       "including", r,
-      [&index](const Region& x) { return index.ExistsIncludedIn(x); },
+      [&index](const Region* b, size_t n, unsigned char* keep) {
+        index.ProbeIncludedIn(b, n, keep);
+      },
       obs::OpCounters{ProbeDepth(s.size()), 0, 1}, obs::OpCounters{}, cfg);
 }
 
@@ -208,9 +259,11 @@ RegionSet ParallelIncluded(const RegionSet& r, const RegionSet& s,
   if (BelowGate(cfg, r.size() + s.size())) return Included(r, s);
   if (DegradeKernel("included", cfg)) return Included(r, s);
   ContainmentIndex index(s);
-  return PartitionedFilter(
+  return PartitionedProbeFilter(
       "included", r,
-      [&index](const Region& x) { return index.ExistsIncluding(x); },
+      [&index](const Region* b, size_t n, unsigned char* keep) {
+        index.ProbeIncluding(b, n, keep);
+      },
       obs::OpCounters{ProbeDepth(s.size()), 0, 1}, obs::OpCounters{}, cfg);
 }
 
@@ -225,9 +278,9 @@ RegionSet ParallelPrecedes(const RegionSet& r, const RegionSet& s,
     return RegionSet();
   }
   const Offset max_left = s[s.size() - 1].left;
-  return PartitionedFilter(
-      "precedes", r, [max_left](const Region& x) { return x.right < max_left; },
-      obs::OpCounters{1, 1, 0}, obs::OpCounters{0, 1, 0}, cfg);
+  return PartitionedEndpointFilter("precedes", r, &kernels::FilterRightBefore,
+                                   max_left, obs::OpCounters{1, 1, 0},
+                                   obs::OpCounters{0, 1, 0}, cfg);
 }
 
 RegionSet ParallelFollows(const RegionSet& r, const RegionSet& s,
@@ -240,10 +293,9 @@ RegionSet ParallelFollows(const RegionSet& r, const RegionSet& s,
                         static_cast<int64_t>(r.size() + s.size()), 0});
     return RegionSet();
   }
-  Offset min_right = s[0].right;
-  for (const Region& x : s) min_right = std::min(min_right, x.right);
-  return PartitionedFilter(
-      "follows", r, [min_right](const Region& x) { return x.left > min_right; },
+  const Offset min_right = kernels::MinRightEndpoint(s.regions().data(), s.size());
+  return PartitionedEndpointFilter(
+      "follows", r, &kernels::FilterLeftAfter, min_right,
       obs::OpCounters{1, 1, 0},
       obs::OpCounters{0, static_cast<int64_t>(s.size()), 0}, cfg);
 }
@@ -259,9 +311,11 @@ RegionSet ParallelSelectByTokens(const RegionSet& r,
   as_regions.reserve(tokens.size());
   for (const Token& t : tokens) as_regions.push_back(Region{t.left, t.right});
   ContainmentIndex index(RegionSet::FromUnsorted(std::move(as_regions)));
-  return PartitionedFilter(
+  return PartitionedProbeFilter(
       "select", r,
-      [&index](const Region& x) { return index.ExistsContainedIn(x); },
+      [&index](const Region* b, size_t n, unsigned char* keep) {
+        index.ProbeContainedIn(b, n, keep);
+      },
       obs::OpCounters{ProbeDepth(tokens.size()), 0, 1}, obs::OpCounters{},
       cfg);
 }

@@ -10,12 +10,14 @@ namespace obs {
 /// (core/algebra, core/extended, index/word_index). Semantics per field:
 ///
 ///  * `comparisons`  — region/region or token/pattern comparisons. Linear
-///    merges count one per merge iteration; the log-time structural
-///    semi-joins charge the binary-search depth ⌈log2(|S|)⌉+1 per probe
-///    (the deterministic worst case of each probe, so the counter stays
-///    exact-shape without instrumenting std::lower_bound); naive oracles
-///    count their inner-loop iterations, so the quadratic/linear gap of E8
-///    is directly visible in this counter.
+///    merges count one per consumed element (a bulk-appended run of c
+///    elements charges c, so the SIMD and scalar kernel tiers agree
+///    exactly); gallop/binary-search phases charge the deterministic
+///    worst-case depth of the probed range (⌈log2⌉-style, not the
+///    data-dependent early-exit count), so the counter stays exact-shape
+///    without instrumenting std::lower_bound and is identical across ISA
+///    tiers; naive oracles count their inner-loop iterations, so the
+///    quadratic/linear gap of E8 is directly visible in this counter.
 ///  * `merge_steps`  — input elements consumed by linear sweeps (set
 ///    operations, order semi-joins, token merges).
 ///  * `index_probes` — point lookups against an index structure: one per

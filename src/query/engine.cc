@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <cctype>
+#include <cstdlib>
 
 #include "core/construct.h"
+#include "core/simd/simd_kernels.h"
 #include "doc/sgml.h"
 #include "doc/srccode.h"
 #include "exec/thread_pool.h"
@@ -13,6 +15,7 @@
 #include "opt/optimizer.h"
 #include "query/parser.h"
 #include "rig/rig.h"
+#include "util/cpu.h"
 #include "util/timer.h"
 
 namespace regal {
@@ -521,6 +524,17 @@ Status QueryEngine::EnableAdminServer(admin::AdminOptions options) {
                       std::to_string(recorder->slow_threshold_ms()));
     rows.emplace_back("sample_period",
                       std::to_string(recorder->sample_period()));
+    return rows;
+  });
+  server->AddStatusSection("cpu", [] {
+    admin::StatusRows rows;
+    const util::CpuFeatures& f = util::CpuInfo();
+    rows.emplace_back("sse42", f.sse42 ? "true" : "false");
+    rows.emplace_back("avx2", f.avx2 ? "true" : "false");
+    rows.emplace_back("kernel_isa", simd::ActiveKernels().name);
+    const char* simd_override = std::getenv("REGAL_SIMD");
+    rows.emplace_back("simd_override",
+                      simd_override != nullptr ? simd_override : "(none)");
     return rows;
   });
   admin_server_ = std::move(server);

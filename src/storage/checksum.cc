@@ -3,8 +3,9 @@
 #include <array>
 #include <cstring>
 
+#include "util/cpu.h"
+
 #if defined(__x86_64__) && defined(__GNUC__)
-#include <cpuid.h>
 #define REGAL_CRC32C_HW 1
 #endif
 
@@ -69,19 +70,14 @@ __attribute__((target("sse4.2"))) uint32_t Crc32cHardware(uint32_t crc,
   }
   return ~c32;
 }
-
-bool CpuHasSse42() {
-  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
-  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return false;
-  return (ecx & (1u << 20)) != 0;
-}
 #endif  // REGAL_CRC32C_HW
 
 uint32_t Crc32cSoftware(uint32_t crc, const uint8_t* p, size_t n);
 
 uint32_t (*ResolveCrc32c())(uint32_t, const uint8_t*, size_t) {
 #ifdef REGAL_CRC32C_HW
-  if (CpuHasSse42()) return &Crc32cHardware;
+  // Shared cpuid detection with the operator kernel dispatch (util/cpu).
+  if (util::CpuInfo().sse42) return &Crc32cHardware;
 #endif
   return &Crc32cSoftware;
 }

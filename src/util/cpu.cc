@@ -1,0 +1,56 @@
+#include "util/cpu.h"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <cpuid.h>
+#define REGAL_CPU_X86 1
+#endif
+
+namespace regal {
+namespace util {
+
+namespace {
+
+#ifdef REGAL_CPU_X86
+
+// AVX2 usability needs three independent facts: the CPU decodes the
+// instructions (cpuid leaf 7), the CPU supports xsave/avx state (leaf 1),
+// and the OS actually saves the ymm halves on context switch (xgetbv bit 2).
+// Skipping the xgetbv check is the classic way to SIGILL inside a VM.
+bool OsSavesYmm() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return false;
+  const bool osxsave = (ecx & (1u << 27)) != 0;
+  const bool avx = (ecx & (1u << 28)) != 0;
+  if (!osxsave || !avx) return false;
+  unsigned lo, hi;
+  __asm__("xgetbv" : "=a"(lo), "=d"(hi) : "c"(0));
+  return (lo & 0x6) == 0x6;  // xmm and ymm state enabled.
+}
+
+CpuFeatures Detect() {
+  CpuFeatures f;
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx)) {
+    f.sse42 = (ecx & (1u << 20)) != 0;
+  }
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+    f.avx2 = (ebx & (1u << 5)) != 0 && OsSavesYmm();
+  }
+  return f;
+}
+
+#else  // !REGAL_CPU_X86
+
+CpuFeatures Detect() { return CpuFeatures{}; }
+
+#endif
+
+}  // namespace
+
+const CpuFeatures& CpuInfo() {
+  static const CpuFeatures features = Detect();
+  return features;
+}
+
+}  // namespace util
+}  // namespace regal

@@ -1,0 +1,21 @@
+#ifndef REGAL_UTIL_CPU_H_
+#define REGAL_UTIL_CPU_H_
+
+namespace regal {
+namespace util {
+
+/// Instruction-set features the dispatching subsystems care about, detected
+/// once per process via cpuid. On non-x86 builds every flag is false and the
+/// scalar fallbacks run everywhere.
+struct CpuFeatures {
+  bool sse42 = false;  ///< SSE4.2: pcmpgtq and the CRC32 instruction family.
+  bool avx2 = false;   ///< AVX2 (implies the OS saves ymm state via xgetbv).
+};
+
+/// The detected feature set, computed on first use and cached. Thread-safe.
+const CpuFeatures& CpuInfo();
+
+}  // namespace util
+}  // namespace regal
+
+#endif  // REGAL_UTIL_CPU_H_
