@@ -2,7 +2,12 @@
 
 #include <atomic>
 #include <cctype>
+#include <chrono>
+#include <condition_variable>
 #include <cstdlib>
+#include <mutex>
+#include <set>
+#include <thread>
 
 #include "core/construct.h"
 #include "core/simd/simd_kernels.h"
@@ -137,12 +142,26 @@ std::vector<std::string> QueryAnswer::Rows(const Instance& instance,
   return out;
 }
 
+/// The background checkpointer's shared state: its own mutex/cv (never the
+/// catalog lock — the thread takes that only inside Checkpoint()).
+struct QueryEngine::Checkpointer {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool stop = false;
+  std::thread thread;
+};
+
 QueryEngine::QueryEngine(Instance instance, std::optional<Digraph> rig)
     : instance_(std::move(instance)),
       rig_(std::move(rig)),
       result_cache_(std::make_unique<cache::ResultCache>()) {
   stats_ = StatsFromInstance(instance_);
 }
+
+QueryEngine::~QueryEngine() { StopBackgroundCheckpointer(); }
+
+QueryEngine::QueryEngine(QueryEngine&&) = default;
+QueryEngine& QueryEngine::operator=(QueryEngine&&) = default;
 
 Result<QueryEngine> QueryEngine::FromProgramSource(const std::string& source) {
   REGAL_ASSIGN_OR_RETURN(Instance instance, ParseProgram(source));
@@ -156,6 +175,7 @@ Result<QueryEngine> QueryEngine::FromSgmlSource(const std::string& source) {
 
 Status QueryEngine::SaveSnapshot(const std::string& path, storage::Env* env,
                                  storage::SnapshotFormat format) const {
+  std::shared_lock<std::shared_mutex> lock(*catalog_mu_);
   return storage::SaveSnapshotToFile(instance_, path, env, format);
 }
 
@@ -169,6 +189,8 @@ Result<QueryEngine> QueryEngine::OpenSnapshot(const std::string& path,
 
 Status QueryEngine::ReloadSnapshot(const std::string& path,
                                    storage::Env* env) {
+  // Load and index outside the lock — in-flight queries keep running on
+  // the old catalog during the (potentially long) decode.
   REGAL_ASSIGN_OR_RETURN(Instance loaded,
                          storage::LoadSnapshotFromFile(path, env));
   // `loaded` was constructed by the decoder, so it carries a fresh
@@ -176,6 +198,7 @@ Status QueryEngine::ReloadSnapshot(const std::string& path,
   // (id, epoch) become unreachable the moment the swap lands, even if the
   // snapshot's contents are byte-identical to the old catalog. The stale
   // entries age out of the LRU naturally.
+  std::unique_lock<std::shared_mutex> lock(*catalog_mu_);
   instance_ = std::move(loaded);
   stats_ = StatsFromInstance(instance_);
   // Views were defined against — and materialized from — the replaced
@@ -185,7 +208,143 @@ Status QueryEngine::ReloadSnapshot(const std::string& path,
   return Status::OK();
 }
 
+Result<QueryEngine> QueryEngine::OpenDurable(const std::string& dir,
+                                             recovery::DurableOptions options,
+                                             storage::Env* env,
+                                             std::optional<Digraph> rig) {
+  Instance instance;
+  REGAL_ASSIGN_OR_RETURN(
+      std::unique_ptr<recovery::DurableStore> store,
+      recovery::DurableStore::Open(env, dir, std::move(options), &instance));
+  QueryEngine engine(std::move(instance), std::move(rig));
+  engine.durable_ = std::move(store);
+  return engine;
+}
+
+Status QueryEngine::Apply(const recovery::Mutation& m) {
+  {
+    std::unique_lock<std::shared_mutex> lock(*catalog_mu_);
+    if (m.kind == recovery::MutationKind::kDefineRegions &&
+        instance_.Has(m.name)) {
+      // Rejected before journaling: the WAL must only ever hold records
+      // that apply unconditionally (that is what makes replay idempotent).
+      return Status::AlreadyExists("region name '" + m.name +
+                                   "' already defined");
+    }
+    if (durable_ != nullptr) {
+      REGAL_RETURN_NOT_OK(durable_->Journal(m));
+    }
+    REGAL_RETURN_NOT_OK(recovery::ApplyMutation(&instance_, m));
+    stats_ = StatsFromInstance(instance_);
+  }
+  MaybeCheckpoint();
+  return Status::OK();
+}
+
+Status QueryEngine::ApplyBatch(const std::vector<recovery::Mutation>& batch) {
+  if (batch.empty()) return Status::OK();
+  {
+    std::unique_lock<std::shared_mutex> lock(*catalog_mu_);
+    std::set<std::string> defined_in_batch;
+    for (const recovery::Mutation& m : batch) {
+      if (m.kind != recovery::MutationKind::kDefineRegions) continue;
+      if (instance_.Has(m.name) || !defined_in_batch.insert(m.name).second) {
+        return Status::AlreadyExists("region name '" + m.name +
+                                     "' already defined");
+      }
+    }
+    if (durable_ != nullptr) {
+      REGAL_RETURN_NOT_OK(durable_->JournalBatch(batch));
+    }
+    for (const recovery::Mutation& m : batch) {
+      REGAL_RETURN_NOT_OK(recovery::ApplyMutation(&instance_, m));
+    }
+    stats_ = StatsFromInstance(instance_);
+  }
+  MaybeCheckpoint();
+  return Status::OK();
+}
+
+Status QueryEngine::DefineRegions(const std::string& name, RegionSet regions) {
+  return Apply(recovery::Mutation::DefineRegions(name, std::move(regions)));
+}
+
+Status QueryEngine::ReplaceRegions(const std::string& name,
+                                   RegionSet regions) {
+  return Apply(recovery::Mutation::ReplaceRegions(name, std::move(regions)));
+}
+
+Status QueryEngine::BindText(std::string text) {
+  return Apply(recovery::Mutation::BindText(std::move(text)));
+}
+
+Status QueryEngine::SetSyntheticPattern(const Pattern& pattern,
+                                        RegionSet regions) {
+  return Apply(recovery::Mutation::SetPattern(pattern, std::move(regions)));
+}
+
+Status QueryEngine::Checkpoint() {
+  if (durable_ == nullptr) {
+    return Status::FailedPrecondition("engine has no durable store");
+  }
+  // Exclusive: the checkpoint must capture a catalog no mutation is
+  // half-way through, and the store's writer swap must not race a Journal.
+  std::unique_lock<std::shared_mutex> lock(*catalog_mu_);
+  return durable_->Checkpoint(instance_);
+}
+
+void QueryEngine::MaybeCheckpoint() {
+  if (durable_ == nullptr || !durable_->ShouldCheckpoint()) return;
+  if (checkpointer_ != nullptr) {
+    checkpointer_->cv.notify_one();
+    return;
+  }
+  // Inline and best-effort: a failed checkpoint leaves the WAL intact, so
+  // nothing acknowledged is at risk — the next mutation retries, and the
+  // failure is visible in regal_recovery_checkpoints_total{outcome=error}.
+  (void)Checkpoint();
+}
+
+Status QueryEngine::StartBackgroundCheckpointer(double interval_ms) {
+  if (durable_ == nullptr) {
+    return Status::FailedPrecondition("engine has no durable store");
+  }
+  if (checkpointer_ != nullptr) {
+    return Status::AlreadyExists("background checkpointer already running");
+  }
+  checkpointer_ = std::make_unique<Checkpointer>();
+  Checkpointer* state = checkpointer_.get();
+  state->thread = std::thread([this, state, interval_ms] {
+    std::unique_lock<std::mutex> lock(state->mu);
+    while (!state->stop) {
+      state->cv.wait_for(
+          lock, std::chrono::duration<double, std::milli>(interval_ms));
+      if (state->stop) break;
+      // ShouldCheckpoint reads atomics only; the catalog lock is taken
+      // inside Checkpoint(), never while holding state->mu's cv wait.
+      if (durable_->ShouldCheckpoint()) {
+        lock.unlock();
+        (void)Checkpoint();
+        lock.lock();
+      }
+    }
+  });
+  return Status::OK();
+}
+
+void QueryEngine::StopBackgroundCheckpointer() {
+  if (checkpointer_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(checkpointer_->mu);
+    checkpointer_->stop = true;
+  }
+  checkpointer_->cv.notify_all();
+  if (checkpointer_->thread.joinable()) checkpointer_->thread.join();
+  checkpointer_.reset();
+}
+
 Status QueryEngine::Validate() const {
+  std::shared_lock<std::shared_mutex> lock(*catalog_mu_);
   REGAL_RETURN_NOT_OK(instance_.Validate());
   if (rig_.has_value()) {
     REGAL_RETURN_NOT_OK(InstanceSatisfiesRig(instance_, *rig_));
@@ -234,6 +393,9 @@ Result<QueryAnswer> QueryEngine::RunExpr(const ExprPtr& expr, bool optimize,
 Result<QueryAnswer> QueryEngine::RunExprWithLimits(
     const ExprPtr& expr, const safety::QueryLimits& limits, bool optimize,
     bool profile) {
+  // Shared with every other in-flight query; excluded against Apply /
+  // ReloadSnapshot / Checkpoint, so the whole run sees one catalog.
+  std::shared_lock<std::shared_mutex> catalog_lock(*catalog_mu_);
   ExprPtr resolved = ResolveViews(expr);
   obs::Registry& registry = obs::Registry::Default();
   obs::FlightRecorder* recorder =
@@ -439,6 +601,7 @@ Result<QueryAnswer> QueryEngine::RunExprWithLimits(
 
 Result<QueryAnswer> QueryEngine::ExplainExpr(const ExprPtr& expr,
                                              bool optimize) {
+  std::shared_lock<std::shared_mutex> catalog_lock(*catalog_mu_);
   ExprPtr resolved = ResolveViews(expr);
   REGAL_RETURN_NOT_OK(CheckNames(instance_, materialized_views_, resolved));
   QueryAnswer answer;
@@ -471,12 +634,12 @@ Status QueryEngine::EnableAdminServer(admin::AdminOptions options) {
   if (options.recorder == nullptr) options.recorder = flight_recorder();
   REGAL_ASSIGN_OR_RETURN(std::unique_ptr<admin::AdminServer> server,
                          admin::AdminServer::Start(std::move(options)));
-  // Sections run on the server thread. They read counters and sizes that
-  // are either internally synchronized (cache, pool, recorder) or stable
-  // outside of catalog mutations; a scrape racing a ReloadSnapshot may see
-  // a torn row, which is acceptable for a diagnostics page.
+  // Sections run on the server thread. Catalog-derived rows take the
+  // catalog lock shared (a scrape must not observe a half-swapped reload);
+  // the rest read internally synchronized state (cache, pool, recorder).
   server->AddStatusSection("catalog", [this] {
     admin::StatusRows rows;
+    std::shared_lock<std::shared_mutex> lock(*catalog_mu_);
     rows.emplace_back("instance_id", std::to_string(instance_.id()));
     rows.emplace_back("epoch", std::to_string(instance_.epoch()));
     rows.emplace_back("region_names", std::to_string(instance_.names().size()));
@@ -526,6 +689,34 @@ Status QueryEngine::EnableAdminServer(admin::AdminOptions options) {
                       std::to_string(recorder->sample_period()));
     return rows;
   });
+  if (durable_ != nullptr) {
+    server->AddStatusSection("recovery", [this] {
+      admin::StatusRows rows;
+      std::shared_lock<std::shared_mutex> lock(*catalog_mu_);
+      const recovery::RecoveryHealth& health = durable_->health();
+      rows.emplace_back("degraded", durable_->degraded() ? "true" : "false");
+      rows.emplace_back("checkpoint_lsn",
+                        std::to_string(durable_->checkpoint_lsn()));
+      rows.emplace_back("last_lsn", std::to_string(durable_->last_lsn()));
+      rows.emplace_back("records_since_checkpoint",
+                        std::to_string(durable_->records_since_checkpoint()));
+      rows.emplace_back("replayed_records",
+                        std::to_string(health.replayed_records));
+      rows.emplace_back("torn_tail_bytes",
+                        std::to_string(health.torn_tail_bytes));
+      rows.emplace_back("salvaged_sections",
+                        std::to_string(health.salvage.sections_kept));
+      rows.emplace_back("dropped_sections",
+                        std::to_string(health.salvage.sections_dropped));
+      rows.emplace_back("quarantined",
+                        health.quarantined.empty() ? "(none)"
+                                                   : health.quarantined.back());
+      if (!health.notes.empty()) {
+        rows.emplace_back("last_note", health.notes.back());
+      }
+      return rows;
+    });
+  }
   server->AddStatusSection("cpu", [] {
     admin::StatusRows rows;
     const util::CpuFeatures& f = util::CpuInfo();
@@ -579,6 +770,7 @@ ExprPtr QueryEngine::ResolveViews(const ExprPtr& expr) const {
 
 Status QueryEngine::DefineView(const std::string& name,
                                const std::string& query) {
+  std::unique_lock<std::shared_mutex> lock(*catalog_mu_);
   REGAL_RETURN_NOT_OK(CheckViewName(name));
   REGAL_ASSIGN_OR_RETURN(ExprPtr expr, ParseQuery(query));
   // Splice existing views now, so later definitions cannot create cycles.
@@ -595,10 +787,19 @@ Status QueryEngine::DefineView(const std::string& name,
 Status QueryEngine::DefineSpanView(const std::string& name,
                                    const std::string& starts_query,
                                    const std::string& ends_query) {
-  REGAL_RETURN_NOT_OK(CheckViewName(name));
+  {
+    std::shared_lock<std::shared_mutex> lock(*catalog_mu_);
+    REGAL_RETURN_NOT_OK(CheckViewName(name));
+  }
+  // Run() takes the catalog lock shared itself, so it must not be held
+  // here (shared_mutex is not recursive).
   REGAL_ASSIGN_OR_RETURN(QueryAnswer starts, Run(starts_query));
   REGAL_ASSIGN_OR_RETURN(QueryAnswer ends, Run(ends_query));
   RegionSet spans = SpanJoin(starts.regions, ends.regions);
+  std::unique_lock<std::shared_mutex> lock(*catalog_mu_);
+  // Re-check under the write lock: the name may have appeared while the
+  // defining queries ran.
+  REGAL_RETURN_NOT_OK(CheckViewName(name));
   stats_.cardinality[name] = static_cast<double>(spans.size());
   materialized_views_[name] = std::move(spans);
   return Status::OK();
@@ -607,6 +808,7 @@ Status QueryEngine::DefineSpanView(const std::string& name,
 Status QueryEngine::DefineWindowView(const std::string& name,
                                      const Pattern& pattern, Offset before,
                                      Offset after) {
+  std::unique_lock<std::shared_mutex> lock(*catalog_mu_);
   REGAL_RETURN_NOT_OK(CheckViewName(name));
   if (instance_.text() == nullptr || instance_.word_index() == nullptr) {
     return Status::FailedPrecondition(

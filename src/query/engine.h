@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,7 @@
 #include "obs/trace.h"
 #include "opt/cost.h"
 #include "opt/optimizer.h"
+#include "recovery/durable.h"
 #include "safety/context.h"
 #include "storage/snapshot.h"
 #include "util/status.h"
@@ -87,6 +89,14 @@ class QueryEngine {
   explicit QueryEngine(Instance instance,
                        std::optional<Digraph> rig = std::nullopt);
 
+  ~QueryEngine();
+
+  /// Movable while quiescent only: the background checkpointer and the
+  /// admin server hold `this`, so neither may be running across a move.
+  /// (Defaulted out-of-line: Checkpointer is incomplete here.)
+  QueryEngine(QueryEngine&&);
+  QueryEngine& operator=(QueryEngine&&);
+
   /// Convenience constructors for the bundled corpus formats.
   static Result<QueryEngine> FromProgramSource(const std::string& source);
   static Result<QueryEngine> FromSgmlSource(const std::string& source);
@@ -113,8 +123,55 @@ class QueryEngine {
   /// fresh (id, epoch) identity, so result-cache entries keyed to the
   /// pre-reload catalog can never serve stale answers; expression and
   /// materialized views are dropped (they were derived from the old
-  /// catalog). On failure the engine is untouched.
+  /// catalog). On failure the engine is untouched. The swap excludes
+  /// in-flight queries (catalog write lock), so a query observes either
+  /// the old catalog or the new one, never a half-replaced state.
   Status ReloadSnapshot(const std::string& path, storage::Env* env = nullptr);
+
+  // --- Write-ahead log & crash recovery (see recovery/ and DESIGN.md
+  // "Recovery & write-ahead log") ---
+
+  /// Opens (or creates) a *durable* engine over the WAL + snapshot +
+  /// manifest directory `dir`: crash recovery replays journaled mutations
+  /// past the last checkpoint, a corrupted snapshot is quarantined and
+  /// salvaged into a degraded-mode catalog (see DurableStore::Open), and
+  /// every subsequent Apply() is journaled before it lands.
+  static Result<QueryEngine> OpenDurable(
+      const std::string& dir, recovery::DurableOptions options = {},
+      storage::Env* env = nullptr, std::optional<Digraph> rig = std::nullopt);
+
+  /// Applies one catalog mutation, journal-first when durable: the record
+  /// is in the WAL (durable per the sync policy) before the in-memory
+  /// catalog changes, so an acknowledged mutation survives any crash.
+  /// Works on non-durable engines too (the journaling step is skipped).
+  /// DefineRegions on an existing name fails (AlreadyExists) *before*
+  /// journaling — the WAL only ever holds applicable records.
+  Status Apply(const recovery::Mutation& m);
+
+  /// Group commit: journals the whole batch with one fsync, then applies.
+  Status ApplyBatch(const std::vector<recovery::Mutation>& batch);
+
+  /// Convenience mutators over Apply().
+  Status DefineRegions(const std::string& name, RegionSet regions);
+  Status ReplaceRegions(const std::string& name, RegionSet regions);
+  Status BindText(std::string text);
+  Status SetSyntheticPattern(const Pattern& pattern, RegionSet regions);
+
+  /// Checkpoints now: clean snapshot, manifest advance, WAL reset. Heals a
+  /// degraded open. FailedPrecondition on a non-durable engine.
+  Status Checkpoint();
+
+  /// Starts a thread that checkpoints whenever the journal reaches the
+  /// configured threshold (or the store is degraded), checking at least
+  /// every `interval_ms`. Like the admin server, the engine must outlive —
+  /// and must not be moved while — the checkpointer runs.
+  Status StartBackgroundCheckpointer(double interval_ms = 1000.0);
+  /// Stops and joins the checkpointer thread. Idempotent.
+  void StopBackgroundCheckpointer();
+
+  /// The durable store, or null for in-memory engines. Health is stable
+  /// between mutations (read it from the mutating thread or /statusz).
+  recovery::DurableStore* durable_store() { return durable_.get(); }
 
   const Instance& instance() const { return instance_; }
   const std::optional<Digraph>& rig() const { return rig_; }
@@ -254,6 +311,8 @@ class QueryEngine {
   admin::AdminServer* admin_server() { return admin_server_.get(); }
 
  private:
+  struct Checkpointer;
+
   Result<QueryAnswer> RunExprWithLimits(const ExprPtr& expr,
                                         const safety::QueryLimits& limits,
                                         bool optimize, bool profile);
@@ -261,7 +320,16 @@ class QueryEngine {
   /// Splices expression views into `expr` (views may reference earlier
   /// views; definition-time splicing keeps this acyclic).
   ExprPtr ResolveViews(const ExprPtr& expr) const;
+  /// Runs a threshold-reached checkpoint after a mutation: hands off to
+  /// the background checkpointer when running, else checkpoints inline.
+  void MaybeCheckpoint();
 
+  // Catalog read-write lock: queries / explain / statusz hold it shared,
+  // Apply / ReloadSnapshot / view definition hold it exclusive — so no
+  // query ever observes a half-replayed or half-swapped catalog. In a
+  // unique_ptr because shared_mutex is immovable and the engine is not.
+  std::unique_ptr<std::shared_mutex> catalog_mu_ =
+      std::make_unique<std::shared_mutex>();
   Instance instance_;
   std::optional<Digraph> rig_;
   CatalogStats stats_;
@@ -276,6 +344,8 @@ class QueryEngine {
   bool result_cache_enabled_ = true;
   bool telemetry_enabled_ = true;
   obs::FlightRecorder* recorder_ = nullptr;
+  std::unique_ptr<recovery::DurableStore> durable_;
+  std::unique_ptr<Checkpointer> checkpointer_;
   // Declared last so it stops (joining its thread) before the state its
   // status sections read is torn down.
   std::unique_ptr<admin::AdminServer> admin_server_;

@@ -81,6 +81,22 @@ class PosixEnv : public Env {
         std::make_unique<PosixWritableFile>(fd, path));
   }
 
+  Result<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path) override {
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0) return ErrnoStatus("open", path, errno);
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(fd, path));
+  }
+
+  Result<uint64_t> FileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      return ErrnoStatus("stat", path, errno);
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+
   Result<std::string> ReadFileToString(const std::string& path) override {
     int fd = ::open(path.c_str(), O_RDONLY);
     if (fd < 0) return ErrnoStatus("open", path, errno);
@@ -150,6 +166,22 @@ constexpr size_t kAtomicWriteChunk = 1 << 16;
 Env* Env::Default() {
   static PosixEnv* env = new PosixEnv;
   return env;
+}
+
+Status Env::CreateDirs(const std::string& dir) {
+  if (dir.empty()) return Status::OK();
+  // mkdir -p: create each prefix, tolerating the ones that already exist
+  // (EEXIST covers a concurrent creator too, which is the same outcome).
+  for (size_t slash = dir.find('/', 1); true;
+       slash = dir.find('/', slash + 1)) {
+    const std::string prefix =
+        slash == std::string::npos ? dir : dir.substr(0, slash);
+    if (!prefix.empty() &&
+        ::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return ErrnoStatus("mkdir", prefix, errno);
+    }
+    if (slash == std::string::npos) return Status::OK();
+  }
 }
 
 std::string ParentDir(const std::string& path) {

@@ -38,6 +38,17 @@ class Env {
   virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
       const std::string& path) = 0;
 
+  /// Opens `path` for appending, creating it when absent and preserving any
+  /// existing contents — the open mode of a write-ahead log, which must
+  /// survive reopen-after-crash without truncating its history.
+  virtual Result<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path) = 0;
+
+  /// Size of `path` in bytes; NotFound when absent. The WAL reader uses it
+  /// to truncate torn tails through the Env (never raw syscalls), so fault
+  /// injection covers that path too.
+  virtual Result<uint64_t> FileSize(const std::string& path) = 0;
+
   /// Reads an entire file. NotFound when absent; snapshot loads work on the
   /// full byte buffer (the snapshot reader validates framing before trusting
   /// any length field, so no allocation is driven by file *content*).
@@ -56,6 +67,11 @@ class Env {
   virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
 
   virtual bool FileExists(const std::string& path) = 0;
+
+  /// mkdir -p. Defaulted (not pure) so Env implementations that never see
+  /// a missing directory — fault-injection wrappers drive pre-created
+  /// stores — inherit the POSIX behavior without forwarding it.
+  virtual Status CreateDirs(const std::string& dir);
 
   /// The process-wide POSIX environment.
   static Env* Default();

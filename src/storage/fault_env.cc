@@ -24,6 +24,7 @@ class FaultInjectionWritableFile : public WritableFile {
       : env_(env), path_(std::move(path)), base_(std::move(base)) {}
 
   Status Append(std::string_view data) override {
+    REGAL_RETURN_NOT_OK(env_->ConsumeTransient(EnvOpKind::kAppend, path_));
     if (safety::FailpointFires(kFailpointWriteEnospc)) {
       return Status::ResourceExhausted(
           "no space left on device (injected at '" + path_ + "')");
@@ -59,6 +60,7 @@ class FaultInjectionWritableFile : public WritableFile {
   }
 
   Status Sync() override {
+    REGAL_RETURN_NOT_OK(env_->ConsumeTransient(EnvOpKind::kSync, path_));
     if (safety::FailpointFires(kFailpointSyncEio)) {
       return Status::Internal("I/O error (injected fsync failure at '" +
                               path_ + "')");
@@ -93,6 +95,31 @@ FaultInjectionEnv::FaultInjectionEnv(Env* base) : base_(base) {}
 
 FaultInjectionEnv::~FaultInjectionEnv() = default;
 
+void FaultInjectionEnv::InjectTransient(EnvOpKind kind, int count,
+                                        bool enospc) {
+  transient_[kind] = TransientState{count, enospc};
+}
+
+int FaultInjectionEnv::TransientRemaining(EnvOpKind kind) const {
+  auto it = transient_.find(kind);
+  return it == transient_.end() ? 0 : it->second.remaining;
+}
+
+Status FaultInjectionEnv::ConsumeTransient(EnvOpKind kind,
+                                           const std::string& path) {
+  auto it = transient_.find(kind);
+  if (it == transient_.end() || it->second.remaining <= 0) {
+    return Status::OK();
+  }
+  --it->second.remaining;
+  if (it->second.enospc) {
+    return Status::ResourceExhausted(
+        "no space left on device (transient injection at '" + path + "')");
+  }
+  return Status::Internal("I/O error (transient injection at '" + path +
+                          "')");
+}
+
 void FaultInjectionEnv::CrashAfterOps(int64_t op, uint64_t torn_tail_bytes) {
   crash_at_op_ = op_count_ + op;
   torn_tail_bytes_ = torn_tail_bytes;
@@ -117,6 +144,7 @@ bool FaultInjectionEnv::AdmitOp(uint64_t* torn_budget) {
 
 Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
     const std::string& path) {
+  REGAL_RETURN_NOT_OK(ConsumeTransient(EnvOpKind::kOpen, path));
   if (safety::FailpointFires(kFailpointOpenEio)) {
     return Status::Internal("I/O error (injected open failure at '" + path +
                             "')");
@@ -131,6 +159,38 @@ Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
                                                    std::move(base)));
 }
 
+Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewAppendableFile(
+    const std::string& path) {
+  REGAL_RETURN_NOT_OK(ConsumeTransient(EnvOpKind::kOpen, path));
+  if (safety::FailpointFires(kFailpointOpenEio)) {
+    return Status::Internal("I/O error (injected open failure at '" + path +
+                            "')");
+  }
+  uint64_t torn = 0;
+  if (!AdmitOp(&torn)) return CrashedStatus();
+  const bool existed = base_->FileExists(path);
+  REGAL_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                         base_->NewAppendableFile(path));
+  if (files_.find(path) == files_.end()) {
+    // Pre-existing bytes are already on the platter: a simulated crash can
+    // only lose what was appended (and not synced) through *this* env.
+    FileState state;
+    if (existed) {
+      auto size = base_->FileSize(path);
+      state.written = state.synced = size.ok() ? *size : 0;
+      state.durable_entry = true;
+    }
+    files_[path] = state;
+  }
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultInjectionWritableFile>(this, path,
+                                                   std::move(base)));
+}
+
+Result<uint64_t> FaultInjectionEnv::FileSize(const std::string& path) {
+  return base_->FileSize(path);
+}
+
 Result<std::string> FaultInjectionEnv::ReadFileToString(
     const std::string& path) {
   return base_->ReadFileToString(path);
@@ -138,6 +198,7 @@ Result<std::string> FaultInjectionEnv::ReadFileToString(
 
 Status FaultInjectionEnv::RenameFile(const std::string& from,
                                      const std::string& to) {
+  REGAL_RETURN_NOT_OK(ConsumeTransient(EnvOpKind::kRename, from));
   if (safety::FailpointFires(kFailpointRenameEio)) {
     return Status::Internal("I/O error (injected rename failure '" + from +
                             "' -> '" + to + "')");
@@ -166,6 +227,7 @@ Status FaultInjectionEnv::RenameFile(const std::string& from,
 }
 
 Status FaultInjectionEnv::SyncDir(const std::string& dir) {
+  REGAL_RETURN_NOT_OK(ConsumeTransient(EnvOpKind::kDirSync, dir));
   if (safety::FailpointFires(kFailpointDirSyncEio)) {
     return Status::Internal("I/O error (injected dir-fsync failure at '" +
                             dir + "')");
@@ -186,6 +248,7 @@ Status FaultInjectionEnv::SyncDir(const std::string& dir) {
 }
 
 Status FaultInjectionEnv::RemoveFile(const std::string& path) {
+  REGAL_RETURN_NOT_OK(ConsumeTransient(EnvOpKind::kRemove, path));
   uint64_t torn = 0;
   if (!AdmitOp(&torn)) return CrashedStatus();
   REGAL_RETURN_NOT_OK(base_->RemoveFile(path));
@@ -195,6 +258,7 @@ Status FaultInjectionEnv::RemoveFile(const std::string& path) {
 
 Status FaultInjectionEnv::TruncateFile(const std::string& path,
                                        uint64_t size) {
+  REGAL_RETURN_NOT_OK(ConsumeTransient(EnvOpKind::kTruncate, path));
   uint64_t torn = 0;
   if (!AdmitOp(&torn)) return CrashedStatus();
   REGAL_RETURN_NOT_OK(base_->TruncateFile(path, size));

@@ -55,10 +55,34 @@ inline constexpr char kFailpointCrash[] = "storage.env.crash";
 ///
 /// Reads are never failed or counted: the injection models the write path,
 /// and recovery asserts what a *reader* observes afterwards.
+/// The mutating env operations, for per-operation transient injection.
+enum class EnvOpKind {
+  kOpen,
+  kAppend,
+  kSync,
+  kRename,
+  kDirSync,
+  kRemove,
+  kTruncate,
+};
+
 class FaultInjectionEnv : public Env {
  public:
   explicit FaultInjectionEnv(Env* base = Env::Default());
   ~FaultInjectionEnv() override;
+
+  // --- Transient failures ----------------------------------------------
+  /// Transient-vs-permanent error modes: the next `count` operations of
+  /// `kind` fail — with kResourceExhausted (a filling disk) when `enospc`,
+  /// kInternal (EIO) otherwise — and then operations succeed again. This
+  /// models a device that recovers, so the retry/backoff path
+  /// (recovery/retry.h) is testable deterministically: arm `count` below
+  /// the retry budget and the operation must eventually succeed; arm it
+  /// above and the typed error must surface. Failed ops have no filesystem
+  /// effect and do not advance the crash-simulation op counter.
+  void InjectTransient(EnvOpKind kind, int count, bool enospc = false);
+  /// Injected failures of `kind` not yet consumed.
+  int TransientRemaining(EnvOpKind kind) const;
 
   // --- Crash simulation -------------------------------------------------
   /// Arms the crash: the op with 0-based index `op` (counting from *now*)
@@ -73,6 +97,9 @@ class FaultInjectionEnv : public Env {
   // --- Env interface ----------------------------------------------------
   Result<std::unique_ptr<WritableFile>> NewWritableFile(
       const std::string& path) override;
+  Result<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path) override;
+  Result<uint64_t> FileSize(const std::string& path) override;
   Result<std::string> ReadFileToString(const std::string& path) override;
   Status RenameFile(const std::string& from, const std::string& to) override;
   Status SyncDir(const std::string& dir) override;
@@ -101,7 +128,16 @@ class FaultInjectionEnv : public Env {
   /// kill point is exactly this op (appends only).
   bool AdmitOp(uint64_t* torn_budget);
 
+  /// Consumes one armed transient failure of `kind`, returning its typed
+  /// error; OK when none is armed.
+  Status ConsumeTransient(EnvOpKind kind, const std::string& path);
+
   Env* base_;
+  struct TransientState {
+    int remaining = 0;
+    bool enospc = false;
+  };
+  std::map<EnvOpKind, TransientState> transient_;
   bool crashed_ = false;
   int64_t op_count_ = 0;
   int64_t crash_at_op_ = -1;

@@ -10,6 +10,7 @@
 #include "storage/checksum.h"
 #include "storage/compress.h"
 #include "storage/serialize.h"
+#include "storage/wire.h"
 #include "util/timer.h"
 
 namespace regal {
@@ -31,26 +32,6 @@ constexpr size_t kSectionHeader = 9;
 constexpr size_t kSectionCrc = 4;
 constexpr size_t kFooterPayload = 8 + 4;  // body_section_count + file crc.
 
-void PutU32(std::string* out, uint32_t v) {
-  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
-}
-
-void PutU64(std::string* out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
-}
-
-uint32_t GetU32(const char* p) {
-  uint32_t v = 0;
-  std::memcpy(&v, p, 4);  // Little-endian host assumed (x86/arm64 linux).
-  return v;
-}
-
-uint64_t GetU64(const char* p) {
-  uint64_t v = 0;
-  std::memcpy(&v, p, 8);
-  return v;
-}
-
 // Frames `payload` as a section: tag, length, payload, CRC over all three.
 void AppendSection(std::string* out, uint8_t tag, std::string_view payload) {
   const size_t start = out->size();
@@ -59,49 +40,6 @@ void AppendSection(std::string* out, uint8_t tag, std::string_view payload) {
   out->append(payload.data(), payload.size());
   PutU32(out, Crc32c(std::string_view(out->data() + start,
                                       out->size() - start)));
-}
-
-void PutVarint(std::string* out, uint64_t v) {
-  while (v >= 0x80) {
-    out->push_back(static_cast<char>(v | 0x80));
-    v >>= 7;
-  }
-  out->push_back(static_cast<char>(v));
-}
-
-// Zigzag maps small-magnitude signed deltas to small unsigned varints
-// (0,-1,1,-2 -> 0,1,2,3); region lists are sorted by left, so both deltas
-// below are typically tiny and a region costs ~2 bytes instead of 8.
-uint64_t ZigZag(int64_t v) {
-  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
-}
-
-int64_t UnZigZag(uint64_t v) {
-  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
-}
-
-bool GetVarint(const char** p, const char* end, uint64_t* v) {
-  uint64_t result = 0;
-  for (int shift = 0; shift < 64; shift += 7) {
-    if (*p == end) return false;
-    const uint8_t byte = static_cast<uint8_t>(*(*p)++);
-    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
-    if ((byte & 0x80) == 0) {
-      *v = result;
-      return true;
-    }
-  }
-  return false;  // More than 10 continuation bytes: not a valid varint.
-}
-
-void AppendRegions(std::string* out, const RegionSet& set) {
-  PutU64(out, set.size());
-  int64_t prev_left = 0;
-  for (const Region& r : set) {
-    PutVarint(out, ZigZag(r.left - prev_left));
-    PutVarint(out, ZigZag(r.right - static_cast<int64_t>(r.left)));
-    prev_left = r.left;
-  }
 }
 
 Status DataLossCounted(const char* kind, std::string message) {
@@ -205,7 +143,7 @@ Result<std::string> EncodeSnapshot(const Instance& instance) {
     payload.clear();
     PutU32(&payload, static_cast<uint32_t>(name.size()));
     payload += name;
-    AppendRegions(&payload, **instance.Get(name));
+    AppendRegionList(&payload, **instance.Get(name));
     AppendSection(&out, kTagRegions, payload);
     ++body_sections;
   }
@@ -216,7 +154,7 @@ Result<std::string> EncodeSnapshot(const Instance& instance) {
     payload.clear();
     PutU32(&payload, static_cast<uint32_t>(key.size()));
     payload += key;
-    AppendRegions(&payload, set);
+    AppendRegionList(&payload, set);
     AppendSection(&out, kTagPattern, payload);
     ++body_sections;
   }
@@ -352,6 +290,145 @@ Result<Instance> DecodeSnapshot(std::string_view bytes) {
       instance.SetSyntheticPattern(p,
                                    RegionSet::FromUnsorted(std::move(regions)));
     }
+  }
+  if (text != nullptr) {
+    auto index = std::make_shared<SuffixArrayWordIndex>(text.get());
+    instance.BindText(text, std::move(index));
+  }
+  return instance;
+}
+
+Result<Instance> SalvageSnapshot(std::string_view bytes,
+                                 SalvageReport* report) {
+  *report = SalvageReport{};
+  if (!LooksLikeRegal2(bytes)) {
+    // Without the magic nothing marks these bytes as a snapshot at all;
+    // "salvaging" arbitrary data would fabricate regions out of noise.
+    return Status::DataLoss("salvage: REGAL2 magic is gone");
+  }
+  obs::Registry& registry = obs::Registry::Default();
+  auto note = [&](std::string message) {
+    report->damage.push_back(std::move(message));
+  };
+  auto drop = [&](std::string message) {
+    ++report->sections_dropped;
+    registry
+        .GetCounter("regal_recovery_salvaged_sections_total",
+                    {{"outcome", "dropped"}})
+        ->Increment();
+    note(std::move(message));
+  };
+
+  // Walk the section framing, keeping what verifies. A section whose CRC
+  // fails is skipped by its declared length — the length is unverified at
+  // that point, but every subsequent position is re-validated against the
+  // buffer, so a corrupt length can only lose more sections, never read
+  // out of bounds or admit unverified data.
+  std::vector<Section> kept;
+  size_t pos = kMagicSize;
+  while (pos < bytes.size()) {
+    const size_t remaining = bytes.size() - pos;
+    if (remaining < kSectionHeader + kSectionCrc) {
+      report->tail_bytes_dropped = remaining;
+      note("salvage: " + std::to_string(remaining) +
+           " trailing bytes too short for a section frame");
+      break;
+    }
+    const uint8_t tag = static_cast<uint8_t>(bytes[pos]);
+    const uint64_t len = GetU64(bytes.data() + pos + 1);
+    if (tag != kTagText && tag != kTagRegions && tag != kTagPattern &&
+        tag != kTagFooter) {
+      // An unknown tag means the frame boundary itself is untrustworthy;
+      // everything from here on is abandoned rather than misparsed.
+      report->tail_bytes_dropped = remaining;
+      note("salvage: unknown section tag " + std::to_string(tag) +
+           " at offset " + std::to_string(pos) + "; abandoning tail");
+      break;
+    }
+    if (len > remaining - kSectionHeader - kSectionCrc) {
+      report->tail_bytes_dropped = remaining;
+      note("salvage: section at offset " + std::to_string(pos) +
+           " overruns the file (torn tail)");
+      break;
+    }
+    const std::string_view framed = bytes.substr(pos, kSectionHeader + len);
+    const uint32_t stored_crc =
+        GetU32(bytes.data() + pos + kSectionHeader + len);
+    const bool crc_ok = Crc32c(framed) == stored_crc;
+    if (tag == kTagFooter) {
+      if (crc_ok && len == kFooterPayload) report->footer_ok = true;
+      // The whole-file CRC cannot hold once any section was dropped; the
+      // footer's only salvage value is marking "the writer finished".
+      pos += kSectionHeader + len + kSectionCrc;
+      continue;
+    }
+    if (!crc_ok) {
+      drop("salvage: checksum mismatch in section at offset " +
+           std::to_string(pos));
+    } else {
+      kept.push_back(Section{tag, framed.substr(kSectionHeader)});
+    }
+    pos += kSectionHeader + len + kSectionCrc;
+  }
+
+  // Build the instance from the surviving sections, tolerantly: a payload
+  // that fails to parse is dropped (its CRC passed, so this means the
+  // writer died mid-format or the damage hit the length field), and a
+  // duplicate name replaces rather than errors — replay must converge.
+  Instance instance;
+  std::shared_ptr<Text> text;
+  for (const Section& section : kept) {
+    if (section.tag == kTagText) {
+      if (section.payload.size() < 9) {
+        drop("salvage: text section header too short");
+        continue;
+      }
+      const uint8_t codec = static_cast<uint8_t>(section.payload[0]);
+      const uint64_t raw_size = GetU64(section.payload.data() + 1);
+      const std::string_view body = section.payload.substr(9);
+      if (raw_size > INT32_MAX) {
+        drop("salvage: text size out of range");
+        continue;
+      }
+      if (codec == 0 && body.size() == raw_size) {
+        text = std::make_shared<Text>(std::string(body));
+      } else if (codec == 1) {
+        Result<std::string> content = LzDecompress(body, raw_size);
+        if (!content.ok()) {
+          drop("salvage: text failed to decompress: " +
+               content.status().message());
+          continue;
+        }
+        text = std::make_shared<Text>(std::move(content).value());
+      } else {
+        drop("salvage: bad text codec/size");
+        continue;
+      }
+    } else {
+      std::string label;
+      std::vector<Region> regions;
+      Status parsed = ParseLabeledRegions(section.payload, &label, &regions);
+      if (!parsed.ok()) {
+        drop("salvage: section payload unparsable: " + parsed.message());
+        continue;
+      }
+      if (section.tag == kTagRegions) {
+        instance.SetRegionSet(label, RegionSet::FromUnsorted(std::move(regions)));
+      } else {
+        Result<Pattern> p = Pattern::FromCacheKey(label);
+        if (!p.ok()) {
+          drop("salvage: bad pattern key: " + p.status().message());
+          continue;
+        }
+        instance.SetSyntheticPattern(
+            *p, RegionSet::FromUnsorted(std::move(regions)));
+      }
+    }
+    ++report->sections_kept;
+    registry
+        .GetCounter("regal_recovery_salvaged_sections_total",
+                    {{"outcome", "kept"}})
+        ->Increment();
   }
   if (text != nullptr) {
     auto index = std::make_shared<SuffixArrayWordIndex>(text.get());

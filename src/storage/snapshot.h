@@ -3,6 +3,7 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/instance.h"
 #include "storage/env.h"
@@ -64,6 +65,30 @@ Result<std::string> EncodeSnapshot(const Instance& instance);
 
 /// Decodes REGAL2 bytes; text-backed instances rebuild their word index.
 Result<Instance> DecodeSnapshot(std::string_view bytes);
+
+/// What SalvageSnapshot managed to pull out of a damaged REGAL2 file.
+struct SalvageReport {
+  int sections_kept = 0;     ///< Body sections whose CRC and payload parsed.
+  int sections_dropped = 0;  ///< Sections skipped over damage.
+  uint64_t tail_bytes_dropped = 0;  ///< Bytes abandoned at the first
+                                    ///< unrecoverable framing break.
+  bool footer_ok = false;  ///< A structurally valid footer was reached.
+  /// One human-readable note per piece of damage, for /statusz and logs.
+  std::vector<std::string> damage;
+};
+
+/// Best-effort reader for a *damaged* REGAL2 snapshot: where DecodeSnapshot
+/// refuses the whole file on the first bad byte, this walks the section
+/// framing, keeps every section whose own CRC and payload still verify, and
+/// skips (or abandons, when the framing itself is broken) the rest. Each
+/// kept section is individually checksummed, so salvage never admits
+/// silently corrupted data — it only tolerates *missing* data. Fails only
+/// when the REGAL2 magic itself is gone (nothing identifies the bytes as a
+/// snapshot). The degraded-open path (recovery/durable.h) quarantines the
+/// damaged file and serves the salvaged instance until the next checkpoint
+/// rewrites a clean one.
+Result<Instance> SalvageSnapshot(std::string_view bytes,
+                                 SalvageReport* report);
 
 /// True when `bytes` begin with the REGAL2 magic (format sniffing).
 bool LooksLikeRegal2(std::string_view bytes);

@@ -1,0 +1,89 @@
+#ifndef REGAL_STORAGE_WIRE_H_
+#define REGAL_STORAGE_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "core/region.h"
+#include "core/region_set.h"
+
+namespace regal {
+namespace storage {
+
+/// Binary wire primitives shared by the REGAL2 snapshot format
+/// (storage/snapshot.cc) and the write-ahead log (recovery/wal.cc). Both
+/// formats must stay bit-identical across saves, so these helpers are the
+/// single definition of how integers, varints and region lists are framed.
+/// All fixed-width integers are little-endian (x86/arm64 linux assumed, as
+/// everywhere else in the storage layer).
+
+inline void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+inline void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+inline uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+inline void PutVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+/// Zigzag maps small-magnitude signed deltas to small unsigned varints
+/// (0,-1,1,-2 -> 0,1,2,3); region lists are sorted by left, so delta
+/// encoding makes a region cost ~2 bytes instead of 8.
+inline uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t UnZigZag(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+inline bool GetVarint(const char** p, const char* end, uint64_t* v) {
+  uint64_t result = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (*p == end) return false;
+    const uint8_t byte = static_cast<uint8_t>(*(*p)++);
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return true;
+    }
+  }
+  return false;  // More than 10 continuation bytes: not a valid varint.
+}
+
+/// u64 count, then count x (zigzag-varint left-delta, zigzag-varint width).
+inline void AppendRegionList(std::string* out, const RegionSet& set) {
+  PutU64(out, set.size());
+  int64_t prev_left = 0;
+  for (const Region& r : set) {
+    PutVarint(out, ZigZag(r.left - prev_left));
+    PutVarint(out, ZigZag(r.right - static_cast<int64_t>(r.left)));
+    prev_left = r.left;
+  }
+}
+
+}  // namespace storage
+}  // namespace regal
+
+#endif  // REGAL_STORAGE_WIRE_H_

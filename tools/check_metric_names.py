@@ -10,6 +10,9 @@ with these rules:
 
   * lowercase [a-z0-9_] only, at least three '_'-separated components,
     'regal' first;
+  * the <subsystem> component is one of KNOWN_SUBSYSTEMS below — a new
+    subsystem is a deliberate act (add it here in the same change), never
+    a typo like 'regal_recvoery_...' silently minting a parallel family;
   * counters end in '_total' (Prometheus counter convention);
   * gauges and histograms do NOT end in '_total';
   * histograms end in a recognized unit suffix (_ms, _us, _s, _seconds,
@@ -29,6 +32,19 @@ REGISTRATION = re.compile(
     r'Get(Counter|Gauge|Histogram)\(\s*"([^"]*)"', re.MULTILINE)
 NAME = re.compile(r"^regal_[a-z][a-z0-9]*(_[a-z0-9]+)+$")
 HISTOGRAM_UNITS = ("_ms", "_us", "_s", "_seconds", "_bytes", "_ratio")
+KNOWN_SUBSYSTEMS = frozenset({
+    "cache",      # cache/result_cache.h
+    "engine",     # query/engine.h
+    "exec",       # exec/thread_pool.h
+    "log",        # obs/log.h
+    "queries",    # query counters (regal_queries_total{verb})
+    "query",      # per-query latency/memory histograms
+    "recorder",   # obs/flight_recorder.h
+    "recovery",   # recovery/ (crash recovery, salvage, checkpoints)
+    "safety",     # safety/ (admission, degradation, failpoints)
+    "storage",    # storage/ (snapshots, atomic writes)
+    "wal",        # recovery/wal.h (write-ahead log)
+})
 SOURCE_EXTENSIONS = (".cc", ".h", ".cpp", ".hpp")
 
 
@@ -66,6 +82,12 @@ def main(argv):
                     "regal_<subsystem>_<noun>[_<unit>] "
                     "(lowercase, >= 3 components)")
                 continue
+            subsystem = name.split("_")[1]
+            if subsystem not in KNOWN_SUBSYSTEMS:
+                errors.append(
+                    f"{site}: '{name}' uses unknown subsystem "
+                    f"'{subsystem}' (add it to KNOWN_SUBSYSTEMS in "
+                    "tools/check_metric_names.py if intentional)")
             if kind == "Counter" and not name.endswith("_total"):
                 errors.append(
                     f"{site}: counter '{name}' must end in '_total'")
