@@ -13,6 +13,7 @@
 #include "obs/export.h"
 #include "obs/json.h"
 #include "obs/prometheus.h"
+#include "server/net.h"
 
 namespace regal {
 namespace admin {
@@ -20,31 +21,12 @@ namespace admin {
 namespace {
 
 constexpr size_t kMaxRequestBytes = 8192;
+constexpr int kSocketTimeoutMs = 5000;
+constexpr int kMaxAdminConnections = 8;
 constexpr const char* kPrometheusContentType =
     "text/plain; version=0.0.4; charset=utf-8";
 constexpr const char* kTextContentType = "text/plain; charset=utf-8";
 constexpr const char* kJsonContentType = "application/json";
-
-void SetSocketTimeouts(int fd) {
-  struct timeval tv;
-  tv.tv_sec = 5;
-  tv.tv_usec = 0;
-  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-}
-
-bool SendAll(int fd, const char* data, size_t size) {
-  size_t sent = 0;
-  while (sent < size) {
-    ssize_t n = send(fd, data + sent, size - sent, 0);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return true;
-}
 
 const char* ReasonPhrase(int status) {
   switch (status) {
@@ -66,24 +48,51 @@ void WriteResponse(int fd, int status, const std::string& content_type,
                      content_type + "\r\nContent-Length: " +
                      std::to_string(body.size()) +
                      "\r\nConnection: close\r\n\r\n";
-  if (SendAll(fd, head.data(), head.size())) {
-    SendAll(fd, body.data(), body.size());
+  if (net::SendAll(fd, head.data(), head.size())) {
+    net::SendAll(fd, body.data(), body.size());
   }
 }
 
-std::string IsoTime(int64_t ts_ms) {
-  std::time_t secs = static_cast<std::time_t>(ts_ms / 1000);
-  struct tm parts;
-  gmtime_r(&secs, &parts);
-  char buf[40];
-  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%S", &parts);
-  char out[48];
-  std::snprintf(out, sizeof(out), "%s.%03dZ", buf,
-                static_cast<int>(ts_ms % 1000));
-  return out;
+/// True when the query string carries `key=value` as an exact parameter —
+/// a substring search would also match "notformat=json".
+bool QueryParamIs(const std::string& query, const std::string& key,
+                  const std::string& value) {
+  size_t start = 0;
+  while (start <= query.size()) {
+    size_t end = query.find('&', start);
+    if (end == std::string::npos) end = query.size();
+    size_t eq = query.find('=', start);
+    if (eq != std::string::npos && eq < end &&
+        query.compare(start, eq - start, key) == 0 &&
+        query.compare(eq + 1, end - eq - 1, value) == 0 &&
+        end - eq - 1 == value.size()) {
+      return true;
+    }
+    start = end + 1;
+  }
+  return false;
 }
 
 }  // namespace
+
+std::string IsoTime(int64_t ts_ms) {
+  // Floored division: for negative timestamps (pre-epoch) truncation would
+  // pair the wrong second with a negative millisecond remainder.
+  int64_t secs = ts_ms / 1000;
+  int64_t ms = ts_ms % 1000;
+  if (ms < 0) {
+    ms += 1000;
+    --secs;
+  }
+  std::time_t tsecs = static_cast<std::time_t>(secs);
+  struct tm parts;
+  gmtime_r(&tsecs, &parts);
+  char buf[40];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%S", &parts);
+  char out[48];
+  std::snprintf(out, sizeof(out), "%s.%03dZ", buf, static_cast<int>(ms));
+  return out;
+}
 
 AdminServer::AdminServer(AdminOptions options) : options_(std::move(options)) {
   if (options_.registry == nullptr) options_.registry = &obs::Registry::Default();
@@ -95,56 +104,36 @@ AdminServer::AdminServer(AdminOptions options) : options_(std::move(options)) {
 Result<std::unique_ptr<AdminServer>> AdminServer::Start(AdminOptions options) {
   // Not make_unique: the constructor is private.
   std::unique_ptr<AdminServer> server(new AdminServer(std::move(options)));
-  int fd = socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::Internal(std::string("admin: socket() failed: ") +
-                            std::strerror(errno));
+  net::ListenerOptions listen_options;
+  listen_options.bind_address = server->options_.bind_address;
+  listen_options.port = server->options_.port;
+  listen_options.backlog = 16;
+  auto listener = net::Listener::Open(listen_options);
+  if (!listener.ok()) {
+    return Status(listener.status().code(),
+                  "admin: " + listener.status().message());
   }
-  int one = 1;
-  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  struct sockaddr_in addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(server->options_.port));
-  if (inet_pton(AF_INET, server->options_.bind_address.c_str(),
-                &addr.sin_addr) != 1) {
-    close(fd);
-    return Status::InvalidArgument("admin: bad bind address '" +
-                                   server->options_.bind_address + "'");
-  }
-  if (bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) < 0 ||
-      listen(fd, 16) < 0) {
-    Status status = Status::Internal(
-        "admin: cannot listen on " + server->options_.bind_address + ":" +
-        std::to_string(server->options_.port) + ": " + std::strerror(errno));
-    close(fd);
-    return status;
-  }
-  socklen_t len = sizeof(addr);
-  if (getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) < 0) {
-    close(fd);
-    return Status::Internal("admin: getsockname() failed");
-  }
-  server->listen_fd_ = fd;
-  server->port_ = ntohs(addr.sin_port);
+  server->listener_ = std::move(listener).value();
+  server->accept_errors_ = obs::Registry::Default().GetCounter(
+      "regal_admin_accept_errors_total");
   server->thread_ = std::thread([raw = server.get()] { raw->Serve(); });
   obs::EventLog::Default().Log(
       obs::Severity::kInfo, "admin", "admin endpoint listening", 0,
       {{"address", server->options_.bind_address},
-       {"port", std::to_string(server->port_)}});
+       {"port", std::to_string(server->port())}});
   return server;
 }
 
 AdminServer::~AdminServer() { Stop(); }
 
 void AdminServer::Stop() {
-  if (listen_fd_ < 0) return;
+  if (!listener_.valid()) return;
   stopping_.store(true, std::memory_order_relaxed);
-  // Wakes the accept() below; Linux fails it with EINVAL once shut down.
-  shutdown(listen_fd_, SHUT_RDWR);
+  // Wakes the blocked accept; Linux fails it with EINVAL once shut down.
+  listener_.Shutdown();
   if (thread_.joinable()) thread_.join();
-  close(listen_fd_);
-  listen_fd_ = -1;
+  conns_.ShutdownAndJoin(SHUT_RDWR);
+  listener_.Close();
 }
 
 void AdminServer::AddStatusSection(std::string name, StatusSource source) {
@@ -153,15 +142,17 @@ void AdminServer::AddStatusSection(std::string name, StatusSource source) {
 }
 
 void AdminServer::Serve() {
-  while (!stopping_.load(std::memory_order_relaxed)) {
-    int fd = accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      break;  // Shut down, or the listener is gone — either way, done.
+  for (;;) {
+    int fd = listener_.AcceptOne(stopping_, accept_errors_);
+    if (fd < 0) break;  // Only a stop request ends the loop.
+    net::SetSocketTimeouts(fd, kSocketTimeoutMs);
+    if (!conns_.Spawn(
+            fd, [this](int conn_fd) { HandleConnection(conn_fd); },
+            kMaxAdminConnections)) {
+      // Over the cap: Spawn already closed the fd. A probe retrying in a
+      // few seconds beats queueing behind slow scrapes.
+      continue;
     }
-    SetSocketTimeouts(fd);
-    HandleConnection(fd);
-    close(fd);
   }
 }
 
@@ -207,7 +198,7 @@ int AdminServer::Route(const std::string& target, std::string* body,
     path = target.substr(0, qmark);
     query = target.substr(qmark + 1);
   }
-  const bool json = query.find("format=json") != std::string::npos;
+  const bool json = QueryParamIs(query, "format", "json");
   if (path == "/healthz") {
     *body = "ok\n";
     return 200;
@@ -334,7 +325,7 @@ Result<std::string> HttpGet(const std::string& host, int port,
     return Status::Internal(std::string("http: socket() failed: ") +
                             std::strerror(errno));
   }
-  SetSocketTimeouts(fd);
+  net::SetSocketTimeouts(fd, kSocketTimeoutMs);
   struct sockaddr_in addr;
   std::memset(&addr, 0, sizeof(addr));
   addr.sin_family = AF_INET;
@@ -354,7 +345,7 @@ Result<std::string> HttpGet(const std::string& host, int port,
   }
   std::string request = "GET " + path + " HTTP/1.0\r\nHost: " + host +
                         "\r\nConnection: close\r\n\r\n";
-  if (!SendAll(fd, request.data(), request.size())) {
+  if (!net::SendAll(fd, request.data(), request.size())) {
     close(fd);
     return Status::Internal("http: send failed");
   }
@@ -377,22 +368,57 @@ Result<std::string> HttpGet(const std::string& host, int port,
       headers.substr(0, line_end == std::string::npos ? headers.size()
                                                       : line_end);
   size_t sp = status_line.find(' ');
-  if (sp == std::string::npos) {
+  if (sp == std::string::npos || sp + 3 >= status_line.size()) {
     return Status::InvalidArgument("http: malformed status line");
   }
-  if (status_code != nullptr) {
-    *status_code = std::atoi(status_line.c_str() + sp + 1);
+  // An HTTP status is exactly three digits in [100, 599]; atoi would
+  // happily accept "abc" as 0 or "99999" as nonsense.
+  int parsed_status = 0;
+  for (size_t i = sp + 1; i < sp + 4; ++i) {
+    char c = status_line[i];
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("http: malformed status code in '" +
+                                     status_line + "'");
+    }
+    parsed_status = parsed_status * 10 + (c - '0');
   }
+  if (sp + 4 < status_line.size() && status_line[sp + 4] != ' ') {
+    return Status::InvalidArgument("http: malformed status code in '" +
+                                   status_line + "'");
+  }
+  if (parsed_status < 100 || parsed_status > 599) {
+    return Status::InvalidArgument("http: status code " +
+                                   std::to_string(parsed_status) +
+                                   " out of range");
+  }
+  if (status_code != nullptr) *status_code = parsed_status;
   if (content_type != nullptr) {
     content_type->clear();
-    size_t pos = headers.find("Content-Type:");
-    if (pos != std::string::npos) {
-      size_t value_start = pos + std::strlen("Content-Type:");
-      size_t value_end = headers.find("\r\n", value_start);
-      if (value_end == std::string::npos) value_end = headers.size();
-      std::string value = headers.substr(value_start, value_end - value_start);
-      size_t first = value.find_first_not_of(' ');
-      *content_type = first == std::string::npos ? "" : value.substr(first);
+    // Header names are case-insensitive (RFC 9110): scan line by line
+    // instead of a case-sensitive substring search.
+    size_t pos = headers.find("\r\n");
+    while (pos != std::string::npos && pos + 2 < headers.size()) {
+      size_t start = pos + 2;
+      size_t end = headers.find("\r\n", start);
+      if (end == std::string::npos) end = headers.size();
+      size_t colon = headers.find(':', start);
+      if (colon != std::string::npos && colon < end) {
+        std::string name = headers.substr(start, colon - start);
+        bool match = name.size() == 12;
+        static const char* kLower = "content-type";
+        for (size_t i = 0; match && i < name.size(); ++i) {
+          char c = name[i];
+          if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+          match = c == kLower[i];
+        }
+        if (match) {
+          std::string value = headers.substr(colon + 1, end - colon - 1);
+          size_t first = value.find_first_not_of(" \t");
+          *content_type = first == std::string::npos ? "" : value.substr(first);
+          break;
+        }
+      }
+      pos = end == headers.size() ? std::string::npos : end;
     }
   }
   return response.substr(header_end + 4);

@@ -13,6 +13,7 @@
 
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "server/net.h"
 #include "util/status.h"
 #include "util/timer.h"
 
@@ -39,8 +40,8 @@ struct AdminOptions {
 using StatusRows = std::vector<std::pair<std::string, std::string>>;
 using StatusSource = std::function<StatusRows()>;
 
-/// The embedded admin endpoint: a deliberately minimal single-threaded
-/// HTTP/1.0 server on one background thread, serving
+/// The embedded admin endpoint: a deliberately minimal HTTP/1.0 server,
+/// serving
 ///
 ///   /healthz   liveness probe ("ok")
 ///   /metrics   Prometheus text exposition of the registry
@@ -50,11 +51,15 @@ using StatusSource = std::function<StatusRows()>;
 ///   /tracez    recent flight-recorder entries, plans rendered with
 ///              FormatSpanTree (?format=json emits QueryRecord::Json)
 ///
-/// One connection is served at a time — scrapes and operators, not user
-/// traffic; the multi-tenant query service (ROADMAP item 1) gets its own
-/// front-end. Requests are capped at 8 KiB, only GET is answered, and the
-/// response always closes the connection, so the server cannot be wedged by
-/// a misbehaving client for longer than one socket timeout.
+/// Built on the hardened socket layer (server/net.h): sends suppress
+/// SIGPIPE, and the accept loop retries transient failures (counted in
+/// regal_admin_accept_errors_total) instead of dying — only Stop() ends
+/// it. Connections are served on a small pool of per-connection threads
+/// (a handful — scrapes and operators, not user traffic; the multi-tenant
+/// query service is the real front-end), so a slow scraper no longer
+/// blocks /healthz. Requests are capped at 8 KiB, only GET is answered,
+/// and the response always closes the connection, so a misbehaving client
+/// can never hold a handler for longer than one socket timeout.
 class AdminServer {
  public:
   /// Binds, listens and starts the serving thread. Fails with kInternal
@@ -70,7 +75,7 @@ class AdminServer {
   void Stop();
 
   /// The bound port (resolves port 0 requests).
-  int port() const { return port_; }
+  int port() const { return listener_.port(); }
 
   /// Registers a /statusz section. Sections render in registration order
   /// under their name. Thread-safe.
@@ -90,15 +95,20 @@ class AdminServer {
   std::string TracezBody(bool json) const;
 
   AdminOptions options_;
-  int listen_fd_ = -1;
-  int port_ = 0;
+  net::Listener listener_;
   std::atomic<bool> stopping_{false};
   std::thread thread_;
+  net::ConnectionSet conns_;
+  obs::Counter* accept_errors_ = nullptr;
   Timer uptime_;
 
   mutable std::mutex sections_mu_;
   std::vector<std::pair<std::string, StatusSource>> sections_;
 };
+
+/// Renders a UTC millisecond timestamp as ISO-8601 ("2026-08-07T12:00:00.000Z").
+/// Correct for pre-epoch (negative) timestamps too. Exposed for tests.
+std::string IsoTime(int64_t ts_ms);
 
 /// Minimal blocking HTTP/1.0 GET client for tests, examples and CLI use —
 /// the in-repo `curl`. Returns the response *body*; the status code and

@@ -634,10 +634,32 @@ Status QueryEngine::EnableAdminServer(admin::AdminOptions options) {
   if (options.recorder == nullptr) options.recorder = flight_recorder();
   REGAL_ASSIGN_OR_RETURN(std::unique_ptr<admin::AdminServer> server,
                          admin::AdminServer::Start(std::move(options)));
+  RegisterStatusSections(server.get());
+  RegisterCpuStatusSection(server.get());
+  admin_server_ = std::move(server);
+  return Status::OK();
+}
+
+void QueryEngine::RegisterCpuStatusSection(admin::AdminServer* server) {
+  server->AddStatusSection("cpu", [] {
+    admin::StatusRows rows;
+    const util::CpuFeatures& f = util::CpuInfo();
+    rows.emplace_back("sse42", f.sse42 ? "true" : "false");
+    rows.emplace_back("avx2", f.avx2 ? "true" : "false");
+    rows.emplace_back("kernel_isa", simd::ActiveKernels().name);
+    const char* simd_override = std::getenv("REGAL_SIMD");
+    rows.emplace_back("simd_override",
+                      simd_override != nullptr ? simd_override : "(none)");
+    return rows;
+  });
+}
+
+void QueryEngine::RegisterStatusSections(admin::AdminServer* server,
+                                         const std::string& prefix) {
   // Sections run on the server thread. Catalog-derived rows take the
   // catalog lock shared (a scrape must not observe a half-swapped reload);
   // the rest read internally synchronized state (cache, pool, recorder).
-  server->AddStatusSection("catalog", [this] {
+  server->AddStatusSection(prefix + "catalog", [this] {
     admin::StatusRows rows;
     std::shared_lock<std::shared_mutex> lock(*catalog_mu_);
     rows.emplace_back("instance_id", std::to_string(instance_.id()));
@@ -653,7 +675,7 @@ Status QueryEngine::EnableAdminServer(admin::AdminOptions options) {
                                      materialized_views_.size()));
     return rows;
   });
-  server->AddStatusSection("cache", [this] {
+  server->AddStatusSection(prefix + "cache", [this] {
     admin::StatusRows rows;
     rows.emplace_back("enabled", result_cache_enabled_ ? "true" : "false");
     rows.emplace_back("bytes", std::to_string(result_cache_->bytes()));
@@ -661,7 +683,7 @@ Status QueryEngine::EnableAdminServer(admin::AdminOptions options) {
     rows.emplace_back("max_bytes", std::to_string(result_cache_->max_bytes()));
     return rows;
   });
-  server->AddStatusSection("exec", [this] {
+  server->AddStatusSection(prefix + "exec", [this] {
     admin::StatusRows rows;
     exec::ThreadPool* pool = parallel_policy_.pool != nullptr
                                  ? parallel_policy_.pool
@@ -674,7 +696,7 @@ Status QueryEngine::EnableAdminServer(admin::AdminOptions options) {
     rows.emplace_back("queue_depth", std::to_string(pool->ApproxQueueDepth()));
     return rows;
   });
-  server->AddStatusSection("telemetry", [this] {
+  server->AddStatusSection(prefix + "telemetry", [this] {
     admin::StatusRows rows;
     obs::FlightRecorder* recorder = flight_recorder();
     rows.emplace_back("enabled", telemetry_enabled_ ? "true" : "false");
@@ -690,7 +712,7 @@ Status QueryEngine::EnableAdminServer(admin::AdminOptions options) {
     return rows;
   });
   if (durable_ != nullptr) {
-    server->AddStatusSection("recovery", [this] {
+    server->AddStatusSection(prefix + "recovery", [this] {
       admin::StatusRows rows;
       std::shared_lock<std::shared_mutex> lock(*catalog_mu_);
       const recovery::RecoveryHealth& health = durable_->health();
@@ -717,19 +739,6 @@ Status QueryEngine::EnableAdminServer(admin::AdminOptions options) {
       return rows;
     });
   }
-  server->AddStatusSection("cpu", [] {
-    admin::StatusRows rows;
-    const util::CpuFeatures& f = util::CpuInfo();
-    rows.emplace_back("sse42", f.sse42 ? "true" : "false");
-    rows.emplace_back("avx2", f.avx2 ? "true" : "false");
-    rows.emplace_back("kernel_isa", simd::ActiveKernels().name);
-    const char* simd_override = std::getenv("REGAL_SIMD");
-    rows.emplace_back("simd_override",
-                      simd_override != nullptr ? simd_override : "(none)");
-    return rows;
-  });
-  admin_server_ = std::move(server);
-  return Status::OK();
 }
 
 void QueryEngine::DisableAdminServer() { admin_server_.reset(); }

@@ -307,6 +307,19 @@ class QueryEngine {
   /// Stops and destroys the admin server. Idempotent.
   void DisableAdminServer();
 
+  /// Registers this engine's /statusz sections (catalog, cache, exec,
+  /// telemetry, plus recovery when durable) on `server`, each section name
+  /// prefixed with `prefix` — the multi-instance hook the query service
+  /// front-end uses to expose every hosted catalog on one admin endpoint.
+  /// EnableAdminServer calls this with an empty prefix. The engine must
+  /// outlive the server and must not be moved while it runs.
+  void RegisterStatusSections(admin::AdminServer* server,
+                              const std::string& prefix = "");
+
+  /// Registers the engine-independent "cpu" section (ISA features, active
+  /// kernel tier): once per admin endpoint, however many engines it shows.
+  static void RegisterCpuStatusSection(admin::AdminServer* server);
+
   /// The running server (port() gives the bound port), or null.
   admin::AdminServer* admin_server() { return admin_server_.get(); }
 

@@ -1,0 +1,162 @@
+#ifndef REGAL_SERVER_SERVICE_H_
+#define REGAL_SERVER_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+
+#include "admin/admin_server.h"
+#include "obs/flight_recorder.h"
+#include "query/engine.h"
+#include "safety/tenant.h"
+#include "server/net.h"
+#include "server/protocol.h"
+#include "util/status.h"
+
+namespace regal {
+namespace server {
+
+/// Configuration for the multi-tenant query service front-end.
+struct ServiceOptions {
+  /// Loopback by default; binding wider is an explicit decision.
+  std::string bind_address = "127.0.0.1";
+  /// 0 picks an ephemeral port (read back via port()).
+  int port = 0;
+  /// Frames larger than this are rejected and the connection closed (a
+  /// corrupt length prefix cannot be resynchronized).
+  uint32_t max_frame_bytes = 1u << 20;
+  /// Connections beyond this are accepted and immediately closed.
+  int max_connections = 256;
+  /// recv/send timeout per connection: an idle or wedged peer is
+  /// disconnected after this long.
+  int idle_timeout_ms = 30000;
+  /// Row-render cap when the request does not carry its own `limit`.
+  int64_t default_row_limit = 10;
+  /// Global concurrency cap + default tenant quota (per-tenant overrides
+  /// via QueryService::SetTenantQuota).
+  safety::TenantGovernor::Options governance;
+  /// When set, every hosted engine records into this flight recorder (so
+  /// one /tracez covers all tenants); null leaves each engine on the
+  /// process-wide default.
+  obs::FlightRecorder* recorder = nullptr;
+};
+
+/// The multi-tenant query service: a thread-per-connection request loop
+/// over the length-prefixed JSON frame protocol (see protocol.h), hosting
+/// a catalog of named engines (one per corpus Instance) and executing
+/// region-algebra queries for many concurrent clients under per-tenant
+/// governance.
+///
+/// Concurrency model: one accept thread (hardened loop — transient accept
+/// errors are counted and retried, never fatal) plus one handler thread
+/// per live connection, capped by max_connections. Queries on distinct
+/// connections execute genuinely concurrently; the engines' catalog
+/// read-write locks, result caches and thread pool are all shared and
+/// internally synchronized, so this layer adds no locking around
+/// evaluation itself.
+///
+/// Governance: each request is admitted through the TenantGovernor
+/// (global concurrency cap, per-tenant fair share), executed under the
+/// tenant quota's QueryLimits (tightened further by the request's own
+/// deadline_ms), and its response bytes are charged against the tenant's
+/// in-flight byte cap before the send — the backpressure path that turns
+/// a slow-reading client into that tenant's problem instead of the
+/// box's. All rejections are immediate errors the client can retry.
+///
+/// Shutdown/drain: Stop() stops accepting, then SHUT_RDs every live
+/// connection — handlers finish the request they are executing, send its
+/// response, observe EOF and exit — and joins every thread. Sends to
+/// stuck clients are bounded by idle_timeout_ms, so Stop() always
+/// terminates.
+class QueryService {
+ public:
+  /// Binds, listens, starts the accept thread. The service is usable (and
+  /// AddInstance callable) immediately; requests naming instances that do
+  /// not exist yet fail with NOT_FOUND.
+  static Result<std::unique_ptr<QueryService>> Start(ServiceOptions options = {});
+
+  ~QueryService();
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Graceful shutdown (see class comment). Idempotent.
+  void Stop();
+
+  int port() const { return listener_.port(); }
+
+  /// Hosts `engine` under `name`. kAlreadyExists if taken. Thread-safe
+  /// against concurrent requests (they see the catalog before or after,
+  /// never half-way).
+  Status AddInstance(const std::string& name, QueryEngine engine);
+
+  /// The hosted engine (shared_ptr: stays valid across a concurrent
+  /// catalog change), or null.
+  std::shared_ptr<QueryEngine> engine(const std::string& name) const;
+
+  std::vector<std::string> instance_names() const;
+
+  /// Per-tenant quota override (default comes from options.governance).
+  void SetTenantQuota(const std::string& tenant, safety::TenantQuota quota);
+
+  safety::TenantGovernor& governor() { return governor_; }
+
+  /// Starts an embedded admin endpoint exposing this service's /statusz
+  /// sections ("server", "tenants", one catalog section per instance,
+  /// "cpu") plus /metrics and /tracez. The options' recorder defaults to
+  /// the service recorder when one was configured.
+  Status EnableAdminServer(admin::AdminOptions options = {});
+  void DisableAdminServer();
+  admin::AdminServer* admin_server() { return admin_server_.get(); }
+
+  // Aggregate stats (also exported as regal_server_* metrics).
+  int64_t requests_total() const {
+    return requests_seen_.load(std::memory_order_relaxed);
+  }
+  int64_t connections_total() const {
+    return connections_seen_.load(std::memory_order_relaxed);
+  }
+  int active_connections() const { return conns_.active(); }
+  bool stopping() const { return stopping_.load(std::memory_order_relaxed); }
+
+ private:
+  explicit QueryService(ServiceOptions options);
+
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  /// Parses, admits, executes; fills the response (never throws, never
+  /// kills the connection — transport errors are the caller's job).
+  Response Execute(const Request& request);
+
+  ServiceOptions options_;
+  safety::TenantGovernor governor_;
+  net::Listener listener_;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  net::ConnectionSet conns_;
+
+  mutable std::shared_mutex engines_mu_;
+  std::map<std::string, std::shared_ptr<QueryEngine>> engines_;
+
+  std::atomic<int64_t> requests_seen_{0};
+  std::atomic<int64_t> connections_seen_{0};
+
+  // Cached unlabeled metric handles (labeled families are fetched per use).
+  obs::Counter* connections_counter_ = nullptr;
+  obs::Gauge* connections_active_ = nullptr;
+  obs::Counter* accept_errors_ = nullptr;
+  obs::Counter* bytes_received_ = nullptr;
+  obs::Counter* bytes_sent_ = nullptr;
+  obs::Histogram* latency_ms_ = nullptr;
+  obs::Gauge* inflight_response_bytes_ = nullptr;
+
+  std::unique_ptr<admin::AdminServer> admin_server_;
+};
+
+}  // namespace server
+}  // namespace regal
+
+#endif  // REGAL_SERVER_SERVICE_H_

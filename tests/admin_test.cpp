@@ -5,10 +5,20 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "admin/admin_server.h"
@@ -17,6 +27,8 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "query/engine.h"
+#include "server/net.h"
+#include "util/timer.h"
 
 namespace regal {
 namespace {
@@ -153,6 +165,19 @@ class AdminEndpointTest : public ::testing::Test {
     auto body = admin::HttpGet("127.0.0.1", port_, path, status, content_type);
     EXPECT_TRUE(body.ok()) << body.status();
     return body.ok() ? *body : std::string();
+  }
+
+  // A probe with an orchestrator's patience: a connection storm may leave
+  // the endpoint momentarily at its connection cap (dropped probes there
+  // are fine — kubelet retries), but it must answer again within a beat.
+  std::string GetWithRetry(const std::string& path, int* status) {
+    for (int attempt = 0; attempt < 50; ++attempt) {
+      auto body = admin::HttpGet("127.0.0.1", port_, path, status);
+      if (body.ok()) return *body;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ADD_FAILURE() << "endpoint never recovered serving " << path;
+    return std::string();
   }
 
   // Mixed traffic: plain runs, a profiled run, and a failing query.
@@ -306,6 +331,239 @@ TEST(AdminServerTest, RejectsUnbindableAddress) {
   auto server = admin::AdminServer::Start(options);
   EXPECT_FALSE(server.ok());
   EXPECT_EQ(server.status().code(), StatusCode::kInternal);
+}
+
+// ---------------------------------------------------------------------------
+// Socket abuse. These are the regressions: clients that vanish
+// mid-response (SIGPIPE), clients that stall without sending (wedging a
+// single-threaded server), and requests of arbitrary shape.
+
+// A raw TCP helper for abusing the HTTP surface: connects, sends whatever
+// bytes it is told, and can close with an RST (SO_LINGER zero) instead of
+// a FIN — the packet sequence that turns the server's next send() into
+// EPIPE/ECONNRESET.
+class RawTcp {
+ public:
+  bool Connect(int port) {
+    fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    return connect(fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                   sizeof(addr)) == 0;
+  }
+  bool Send(const std::string& bytes) {
+    return net::SendAll(fd_, bytes.data(), bytes.size());
+  }
+  std::string ReadAll() {
+    std::string out;
+    char buf[4096];
+    for (;;) {
+      ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      out.append(buf, static_cast<size_t>(n));
+    }
+    return out;
+  }
+  void Close(bool rst = false) {
+    if (fd_ < 0) return;
+    if (rst) {
+      struct linger hard = {1, 0};
+      setsockopt(fd_, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+    }
+    close(fd_);
+    fd_ = -1;
+  }
+  ~RawTcp() { Close(); }
+
+ private:
+  int fd_ = -1;
+};
+
+// The SIGPIPE regression: request the largest response the endpoint
+// serves, then RST before reading it. The server's send() lands on a dead
+// socket; without MSG_NOSIGNAL the default disposition kills the process
+// and every test after this one.
+TEST_F(AdminEndpointTest, ClientRstMidResponseDoesNotKillProcess) {
+  RunMixedTraffic();  // Fatten /metrics and /tracez.
+  for (int round = 0; round < 20; ++round) {
+    RawTcp chaos;
+    ASSERT_TRUE(chaos.Connect(port_));
+    ASSERT_TRUE(chaos.Send("GET /metrics HTTP/1.0\r\n\r\n"));
+    chaos.Close(/*rst=*/true);
+  }
+  int status = 0;
+  std::string body = GetWithRetry("/healthz", &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "ok\n");
+}
+
+// The accept-loop regression's cousin: handshakes aborted before the
+// server reads anything must not end the accept loop.
+TEST_F(AdminEndpointTest, ImmediateDisconnectsDoNotKillAcceptLoop) {
+  for (int round = 0; round < 50; ++round) {
+    RawTcp chaos;
+    ASSERT_TRUE(chaos.Connect(port_));
+    chaos.Close(/*rst=*/round % 2 == 0);
+  }
+  int status = 0;
+  EXPECT_EQ(GetWithRetry("/healthz", &status), "ok\n");
+  EXPECT_EQ(status, 200);
+}
+
+// A stalled client (connected, sends nothing) used to wedge the
+// single-threaded serve loop for a full socket timeout; /healthz would
+// miss its probe deadline and the orchestrator would restart a healthy
+// process. With per-connection handler threads the probe must answer
+// while the staller is still connected.
+TEST_F(AdminEndpointTest, SlowClientDoesNotBlockHealthz) {
+  std::vector<std::unique_ptr<RawTcp>> stallers;
+  for (int i = 0; i < 4; ++i) {
+    auto staller = std::make_unique<RawTcp>();
+    ASSERT_TRUE(staller->Connect(port_));
+    ASSERT_TRUE(staller->Send("GET /healthz HT"));  // ... and nothing more.
+    stallers.push_back(std::move(staller));
+  }
+  Timer timer;
+  int status = 0;
+  std::string body = Get("/healthz", &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "ok\n");
+  // Well under the 5 s socket timeout a wedged loop would have cost.
+  EXPECT_LT(timer.Millis(), 2000.0);
+}
+
+TEST_F(AdminEndpointTest, MalformedAndOversizedRequestsAnswered) {
+  {
+    RawTcp raw;
+    ASSERT_TRUE(raw.Connect(port_));
+    ASSERT_TRUE(raw.Send("complete nonsense\r\n\r\n"));
+    std::string reply = raw.ReadAll();
+    EXPECT_NE(reply.find("405"), std::string::npos) << reply;
+  }
+  {
+    RawTcp raw;
+    ASSERT_TRUE(raw.Connect(port_));
+    ASSERT_TRUE(raw.Send("POST /metrics HTTP/1.0\r\n\r\n"));
+    std::string reply = raw.ReadAll();
+    EXPECT_NE(reply.find("405"), std::string::npos) << reply;
+  }
+  {
+    // A request line that never ends: the 8 KiB cap stops the read, the
+    // parse fails, the connection answers 405 instead of hanging.
+    RawTcp raw;
+    ASSERT_TRUE(raw.Connect(port_));
+    ASSERT_TRUE(raw.Send("GET /" + std::string(16384, 'a')));
+    raw.Close(/*rst=*/true);
+  }
+  int status = 0;
+  EXPECT_EQ(GetWithRetry("/healthz", &status), "ok\n");
+  EXPECT_EQ(status, 200);
+}
+
+// The `format=json` parameter must be matched exactly — the old substring
+// search also fired on `notformat=json` (and any other key with that
+// suffix), silently switching a scrape's content type.
+TEST_F(AdminEndpointTest, FormatParamIsMatchedExactlyNotBySubstring) {
+  int status = 0;
+  std::string content_type;
+  Get("/metrics?notformat=json", &status, &content_type);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(content_type.find("text/plain"), std::string::npos)
+      << content_type;
+  Get("/metrics?format=jsonx", &status, &content_type);
+  EXPECT_NE(content_type.find("text/plain"), std::string::npos)
+      << content_type;
+  Get("/metrics?a=b&format=json", &status, &content_type);
+  EXPECT_NE(content_type.find("application/json"), std::string::npos)
+      << content_type;
+}
+
+TEST(IsoTimeTest, HandlesNegativeTimestamps) {
+  EXPECT_EQ(admin::IsoTime(0), "1970-01-01T00:00:00.000Z");
+  EXPECT_EQ(admin::IsoTime(1500), "1970-01-01T00:00:01.500Z");
+  // Truncating division paired second 0 with millisecond -1 here.
+  EXPECT_EQ(admin::IsoTime(-1), "1969-12-31T23:59:59.999Z");
+  EXPECT_EQ(admin::IsoTime(-1000), "1969-12-31T23:59:59.000Z");
+  EXPECT_EQ(admin::IsoTime(-86400000 + 250), "1969-12-31T00:00:00.250Z");
+}
+
+// A scripted fake HTTP server: accepts one connection, sends a canned
+// response, closes. Exercises HttpGet's response parsing against inputs
+// the real AdminServer would never produce.
+std::string GetFromCannedServer(const std::string& canned, int* status,
+                                std::string* content_type, Status* out) {
+  auto listener = net::Listener::Open({});
+  EXPECT_TRUE(listener.ok()) << listener.status();
+  std::atomic<bool> stop{false};
+  std::thread fake([&] {
+    int fd = listener->AcceptOne(stop, nullptr);
+    if (fd < 0) return;
+    std::string request;
+    char buf[1024];
+    while (request.find("\r\n\r\n") == std::string::npos) {
+      ssize_t n = recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      request.append(buf, static_cast<size_t>(n));
+    }
+    net::SendAll(fd, canned.data(), canned.size());
+    close(fd);
+  });
+  auto body = admin::HttpGet("127.0.0.1", listener->port(), "/", status,
+                             content_type);
+  stop.store(true);
+  listener->Shutdown();
+  fake.join();
+  *out = body.status();
+  return body.ok() ? *body : std::string();
+}
+
+TEST(HttpGetTest, StatusCodeIsRangeChecked) {
+  int status = 0;
+  std::string content_type;
+  Status result;
+  // atoi would have yielded 0 for garbage and huge nonsense for overlong
+  // digit runs; both must now be malformed-response errors.
+  for (const char* bad_line :
+       {"HTTP/1.0 abc Error\r\n\r\nbody", "HTTP/1.0 99 Too Low\r\n\r\nbody",
+        "HTTP/1.0 600 Too High\r\n\r\nbody",
+        "HTTP/1.0 2000 Overlong\r\n\r\nbody", "HTTP/1.0 \r\n\r\nbody"}) {
+    GetFromCannedServer(bad_line, &status, &content_type, &result);
+    EXPECT_FALSE(result.ok()) << bad_line;
+    EXPECT_EQ(result.code(), StatusCode::kInvalidArgument) << bad_line;
+  }
+  std::string body = GetFromCannedServer(
+      "HTTP/1.0 418 I'm a teapot\r\n\r\nshort and stout", &status,
+      &content_type, &result);
+  ASSERT_TRUE(result.ok()) << result;
+  EXPECT_EQ(status, 418);
+  EXPECT_EQ(body, "short and stout");
+}
+
+TEST(HttpGetTest, ContentTypeHeaderIsCaseInsensitive) {
+  int status = 0;
+  std::string content_type;
+  Status result;
+  GetFromCannedServer(
+      "HTTP/1.0 200 OK\r\ncontent-type: application/json\r\n\r\n{}", &status,
+      &content_type, &result);
+  ASSERT_TRUE(result.ok()) << result;
+  EXPECT_EQ(content_type, "application/json");
+  GetFromCannedServer(
+      "HTTP/1.0 200 OK\r\nCONTENT-TYPE:  text/html\r\n\r\nx", &status,
+      &content_type, &result);
+  ASSERT_TRUE(result.ok()) << result;
+  EXPECT_EQ(content_type, "text/html");
+  // A header that merely *contains* the name must not match.
+  GetFromCannedServer(
+      "HTTP/1.0 200 OK\r\nX-Not-Content-Type: nope\r\n\r\nx", &status,
+      &content_type, &result);
+  ASSERT_TRUE(result.ok()) << result;
+  EXPECT_EQ(content_type, "");
 }
 
 }  // namespace

@@ -33,6 +33,7 @@ REGISTRATION = re.compile(
 NAME = re.compile(r"^regal_[a-z][a-z0-9]*(_[a-z0-9]+)+$")
 HISTOGRAM_UNITS = ("_ms", "_us", "_s", "_seconds", "_bytes", "_ratio")
 KNOWN_SUBSYSTEMS = frozenset({
+    "admin",      # admin/admin_server.h (embedded admin endpoint)
     "cache",      # cache/result_cache.h
     "engine",     # query/engine.h
     "exec",       # exec/thread_pool.h
@@ -42,6 +43,7 @@ KNOWN_SUBSYSTEMS = frozenset({
     "recorder",   # obs/flight_recorder.h
     "recovery",   # recovery/ (crash recovery, salvage, checkpoints)
     "safety",     # safety/ (admission, degradation, failpoints)
+    "server",     # server/ (multi-tenant query service front-end)
     "storage",    # storage/ (snapshots, atomic writes)
     "wal",        # recovery/wal.h (write-ahead log)
 })

@@ -1,0 +1,235 @@
+// regal_loadgen: a closed-loop load generator for the multi-tenant query
+// service. N connections (round-robin across tenants) each fire synchronous
+// requests back-to-back for the configured count, then the tool prints the
+// tail-latency/throughput summary an operator sizing quotas actually reads:
+//
+//   regal_loadgen --port 7070 --connections 16 --tenants team-a,team-b
+//                 --requests 500 --query "para within sec"   (one line)
+//
+// With --self-test it instead spins up an in-process service hosting two
+// dictionary corpora and drives that — the ctest smoke run (label `server`)
+// proving the whole client/server/governance stack end to end with zero
+// external setup.
+
+#include <atomic>
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "doc/dictionary.h"
+#include "query/engine.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/service.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace regal {
+namespace {
+
+struct LoadgenOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int connections = 8;
+  int requests_per_connection = 50;
+  std::vector<std::string> tenants = {"team-a", "team-b"};
+  std::string instance;  // Empty: let the service resolve (one hosted).
+  std::string query = "para within sec";
+  int64_t limit = 0;  // Row rendering off by default: measure the engine.
+  bool self_test = false;
+};
+
+struct LoadResult {
+  std::vector<double> latencies_ms;
+  int64_t ok = 0;
+  int64_t rejected = 0;   // Admission/backpressure: retryable by design.
+  int64_t failed = 0;     // Engine or protocol errors.
+  int64_t transport = 0;  // Connect/send/recv failures: always a bug here.
+  double elapsed_s = 0;
+};
+
+double Percentile(std::vector<double>* sorted_ms, double p) {
+  if (sorted_ms->empty()) return 0;
+  std::sort(sorted_ms->begin(), sorted_ms->end());
+  size_t index = static_cast<size_t>(p * static_cast<double>(
+                                             sorted_ms->size() - 1));
+  return (*sorted_ms)[index];
+}
+
+LoadResult RunLoad(const LoadgenOptions& options) {
+  LoadResult result;
+  std::mutex mu;
+  std::vector<std::thread> threads;
+  Timer wall;
+  for (int c = 0; c < options.connections; ++c) {
+    threads.emplace_back([&, c] {
+      std::vector<double> latencies;
+      int64_t ok = 0, rejected = 0, failed = 0, transport = 0;
+      auto client = server::Client::Connect(options.host, options.port);
+      if (!client.ok()) {
+        std::lock_guard<std::mutex> lock(mu);
+        result.transport += options.requests_per_connection;
+        return;
+      }
+      server::Request request;
+      request.tenant =
+          options.tenants[static_cast<size_t>(c) % options.tenants.size()];
+      request.instance = options.instance;
+      request.query = options.query;
+      request.limit = options.limit;
+      for (int i = 0; i < options.requests_per_connection; ++i) {
+        request.id = c * 1000000 + i;
+        Timer timer;
+        auto response = client->Call(request);
+        if (!response.ok()) {
+          ++transport;
+          continue;
+        }
+        latencies.push_back(timer.Millis());
+        if (response->ok) {
+          ++ok;
+        } else if (response->code == "RESOURCE_EXHAUSTED") {
+          ++rejected;
+        } else {
+          ++failed;
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      result.latencies_ms.insert(result.latencies_ms.end(), latencies.begin(),
+                                 latencies.end());
+      result.ok += ok;
+      result.rejected += rejected;
+      result.failed += failed;
+      result.transport += transport;
+    });
+  }
+  for (auto& t : threads) t.join();
+  result.elapsed_s = wall.Seconds();
+  return result;
+}
+
+int Report(const LoadgenOptions& options, LoadResult result) {
+  const double p50 = Percentile(&result.latencies_ms, 0.50);
+  const double p99 = Percentile(&result.latencies_ms, 0.99);
+  const int64_t total = result.ok + result.rejected + result.failed;
+  const double qps =
+      result.elapsed_s > 0 ? static_cast<double>(total) / result.elapsed_s : 0;
+  std::printf(
+      "connections=%d tenants=%zu requests=%lld ok=%lld rejected=%lld "
+      "failed=%lld transport_errors=%lld\n",
+      options.connections, options.tenants.size(),
+      static_cast<long long>(total), static_cast<long long>(result.ok),
+      static_cast<long long>(result.rejected),
+      static_cast<long long>(result.failed),
+      static_cast<long long>(result.transport));
+  std::printf("elapsed_s=%.3f qps=%.1f p50_ms=%.3f p99_ms=%.3f\n",
+              result.elapsed_s, qps, p50, p99);
+  return result.transport == 0 && result.failed == 0 && result.ok > 0 ? 0 : 1;
+}
+
+int SelfTest(LoadgenOptions options) {
+  server::ServiceOptions service_options;
+  auto service = server::QueryService::Start(service_options);
+  if (!service.ok()) {
+    std::fprintf(stderr, "self-test: %s\n",
+                 service.status().ToString().c_str());
+    return 1;
+  }
+  DictionaryGeneratorOptions corpus;
+  corpus.entries = 100;
+  for (const char* name : {"corpus1", "corpus2"}) {
+    auto engine = QueryEngine::FromSgmlSource(GenerateDictionarySource(corpus));
+    if (!engine.ok()) {
+      std::fprintf(stderr, "self-test: %s\n",
+                   engine.status().ToString().c_str());
+      return 1;
+    }
+    Status added = (*service)->AddInstance(name, std::move(engine).value());
+    if (!added.ok()) {
+      std::fprintf(stderr, "self-test: %s\n", added.ToString().c_str());
+      return 1;
+    }
+  }
+  options.port = (*service)->port();
+  options.instance = "corpus1";
+  options.query = "def within sense";
+  std::printf("self-test service on port %d\n", options.port);
+  int exit_code = Report(options, RunLoad(options));
+  // The drain path is part of the smoke test: Stop() must return with
+  // every handler joined, not hang on a dead connection.
+  (*service)->Stop();
+  std::printf("self-test %s\n", exit_code == 0 ? "passed" : "FAILED");
+  return exit_code;
+}
+
+std::vector<std::string> SplitCommas(const std::string& csv) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= csv.size()) {
+    size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) comma = csv.size();
+    if (comma > start) out.push_back(csv.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --port P [--host H] [--connections N] [--requests R]\n"
+      "          [--tenants a,b,...] [--instance NAME] [--query Q]\n"
+      "          [--limit L] | --self-test\n",
+      argv0);
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  LoadgenOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--self-test") {
+      options.self_test = true;
+    } else if (arg == "--host" && (v = value()) != nullptr) {
+      options.host = v;
+    } else if (arg == "--port" && (v = value()) != nullptr) {
+      options.port = std::atoi(v);
+    } else if (arg == "--connections" && (v = value()) != nullptr) {
+      options.connections = std::atoi(v);
+    } else if (arg == "--requests" && (v = value()) != nullptr) {
+      options.requests_per_connection = std::atoi(v);
+    } else if (arg == "--tenants" && (v = value()) != nullptr) {
+      options.tenants = SplitCommas(v);
+    } else if (arg == "--instance" && (v = value()) != nullptr) {
+      options.instance = v;
+    } else if (arg == "--query" && (v = value()) != nullptr) {
+      options.query = v;
+    } else if (arg == "--limit" && (v = value()) != nullptr) {
+      options.limit = std::atoll(v);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (options.tenants.empty() || options.connections <= 0 ||
+      options.requests_per_connection <= 0) {
+    return Usage(argv[0]);
+  }
+  if (options.self_test) return SelfTest(std::move(options));
+  if (options.port <= 0) return Usage(argv[0]);
+  return Report(options, RunLoad(options));
+}
+
+}  // namespace
+}  // namespace regal
+
+int main(int argc, char** argv) { return regal::Main(argc, argv); }
