@@ -148,6 +148,7 @@ struct QueryEngine::Checkpointer {
   std::mutex mu;
   std::condition_variable cv;
   bool stop = false;
+  bool paused = false;
   std::thread thread;
 };
 
@@ -322,7 +323,9 @@ Status QueryEngine::StartBackgroundCheckpointer(double interval_ms) {
       if (state->stop) break;
       // ShouldCheckpoint reads atomics only; the catalog lock is taken
       // inside Checkpoint(), never while holding state->mu's cv wait.
-      if (durable_->ShouldCheckpoint()) {
+      // Paused (brownout): keep waking, skip the IO; the WAL still holds
+      // every acknowledged mutation, so nothing is at risk while paused.
+      if (!state->paused && durable_->ShouldCheckpoint()) {
         lock.unlock();
         (void)Checkpoint();
         lock.lock();
@@ -330,6 +333,21 @@ Status QueryEngine::StartBackgroundCheckpointer(double interval_ms) {
     }
   });
   return Status::OK();
+}
+
+void QueryEngine::SetCheckpointerPaused(bool paused) {
+  if (checkpointer_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(checkpointer_->mu);
+    checkpointer_->paused = paused;
+  }
+  checkpointer_->cv.notify_all();
+}
+
+bool QueryEngine::checkpointer_paused() const {
+  if (checkpointer_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(checkpointer_->mu);
+  return checkpointer_->paused;
 }
 
 void QueryEngine::StopBackgroundCheckpointer() {
@@ -383,6 +401,32 @@ Result<QueryAnswer> QueryEngine::Run(const std::string& query,
   }
   return RunExprWithLimits(statement->expr, limits, optimize,
                            /*profile=*/false);
+}
+
+bool QueryEngine::IsCacheResident(const std::string& query) {
+  Result<QueryStatement> statement = ParseStatement(query);
+  if (!statement.ok()) return false;
+  // explain / explain analyze always run machinery; only plain `run`
+  // statements can be answered from warm state.
+  if (statement->verb != QueryVerb::kRun) return false;
+  std::shared_lock<std::shared_mutex> lock(*catalog_mu_);
+  ExprPtr resolved = ResolveViews(statement->expr);
+  // Mirror the execution pipeline: the evaluator caches nodes of the
+  // *optimized* expression, so residency must be probed against the same
+  // shape a real run would evaluate.
+  OptimizerOptions options;
+  options.stats = stats_;
+  if (rig_.has_value()) options.rig = &*rig_;
+  ExprPtr executed = Optimize(resolved, options).expr;
+  // A raw name scan is borrowed from the index — always warm, never in
+  // the result cache (the evaluator excludes kName on purpose).
+  if (executed->kind() == OpKind::kName) return true;
+  if (!result_cache_enabled_ || result_cache_ == nullptr) return false;
+  ExprCanonicalizer canonicalizer;
+  ExprPtr canonical = canonicalizer.Canonical(executed);
+  cache::ResultCache::Key key{instance_.id(), instance_.epoch(),
+                              canonicalizer.Hash(executed)};
+  return result_cache_->Lookup(key, canonical, nullptr) != nullptr;
 }
 
 Result<QueryAnswer> QueryEngine::RunExpr(const ExprPtr& expr, bool optimize,

@@ -169,6 +169,15 @@ class QueryEngine {
   /// Stops and joins the checkpointer thread. Idempotent.
   void StopBackgroundCheckpointer();
 
+  /// Pauses (or resumes) the background checkpointer without stopping the
+  /// thread: a paused checkpointer keeps waking but skips the checkpoint
+  /// itself. The brownout path uses this so snapshot IO never competes
+  /// with an overloaded serving path; the WAL keeps every mutation safe
+  /// meanwhile. No-op when no background checkpointer runs.
+  void SetCheckpointerPaused(bool paused);
+  /// True while a running background checkpointer is paused.
+  bool checkpointer_paused() const;
+
   /// The durable store, or null for in-memory engines. Health is stable
   /// between mutations (read it from the mutating thread or /statusz).
   recovery::DurableStore* durable_store() { return durable_.get(); }
@@ -194,6 +203,14 @@ class QueryEngine {
   Result<QueryAnswer> Run(const std::string& query,
                           const safety::QueryLimits& limits,
                           bool optimize = true);
+
+  /// True when `query` is a plain `run` statement answerable from warm
+  /// state: after view resolution and optimization its root is either a
+  /// raw name scan (always free — borrowed from the index) or an
+  /// expression whose canonical fingerprint is resident in the result
+  /// cache. Brownout mode serves only such queries; everything else gets
+  /// a typed kOverloaded refusal. Never evaluates anything.
+  bool IsCacheResident(const std::string& query);
 
   /// Runs an already-built expression. `profile` requests span tracing and
   /// fills QueryAnswer::profile (the `explain analyze` path).

@@ -1,0 +1,218 @@
+#include "safety/admission.h"
+
+#include <chrono>
+#include <cmath>
+
+namespace regal {
+namespace safety {
+
+const char* AdmitOutcomeLabel(AdmitOutcome outcome) {
+  switch (outcome) {
+    case AdmitOutcome::kAdmitted:  return "admitted";
+    case AdmitOutcome::kShed:      return "codel";
+    case AdmitOutcome::kQueueFull: return "queue_full";
+    case AdmitOutcome::kTimedOut:  return "timeout";
+    case AdmitOutcome::kShutdown:  return "shutdown";
+  }
+  return "unknown";
+}
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(std::move(options)) {
+  if (options_.capacity < 1) options_.capacity = 1;
+  if (options_.max_queue < 1) options_.max_queue = 1;
+  obs::Registry& registry = obs::Registry::Default();
+  sojourn_ms_ = registry.GetHistogram("regal_resilience_sojourn_ms");
+  admitted_counter_ =
+      registry.GetCounter("regal_resilience_admitted_total");
+  queue_depth_ = registry.GetGauge("regal_resilience_queue_depth");
+  brownout_active_ = registry.GetGauge("regal_resilience_brownout_active");
+  brownout_entries_counter_ =
+      registry.GetCounter("regal_resilience_brownout_entries_total");
+}
+
+int64_t AdmissionController::NowMs() const {
+  if (options_.clock_ms) return options_.clock_ms();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double AdmissionController::RetryAfterMs(int queued) const {
+  // Rough time for the standing queue to drain at one slot-service per
+  // target_ms each: long enough that an obedient client re-arrives after
+  // the congestion it would have joined, short enough to keep goodput.
+  const double per_slot =
+      options_.target_ms > 0 ? options_.target_ms : 1.0;
+  double hint = per_slot * (static_cast<double>(queued) + 1.0) /
+                static_cast<double>(options_.capacity);
+  const double floor_ms = static_cast<double>(options_.interval_ms);
+  return hint < floor_ms ? floor_ms : hint;
+}
+
+void AdmissionController::NoteDropping(bool dropping, int64_t now) {
+  if (dropping == dropping_) return;
+  dropping_ = dropping;
+  if (dropping) {
+    dropping_since_ms_ = now;
+  } else {
+    calm_since_ms_ = now;
+  }
+}
+
+void AdmissionController::EvaluateBrownout(int64_t now) {
+  if (!brownout_) {
+    if (dropping_ && dropping_since_ms_ != 0 &&
+        now - dropping_since_ms_ >= options_.brownout_after_ms) {
+      brownout_ = true;
+      ++brownout_entries_;
+      brownout_entries_counter_->Increment();
+      brownout_active_->Set(1);
+    }
+  } else {
+    if (!dropping_ && calm_since_ms_ != 0 &&
+        now - calm_since_ms_ >= options_.brownout_exit_ms) {
+      brownout_ = false;
+      brownout_active_->Set(0);
+    }
+  }
+}
+
+AdmitDecision AdmissionController::Admit(int64_t priority) {
+  std::unique_lock<std::mutex> lock(mu_);
+  AdmitDecision decision;
+  const int64_t enqueue_ms = NowMs();
+  auto refuse = [&](AdmitOutcome outcome, int64_t now) {
+    decision.outcome = outcome;
+    decision.sojourn_ms = static_cast<double>(now - enqueue_ms);
+    decision.retry_after_ms = RetryAfterMs(queued_);
+    ++shed_total_;
+    obs::Registry::Default()
+        .GetCounter("regal_resilience_shed_total",
+                    {{"reason", AdmitOutcomeLabel(outcome)}})
+        ->Increment();
+    EvaluateBrownout(now);
+    return decision;
+  };
+
+  if (shutdown_) return refuse(AdmitOutcome::kShutdown, enqueue_ms);
+  if (queued_ >= options_.max_queue) {
+    return refuse(AdmitOutcome::kQueueFull, enqueue_ms);
+  }
+
+  ++queued_;
+  queue_depth_->Set(queued_);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.max_wait_ms);
+  bool timed_out = false;
+  while (in_flight_ >= options_.capacity && !shutdown_) {
+    if (options_.clock_ms) {
+      // Injected clock (tests): poll it rather than trusting wall time,
+      // so a fake clock can expire the wait deterministically.
+      if (NowMs() - enqueue_ms >= options_.max_wait_ms) {
+        timed_out = true;
+        break;
+      }
+      cv_.wait_for(lock, std::chrono::milliseconds(1));
+    } else if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+               in_flight_ >= options_.capacity) {
+      timed_out = true;
+      break;
+    }
+  }
+  --queued_;
+  queue_depth_->Set(queued_);
+  const int64_t now = NowMs();
+  if (shutdown_) {
+    cv_.notify_one();
+    return refuse(AdmitOutcome::kShutdown, now);
+  }
+  if (timed_out) return refuse(AdmitOutcome::kTimedOut, now);
+
+  // A slot is free; the CoDel control law decides whether this request
+  // gets it or is shed to dissolve a standing queue.
+  const double sojourn = static_cast<double>(now - enqueue_ms);
+  sojourn_ms_->Observe(sojourn);
+
+  if (sojourn < options_.target_ms || queued_ == 0) {
+    // Below target (or no one else waiting): the queue is doing its job,
+    // absorbing a burst. Leave the dropping state.
+    first_above_ms_ = 0;
+    NoteDropping(false, now);
+  } else if (first_above_ms_ == 0) {
+    // First sojourn above target: give the queue one interval to drain
+    // before concluding it is standing.
+    first_above_ms_ = now + options_.interval_ms;
+  } else if (now >= first_above_ms_) {
+    // Above target for a full interval — a standing queue.
+    if (!dropping_) {
+      NoteDropping(true, now);
+      // Re-entering drop state shortly after leaving it resumes near the
+      // previous cadence instead of restarting the slow ramp (the CoDel
+      // hysteresis that makes the control law converge).
+      drop_count_ = last_drop_count_ > 2 ? last_drop_count_ - 2 : 1;
+      drop_next_ms_ =
+          now + static_cast<int64_t>(
+                    static_cast<double>(options_.interval_ms) /
+                    std::sqrt(static_cast<double>(drop_count_)));
+    }
+    if (dropping_ && now >= drop_next_ms_ && priority <= 0) {
+      ++drop_count_;
+      last_drop_count_ = drop_count_;
+      drop_next_ms_ =
+          now + static_cast<int64_t>(
+                    static_cast<double>(options_.interval_ms) /
+                    std::sqrt(static_cast<double>(drop_count_)));
+      cv_.notify_one();  // The freed slot goes to the next waiter.
+      return refuse(AdmitOutcome::kShed, now);
+    }
+  }
+  EvaluateBrownout(now);
+
+  ++in_flight_;
+  ++admitted_total_;
+  admitted_counter_->Increment();
+  decision.outcome = AdmitOutcome::kAdmitted;
+  decision.sojourn_ms = sojourn;
+  return decision;
+}
+
+void AdmissionController::Leave() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --in_flight_;
+  }
+  cv_.notify_one();
+}
+
+void AdmissionController::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool AdmissionController::InBrownout() {
+  std::lock_guard<std::mutex> lock(mu_);
+  EvaluateBrownout(NowMs());
+  return brownout_;
+}
+
+AdmissionSnapshot AdmissionController::Snapshot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  EvaluateBrownout(NowMs());
+  AdmissionSnapshot snapshot;
+  snapshot.in_flight = in_flight_;
+  snapshot.queued = queued_;
+  snapshot.dropping = dropping_;
+  snapshot.brownout = brownout_;
+  snapshot.drop_count = drop_count_;
+  snapshot.admitted_total = admitted_total_;
+  snapshot.shed_total = shed_total_;
+  snapshot.brownout_entries = brownout_entries_;
+  return snapshot;
+}
+
+}  // namespace safety
+}  // namespace regal

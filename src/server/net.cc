@@ -249,6 +249,108 @@ void ConnectionSet::ShutdownAndJoin(int how) {
 
 void ConnectionSet::ShutdownAndJoin() { ShutdownAndJoin(SHUT_RD); }
 
+int ConnectionSet::DrainAndJoin(int grace_ms) {
+  std::vector<Conn> taken;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    taken.swap(conns_);
+  }
+  // Phase 1, polite: EOF the read side so handlers finish their in-flight
+  // response and return through the normal clean-close path.
+  for (Conn& conn : taken) {
+    if (!conn.done->load(std::memory_order_acquire)) shutdown(conn.fd, SHUT_RD);
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(grace_ms);
+  for (;;) {
+    bool all_done = true;
+    for (Conn& conn : taken) {
+      if (!conn.done->load(std::memory_order_acquire)) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done || std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Phase 2, forced: a handler still running is wedged — typically blocked
+  // in send() toward a peer that stopped reading. SHUT_RDWR fails the
+  // blocked send (EPIPE) so the handler exits now instead of waiting out
+  // its SO_SNDTIMEO.
+  int forced = 0;
+  for (Conn& conn : taken) {
+    if (!conn.done->load(std::memory_order_acquire)) {
+      shutdown(conn.fd, SHUT_RDWR);
+      ++forced;
+    }
+  }
+  for (Conn& conn : taken) {
+    conn.thread.join();
+    close(conn.fd);
+  }
+  return forced;
+}
+
+Watchdog::Watchdog(WatchdogOptions options) : options_(std::move(options)) {
+  thread_ = std::thread([this] { ScanLoop(); });
+}
+
+Watchdog::~Watchdog() { Stop(); }
+
+int64_t Watchdog::NowMs() const {
+  if (options_.clock_ms) return options_.clock_ms();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+uint64_t Watchdog::Arm(int fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t token = next_token_++;
+  armed_[token] = Armed{fd, NowMs() + options_.deadline_ms};
+  return token;
+}
+
+void Watchdog::Disarm(uint64_t token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.erase(token);
+}
+
+void Watchdog::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Watchdog::ScanLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    cv_.wait_for(lock,
+                 std::chrono::milliseconds(options_.scan_interval_ms));
+    if (stop_) break;
+    const int64_t now = NowMs();
+    for (auto it = armed_.begin(); it != armed_.end();) {
+      if (now >= it->second.deadline_ms) {
+        // shutdown, never close: the fd stays allocated until the owning
+        // ConnectionSet joins the handler, so no reuse race.
+        shutdown(it->second.fd, SHUT_RDWR);
+        reaped_.fetch_add(1, std::memory_order_relaxed);
+        if (options_.reaped_counter != nullptr) {
+          options_.reaped_counter->Increment();
+        }
+        it = armed_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
 int ConnectionSet::active() const {
   std::lock_guard<std::mutex> lock(mu_);
   int live = 0;

@@ -2,8 +2,11 @@
 #define REGAL_SERVER_NET_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -138,6 +141,15 @@ class ConnectionSet {
   void ShutdownAndJoin(int how /* = SHUT_RD */);
   void ShutdownAndJoin();
 
+  /// Bounded-deadline drain: SHUT_RD everything (polite — handlers finish
+  /// the response in flight), wait up to `grace_ms` for handlers to
+  /// report done, then SHUT_RDWR the stragglers (waking handlers blocked
+  /// in send() toward a frozen peer) and join. Returns how many
+  /// connections needed the force-close — an operator-visible signal that
+  /// peers were wedged at shutdown. A frozen connection can therefore
+  /// delay Stop() by at most grace_ms plus scheduling noise, never hang it.
+  int DrainAndJoin(int grace_ms);
+
   int active() const;
 
  private:
@@ -150,6 +162,67 @@ class ConnectionSet {
   mutable std::mutex mu_;
   std::vector<Conn> conns_;
   bool closed_ = false;
+};
+
+struct WatchdogOptions {
+  /// How long an armed fd may sit without being disarmed before the
+  /// watchdog shuts it down. Generous by design: this backstops peers
+  /// that keep the per-byte SO_RCVTIMEO alive by trickling, not normal
+  /// slow clients.
+  int64_t deadline_ms = 10000;
+  /// Scan cadence; the reap latency is deadline_ms + up to one interval.
+  int64_t scan_interval_ms = 100;
+  /// Test hook: monotonic milliseconds. Defaults to steady_clock.
+  std::function<int64_t()> clock_ms;
+  /// Incremented once per reaped connection (optional).
+  obs::Counter* reaped_counter = nullptr;
+};
+
+/// Reaps sockets stuck mid-frame. A handler arms its fd once the frame
+/// header has arrived (the peer now *owes* the payload) and disarms after
+/// the payload read returns; if the deadline lapses first, a scan thread
+/// shutdown(2)s the fd, so the blocked recv returns and the handler exits
+/// through its normal torn-frame path. shutdown() (not close()) keeps the
+/// fd number allocated — the owning ConnectionSet still closes it after
+/// join, so there is no reuse race with the scan thread.
+class Watchdog {
+ public:
+  explicit Watchdog(WatchdogOptions options = {});
+  ~Watchdog();
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Starts the deadline clock for `fd`. Returns a token for Disarm;
+  /// tokens are never 0, so 0 can mean "not armed" at call sites.
+  uint64_t Arm(int fd);
+  /// Stops the clock. Disarming an already-reaped (or unknown) token is a
+  /// no-op — the reap already counted.
+  void Disarm(uint64_t token);
+
+  /// Stops the scan thread. Armed entries are abandoned unreaped (their
+  /// owner is shutting down anyway). Idempotent; called by the destructor.
+  void Stop();
+
+  /// Connections shut down for overstaying their deadline.
+  int64_t reaped() const { return reaped_.load(std::memory_order_relaxed); }
+
+ private:
+  void ScanLoop();
+  int64_t NowMs() const;
+
+  struct Armed {
+    int fd = -1;
+    int64_t deadline_ms = 0;
+  };
+
+  WatchdogOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  uint64_t next_token_ = 1;
+  std::map<uint64_t, Armed> armed_;
+  std::atomic<int64_t> reaped_{0};
+  std::thread thread_;
 };
 
 }  // namespace net

@@ -21,7 +21,8 @@ std::string EncodeFrame(std::string_view payload) {
   return frame;
 }
 
-FrameRead ReadFrame(int fd, uint32_t max_payload_bytes, std::string* payload) {
+FrameRead ReadFrame(int fd, uint32_t max_payload_bytes, std::string* payload,
+                    net::Watchdog* watchdog) {
   unsigned char header[kFrameHeaderBytes];
   switch (net::RecvFull(fd, reinterpret_cast<char*>(header), sizeof(header))) {
     case net::RecvOutcome::kOk:
@@ -43,7 +44,14 @@ FrameRead ReadFrame(int fd, uint32_t max_payload_bytes, std::string* payload) {
   if (len > max_payload_bytes) return FrameRead::kOversized;
   payload->resize(len);
   if (len == 0) return FrameRead::kOk;
-  switch (net::RecvFull(fd, payload->data(), len)) {
+  // SO_RCVTIMEO resets on every byte, so a one-byte-per-tick trickler can
+  // hold the payload read open forever; the watchdog deadline covers the
+  // *whole* remainder of the frame and shuts the socket down if it lapses.
+  const uint64_t token =
+      watchdog != nullptr ? watchdog->Arm(fd) : 0;
+  net::RecvOutcome outcome = net::RecvFull(fd, payload->data(), len);
+  if (watchdog != nullptr) watchdog->Disarm(token);
+  switch (outcome) {
     case net::RecvOutcome::kOk:
       return FrameRead::kOk;
     case net::RecvOutcome::kTimeout:
@@ -316,12 +324,14 @@ Result<Request> ParseRequest(std::string_view payload) {
   if (request.query.empty()) {
     return Status::InvalidArgument("protocol: 'query' must be non-empty");
   }
-  double id = 0, limit = -1;
+  double id = 0, limit = -1, priority = 0;
   REGAL_RETURN_NOT_OK(TakeNumber(fields, "id", &id));
   REGAL_RETURN_NOT_OK(TakeNumber(fields, "limit", &limit));
   REGAL_RETURN_NOT_OK(TakeNumber(fields, "deadline_ms", &request.deadline_ms));
+  REGAL_RETURN_NOT_OK(TakeNumber(fields, "priority", &priority));
   request.id = static_cast<int64_t>(id);
   request.limit = static_cast<int64_t>(limit);
+  request.priority = static_cast<int64_t>(priority);
   return request;
 }
 
@@ -334,6 +344,7 @@ std::string RenderRequest(const Request& request) {
   w.Key("id").Int(request.id);
   if (request.limit >= 0) w.Key("limit").Int(request.limit);
   if (request.deadline_ms > 0) w.Key("deadline_ms").Double(request.deadline_ms);
+  if (request.priority != 0) w.Key("priority").Int(request.priority);
   w.EndObject();
   return w.Take();
 }
@@ -350,6 +361,9 @@ std::string RenderResponse(const Response& response) {
   for (const std::string& row : response.rows) w.String(row);
   w.EndArray();
   w.Key("elapsed_ms").Double(response.elapsed_ms);
+  if (response.retry_after_ms > 0) {
+    w.Key("retry_after_ms").Double(response.retry_after_ms);
+  }
   w.EndObject();
   return w.Take();
 }
@@ -362,6 +376,8 @@ Result<Response> ParseResponse(std::string_view payload) {
   REGAL_RETURN_NOT_OK(TakeNumber(fields, "id", &id));
   REGAL_RETURN_NOT_OK(TakeNumber(fields, "row_count", &row_count));
   REGAL_RETURN_NOT_OK(TakeNumber(fields, "elapsed_ms", &response.elapsed_ms));
+  REGAL_RETURN_NOT_OK(
+      TakeNumber(fields, "retry_after_ms", &response.retry_after_ms));
   REGAL_RETURN_NOT_OK(TakeString(fields, "code", false, &response.code));
   REGAL_RETURN_NOT_OK(TakeString(fields, "message", false, &response.message));
   response.id = static_cast<int64_t>(id);

@@ -10,6 +10,9 @@
 #include "util/status.h"
 
 namespace regal {
+namespace net {
+class Watchdog;
+}  // namespace net
 namespace server {
 
 /// The query service wire protocol: length-prefixed binary frames, each
@@ -32,9 +35,12 @@ namespace server {
 ///    "query": "para within sec",  required — region algebra text
 ///    "id": 7,                     optional, echoed verbatim in response
 ///    "limit": 10,                 optional row-render cap (-1: default)
-///    "deadline_ms": 50}           optional per-request deadline; the
+///    "deadline_ms": 50,           optional per-request deadline; the
 ///                                 effective deadline is the tighter of
 ///                                 this and the tenant quota's
+///    "priority": 1}               optional; <= 0 (default) is sheddable
+///                                 under overload, >= 1 is shed only when
+///                                 the admission queue is full
 ///
 /// Response object:
 ///   {"id": 7, "ok": true, "code": "OK", "row_count": 3,
@@ -43,6 +49,8 @@ namespace server {
 ///   {"id": 7, "ok": false, "code": "RESOURCE_EXHAUSTED",
 ///    "message": "tenant over fair share", "row_count": 0,
 ///    "rows": [], "elapsed_ms": 0}
+/// Shed requests carry code "OVERLOADED" plus "retry_after_ms", the
+/// server's backoff hint; resilient clients wait at least that long.
 
 /// Frame length prefix size (u32 little-endian payload byte count).
 constexpr size_t kFrameHeaderBytes = 4;
@@ -60,8 +68,12 @@ enum class FrameRead {
 };
 
 /// Reads one length-prefixed frame from `fd`. On kOversized the declared
-/// length was > `max_payload_bytes` and nothing further was read.
-FrameRead ReadFrame(int fd, uint32_t max_payload_bytes, std::string* payload);
+/// length was > `max_payload_bytes` and nothing further was read. When
+/// `watchdog` is non-null the fd is armed for the payload read — a header
+/// arrived, so the peer owes the rest of the frame within the watchdog's
+/// deadline; byte-tricklers that keep resetting SO_RCVTIMEO get reaped.
+FrameRead ReadFrame(int fd, uint32_t max_payload_bytes, std::string* payload,
+                    net::Watchdog* watchdog = nullptr);
 
 /// A scalar-or-string-array JSON value — everything the wire protocol
 /// needs. Nested objects / mixed arrays are rejected at parse.
@@ -88,6 +100,7 @@ struct Request {
   int64_t id = 0;
   int64_t limit = -1;        // < 0: service default.
   double deadline_ms = 0;    // <= 0: none beyond the tenant quota's.
+  int64_t priority = 0;      // <= 0: sheddable first under overload.
 };
 
 /// Validates required fields (tenant, query) and types.
@@ -102,6 +115,7 @@ struct Response {
   int64_t row_count = 0;     // Total result regions (not capped by limit).
   std::vector<std::string> rows;
   double elapsed_ms = 0;
+  double retry_after_ms = 0; // > 0 on OVERLOADED: server's backoff hint.
 };
 
 std::string RenderResponse(const Response& response);

@@ -1,0 +1,207 @@
+#include "server/resilience.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+
+#include "obs/metrics.h"
+
+namespace regal {
+namespace server {
+
+RetryBudget::RetryBudget() : RetryBudget(Options{}) {}
+
+RetryBudget::RetryBudget(Options options)
+    : options_(options), tokens_(options.max_tokens) {}
+
+void RetryBudget::OnRequest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  tokens_ = std::min(tokens_ + options_.earn_per_request,
+                     options_.max_tokens);
+}
+
+bool RetryBudget::TrySpend() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tokens_ < 1.0) {
+    ++denied_;
+    obs::Registry::Default()
+        .GetCounter("regal_resilience_budget_denied_total")
+        ->Increment();
+    return false;
+  }
+  tokens_ -= 1.0;
+  return true;
+}
+
+double RetryBudget::tokens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tokens_;
+}
+
+int64_t RetryBudget::denied() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return denied_;
+}
+
+const char* CircuitBreaker::StateLabel(State state) {
+  switch (state) {
+    case State::kClosed:   return "closed";
+    case State::kOpen:     return "open";
+    case State::kHalfOpen: return "half_open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker() : CircuitBreaker(Options{}) {}
+
+CircuitBreaker::CircuitBreaker(Options options)
+    : options_(std::move(options)) {}
+
+int64_t CircuitBreaker::NowMs() const {
+  if (options_.clock_ms) return options_.clock_ms();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void CircuitBreaker::TransitionLocked(State to, int64_t now) {
+  if (state_ == to) return;
+  state_ = to;
+  if (to == State::kOpen) opened_at_ms_ = now;
+  if (to != State::kClosed) half_open_successes_ = 0;
+  if (to == State::kClosed) consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+  obs::Registry::Default()
+      .GetCounter("regal_resilience_breaker_transitions_total",
+                  {{"to", StateLabel(to)}})
+      ->Increment();
+}
+
+bool CircuitBreaker::Allow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t now = NowMs();
+  if (state_ == State::kOpen && now - opened_at_ms_ >= options_.open_ms) {
+    TransitionLocked(State::kHalfOpen, now);
+  }
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      ++denied_;
+      return false;
+    case State::kHalfOpen:
+      // One probe at a time: a half-open endpoint gets a trickle, not a
+      // stampede of hopeful callers.
+      if (probe_in_flight_) {
+        ++denied_;
+        return false;
+      }
+      probe_in_flight_ = true;
+      return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t now = NowMs();
+  switch (state_) {
+    case State::kClosed:
+      consecutive_failures_ = 0;
+      break;
+    case State::kHalfOpen:
+      probe_in_flight_ = false;
+      if (++half_open_successes_ >= options_.close_after) {
+        TransitionLocked(State::kClosed, now);
+      }
+      break;
+    case State::kOpen:
+      // A straggler from before the trip finished late; the breaker's
+      // verdict stands until the timer allows a deliberate probe.
+      break;
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t now = NowMs();
+  switch (state_) {
+    case State::kClosed:
+      if (++consecutive_failures_ >= options_.failure_threshold) {
+        TransitionLocked(State::kOpen, now);
+      }
+      break;
+    case State::kHalfOpen:
+      // The probe failed: the endpoint is still sick. Full open period
+      // again before the next probe.
+      TransitionLocked(State::kOpen, now);
+      break;
+    case State::kOpen:
+      break;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t now = NowMs();
+  if (state_ == State::kOpen && now - opened_at_ms_ >= options_.open_ms) {
+    TransitionLocked(State::kHalfOpen, now);
+  }
+  return state_;
+}
+
+int64_t CircuitBreaker::denied() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return denied_;
+}
+
+CircuitBreaker* BreakerForEndpoint(const std::string& endpoint) {
+  return BreakerForEndpoint(endpoint, CircuitBreaker::Options{});
+}
+
+CircuitBreaker* BreakerForEndpoint(const std::string& endpoint,
+                                   CircuitBreaker::Options options) {
+  static std::mutex registry_mu;
+  static std::map<std::string, std::unique_ptr<CircuitBreaker>>* breakers =
+      new std::map<std::string, std::unique_ptr<CircuitBreaker>>();
+  std::lock_guard<std::mutex> lock(registry_mu);
+  auto it = breakers->find(endpoint);
+  if (it == breakers->end()) {
+    it = breakers
+             ->emplace(endpoint,
+                       std::make_unique<CircuitBreaker>(std::move(options)))
+             .first;
+  }
+  return it->second.get();
+}
+
+LatencyTracker::LatencyTracker(size_t window)
+    : ring_(window > 0 ? window : 1) {}
+
+void LatencyTracker::Record(double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_[next_] = ms;
+  next_ = (next_ + 1) % ring_.size();
+  filled_ = std::min(filled_ + 1, ring_.size());
+  ++total_;
+}
+
+int64_t LatencyTracker::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+double LatencyTracker::Percentile(double p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (filled_ == 0) return 0;
+  std::vector<double> sorted(ring_.begin(),
+                             ring_.begin() + static_cast<ptrdiff_t>(filled_));
+  std::sort(sorted.begin(), sorted.end());
+  const size_t index = static_cast<size_t>(
+      p * static_cast<double>(sorted.size() - 1));
+  return sorted[index];
+}
+
+}  // namespace server
+}  // namespace regal

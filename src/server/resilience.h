@@ -1,0 +1,141 @@
+#ifndef REGAL_SERVER_RESILIENCE_H_
+#define REGAL_SERVER_RESILIENCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace regal {
+namespace server {
+
+/// Client-side overload-resilience primitives. Each is a small, separately
+/// testable state machine; ResilientClient (client.h) composes them. All
+/// are thread-safe — a CircuitBreaker in particular is *shared* by every
+/// client to the same endpoint (see BreakerForEndpoint), so concurrent
+/// probes under TSAN are part of its contract.
+
+/// Token-bucket retry budget: the invariant that makes retries safe at
+/// fleet scale. Each first-try request earns a fraction of a token; each
+/// retry spends a whole one. Healthy traffic accumulates budget; an
+/// outage drains it after at most tokens + earn_rate * offered extra
+/// attempts, so retries amplify load by a bounded factor (~1 +
+/// earn_per_request) instead of multiplying it by max_attempts.
+class RetryBudget {
+ public:
+  struct Options {
+    /// Budget earned per first-try request (0.1 => up to 10% extra load
+    /// from retries in steady state).
+    double earn_per_request = 0.1;
+    /// Bucket capacity (also the starting balance, so a fresh client can
+    /// retry through a brief hiccup immediately).
+    double max_tokens = 10.0;
+  };
+
+  RetryBudget();
+  explicit RetryBudget(Options options);
+
+  /// A first-try request happened: earn budget.
+  void OnRequest();
+  /// Attempts to spend one token for a retry. False (and counted) when
+  /// the bucket is dry — the caller must give up, not wait.
+  bool TrySpend();
+
+  double tokens() const;
+  int64_t denied() const;
+
+ private:
+  Options options_;
+  mutable std::mutex mu_;
+  double tokens_;
+  int64_t denied_ = 0;
+};
+
+/// Per-endpoint circuit breaker: closed (normal) → open after
+/// `failure_threshold` consecutive transport failures (every call is
+/// refused locally, costing the endpoint nothing) → half-open after
+/// `open_ms` (exactly one probe request allowed at a time) → closed again
+/// after `close_after` consecutive probe successes, or back to open on a
+/// probe failure. Transitions are exported as
+/// regal_resilience_breaker_transitions_total{to}.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  struct Options {
+    /// Consecutive transport failures that trip the breaker.
+    int failure_threshold = 5;
+    /// How long the breaker stays open before allowing a probe.
+    int64_t open_ms = 1000;
+    /// Consecutive half-open probe successes that close it again.
+    int close_after = 2;
+    /// Test hook: monotonic milliseconds. Defaults to steady_clock.
+    std::function<int64_t()> clock_ms;
+  };
+
+  CircuitBreaker();
+  explicit CircuitBreaker(Options options);
+
+  /// True when a call may proceed. While open: false (counted in
+  /// denied()). While half-open: true for exactly one in-flight probe at
+  /// a time — concurrent callers racing for the probe slot get false.
+  bool Allow();
+  /// The last Allow()'d call completed with a well-formed response.
+  void RecordSuccess();
+  /// The last Allow()'d call failed at the transport layer.
+  void RecordFailure();
+
+  /// Current state (evaluates the open → half-open timer).
+  State state();
+  int64_t denied() const;
+
+  static const char* StateLabel(State state);
+
+ private:
+  int64_t NowMs() const;
+  /// Callers hold mu_.
+  void TransitionLocked(State to, int64_t now);
+
+  Options options_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int half_open_successes_ = 0;
+  bool probe_in_flight_ = false;
+  int64_t opened_at_ms_ = 0;
+  int64_t denied_ = 0;
+};
+
+/// Returns the process-wide breaker for `endpoint` ("host:port"),
+/// creating it with `options` on first use. Sharing is the point: when
+/// one connection discovers an endpoint is down, every client in the
+/// process stops hammering it.
+CircuitBreaker* BreakerForEndpoint(const std::string& endpoint,
+                                   CircuitBreaker::Options options);
+CircuitBreaker* BreakerForEndpoint(const std::string& endpoint);
+
+/// Sliding-window latency tracker feeding the hedging delay: hedge only
+/// after the p99 of recently observed latencies, so at most ~1% of
+/// requests ever duplicate.
+class LatencyTracker {
+ public:
+  explicit LatencyTracker(size_t window = 128);
+
+  void Record(double ms);
+  int64_t count() const;
+  /// Percentile over the current window; 0 when empty.
+  double Percentile(double p) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> ring_;
+  size_t next_ = 0;
+  size_t filled_ = 0;
+  int64_t total_ = 0;
+};
+
+}  // namespace server
+}  // namespace regal
+
+#endif  // REGAL_SERVER_RESILIENCE_H_

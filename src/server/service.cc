@@ -15,6 +15,22 @@ namespace server {
 QueryService::QueryService(ServiceOptions options)
     : options_(std::move(options)), governor_(options_.governance) {
   obs::Registry& registry = obs::Registry::Default();
+  safety::AdmissionOptions admission = options_.admission;
+  if (admission.capacity <= 0) {
+    // Never stricter than the governor: with the derived capacity the
+    // governor's own capacity/fair-share verdicts stay reachable (and
+    // keep their RESOURCE_EXHAUSTED wire code).
+    admission.capacity =
+        std::max(1, options_.governance.max_concurrent_total);
+  }
+  admission_ = std::make_unique<safety::AdmissionController>(admission);
+  if (options_.frame_deadline_ms > 0) {
+    net::WatchdogOptions watchdog;
+    watchdog.deadline_ms = options_.frame_deadline_ms;
+    watchdog.reaped_counter =
+        registry.GetCounter("regal_resilience_watchdog_reaped_total");
+    watchdog_ = std::make_unique<net::Watchdog>(std::move(watchdog));
+  }
   connections_counter_ =
       registry.GetCounter("regal_server_connections_total");
   connections_active_ = registry.GetGauge("regal_server_connections_active");
@@ -53,14 +69,22 @@ void QueryService::Stop() {
   }
   listener_.Shutdown();
   if (accept_thread_.joinable()) accept_thread_.join();
-  // Drain: handlers finish (and send) the request they are executing,
-  // then observe EOF on the half-closed socket and exit.
-  conns_.ShutdownAndJoin(SHUT_RD);
+  // Wake any request parked in the admission queue — it answers its
+  // client with a typed shutdown refusal rather than holding the drain.
+  admission_->Shutdown();
+  // Bounded drain: handlers get drain_grace_ms to finish (and send) the
+  // request they are executing and observe EOF; stragglers — typically a
+  // handler wedged in send() toward a frozen peer — are force-closed, so
+  // Stop() is bounded even when a peer stops reading mid-response.
+  const int forced = conns_.DrainAndJoin(options_.drain_grace_ms);
+  forced_closes_.fetch_add(forced, std::memory_order_relaxed);
+  if (watchdog_ != nullptr) watchdog_->Stop();
   listener_.Close();
   obs::EventLog::Default().Log(
       obs::Severity::kInfo, "server", "query service stopped", 0,
       {{"requests_total", std::to_string(requests_total())},
-       {"connections_total", std::to_string(connections_total())}});
+       {"connections_total", std::to_string(connections_total())},
+       {"forced_closes", std::to_string(forced)}});
 }
 
 Status QueryService::AddInstance(const std::string& name, QueryEngine engine) {
@@ -141,6 +165,26 @@ Status QueryService::EnableAdminServer(admin::AdminOptions options) {
   });
   server->AddStatusSection("tenants",
                            [this] { return governor_.StatusRows(); });
+  server->AddStatusSection("resilience", [this] {
+    admin::StatusRows rows;
+    safety::AdmissionSnapshot snap = admission_->Snapshot();
+    rows.emplace_back("capacity",
+                      std::to_string(admission_->options().capacity));
+    rows.emplace_back("in_flight", std::to_string(snap.in_flight));
+    rows.emplace_back("queued", std::to_string(snap.queued));
+    rows.emplace_back("dropping", snap.dropping ? "true" : "false");
+    rows.emplace_back("brownout", snap.brownout ? "true" : "false");
+    rows.emplace_back("drop_count", std::to_string(snap.drop_count));
+    rows.emplace_back("admitted_total",
+                      std::to_string(snap.admitted_total));
+    rows.emplace_back("shed_total", std::to_string(snap.shed_total));
+    rows.emplace_back("brownout_entries",
+                      std::to_string(snap.brownout_entries));
+    rows.emplace_back("watchdog_reaped",
+                      std::to_string(watchdog_reaped()));
+    rows.emplace_back("forced_closes", std::to_string(forced_closes()));
+    return rows;
+  });
   // One catalog/cache/exec/telemetry block per hosted instance, prefixed
   // by its name. Instances added after this call are served for queries
   // but absent from /statusz until the admin server is re-enabled.
@@ -175,6 +219,12 @@ void QueryService::AcceptLoop() {
 
 void QueryService::HandleConnection(int fd) {
   net::SetSocketTimeouts(fd, options_.idle_timeout_ms);
+  if (options_.sockbuf_bytes > 0) {
+    setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &options_.sockbuf_bytes,
+               sizeof(options_.sockbuf_bytes));
+    setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.sockbuf_bytes,
+               sizeof(options_.sockbuf_bytes));
+  }
   connections_active_->Add(1);
   obs::Registry& registry = obs::Registry::Default();
   auto frame_error = [&registry](const char* kind) {
@@ -184,7 +234,8 @@ void QueryService::HandleConnection(int fd) {
   };
   while (!stopping_.load(std::memory_order_relaxed)) {
     std::string payload;
-    FrameRead read = ReadFrame(fd, options_.max_frame_bytes, &payload);
+    FrameRead read =
+        ReadFrame(fd, options_.max_frame_bytes, &payload, watchdog_.get());
     if (read == FrameRead::kClosed || read == FrameRead::kTimeout) break;
     if (read == FrameRead::kTorn) {
       frame_error("torn");
@@ -299,6 +350,38 @@ Response QueryService::Execute(const Request& request) {
                                  "'"));
   }
 
+  // Adaptive admission before any engine work: when the slot queue's
+  // sojourn time says the box is behind, this request is shed *here*,
+  // with a typed OVERLOADED reply carrying the server's backoff hint —
+  // never a silent drop or a timeout the client must diagnose.
+  safety::AdmitDecision decision = admission_->Admit(request.priority);
+  if (decision.outcome != safety::AdmitOutcome::kAdmitted) {
+    response.retry_after_ms = decision.retry_after_ms;
+    return fail(Status::Overloaded(
+        std::string("admission: shed (") +
+        safety::AdmitOutcomeLabel(decision.outcome) + ") after " +
+        std::to_string(decision.sojourn_ms) + " ms queued; retry after " +
+        std::to_string(decision.retry_after_ms) + " ms"));
+  }
+  safety::AdmissionSlot slot(admission_.get());
+
+  // Brownout: sustained shedding degrades the service to work it can
+  // still do cheaply — cache-resident answers under tight deadlines —
+  // instead of failing everything slowly.
+  const bool brownout = admission_->InBrownout();
+  ApplyBrownoutTransition(brownout);
+  if (brownout && !hosted->IsCacheResident(request.query)) {
+    response.retry_after_ms =
+        static_cast<double>(admission_->options().interval_ms);
+    registry
+        .GetCounter("regal_resilience_shed_total",
+                    {{"reason", "brownout"}})
+        ->Increment();
+    return fail(Status::Overloaded(
+        "brownout: serving cache-resident queries only; retry after " +
+        std::to_string(response.retry_after_ms) + " ms"));
+  }
+
   safety::AdmitReject why = safety::AdmitReject::kNone;
   Status admitted = governor_.Admit(request.tenant, &why);
   if (!admitted.ok()) {
@@ -318,6 +401,13 @@ Response QueryService::Execute(const Request& request) {
       (limits.deadline_ms <= 0 || request.deadline_ms < limits.deadline_ms)) {
     limits.deadline_ms = request.deadline_ms;
   }
+  if (brownout && options_.brownout_deadline_ms > 0 &&
+      (limits.deadline_ms <= 0 ||
+       limits.deadline_ms > options_.brownout_deadline_ms)) {
+    // Even admitted (cache-resident) work runs on a short leash while
+    // browned out: anything that turns out slow is cut, not queued.
+    limits.deadline_ms = options_.brownout_deadline_ms;
+  }
 
   Result<QueryAnswer> answer = hosted->Run(request.query, limits);
   if (!answer.ok()) return fail(answer.status());
@@ -333,6 +423,28 @@ Response QueryService::Execute(const Request& request) {
         answer->Rows(hosted->instance(), static_cast<int>(limit));
   }
   return finish(true);
+}
+
+void QueryService::ApplyBrownoutTransition(bool brownout) {
+  bool was = brownout_applied_.load(std::memory_order_relaxed);
+  if (was == brownout) return;
+  if (!brownout_applied_.compare_exchange_strong(was, brownout,
+                                                 std::memory_order_relaxed)) {
+    return;  // Another request already applied this transition.
+  }
+  // Checkpoint IO competes with serving for the same disk and catalog
+  // lock; while browned out it is deferred (the WAL keeps acknowledged
+  // mutations durable regardless).
+  std::shared_lock<std::shared_mutex> lock(engines_mu_);
+  for (const auto& [name, hosted] : engines_) {
+    (void)name;
+    hosted->SetCheckpointerPaused(brownout);
+  }
+  obs::EventLog::Default().Log(
+      obs::Severity::kWarning, "server",
+      brownout ? "brownout entered: cache-resident queries only"
+               : "brownout exited: full service restored",
+      0, {});
 }
 
 }  // namespace server

@@ -12,6 +12,7 @@
 #include "admin/admin_server.h"
 #include "obs/flight_recorder.h"
 #include "query/engine.h"
+#include "safety/admission.h"
 #include "safety/tenant.h"
 #include "server/net.h"
 #include "server/protocol.h"
@@ -43,6 +44,28 @@ struct ServiceOptions {
   /// one /tracez covers all tenants); null leaves each engine on the
   /// process-wide default.
   obs::FlightRecorder* recorder = nullptr;
+  /// CoDel-style adaptive admission (see safety/admission.h). A
+  /// non-positive capacity derives max(1, governance.max_concurrent_total)
+  /// so the admission layer never out-restricts the governor it fronts.
+  safety::AdmissionOptions admission = DerivedCapacityAdmission();
+  /// The default `admission` value: capacity 0, i.e. "derive from
+  /// governance" (see above).
+  static safety::AdmissionOptions DerivedCapacityAdmission() {
+    safety::AdmissionOptions options;
+    options.capacity = 0;
+    return options;
+  }
+  /// Stop() drain bound: handlers get this long to finish politely before
+  /// their sockets are force-closed (see ConnectionSet::DrainAndJoin).
+  int drain_grace_ms = 2000;
+  /// Stuck-connection watchdog: a peer that sent a frame header owes the
+  /// payload within this deadline or its socket is reaped. <= 0 disables.
+  int64_t frame_deadline_ms = 10000;
+  /// Brownout tightens every request's effective deadline to at most this.
+  double brownout_deadline_ms = 50;
+  /// Test knob: when > 0, SO_RCVBUF/SO_SNDBUF for accepted connections —
+  /// small buffers make send-side wedges reproducible in tests.
+  int sockbuf_bytes = 0;
 };
 
 /// The multi-tenant query service: a thread-per-connection request loop
@@ -104,6 +127,19 @@ class QueryService {
 
   safety::TenantGovernor& governor() { return governor_; }
 
+  /// The adaptive admission controller (overload state, for tests and
+  /// /statusz; its lifecycle belongs to the service).
+  safety::AdmissionController& admission() { return *admission_; }
+
+  /// Connections force-closed by the last Stop() drain.
+  int64_t forced_closes() const {
+    return forced_closes_.load(std::memory_order_relaxed);
+  }
+  /// Connections reaped by the stuck-frame watchdog.
+  int64_t watchdog_reaped() const {
+    return watchdog_ != nullptr ? watchdog_->reaped() : 0;
+  }
+
   /// Starts an embedded admin endpoint exposing this service's /statusz
   /// sections ("server", "tenants", one catalog section per instance,
   /// "cpu") plus /metrics and /tracez. The options' recorder defaults to
@@ -131,8 +167,16 @@ class QueryService {
   /// kills the connection — transport errors are the caller's job).
   Response Execute(const Request& request);
 
+  /// Applies brownout side effects exactly once per transition (pause or
+  /// resume every hosted engine's background checkpointer).
+  void ApplyBrownoutTransition(bool brownout);
+
   ServiceOptions options_;
   safety::TenantGovernor governor_;
+  std::unique_ptr<safety::AdmissionController> admission_;
+  std::unique_ptr<net::Watchdog> watchdog_;
+  std::atomic<bool> brownout_applied_{false};
+  std::atomic<int64_t> forced_closes_{0};
   net::Listener listener_;
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;

@@ -42,6 +42,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "CANCELLED";
     case StatusCode::kDataLoss:
       return "DATA_LOSS";
+    case StatusCode::kOverloaded:
+      return "OVERLOADED";
   }
   return "UNKNOWN";
 }

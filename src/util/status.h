@@ -27,6 +27,12 @@ enum class StatusCode {
                       ///< (checksum mismatch, truncated snapshot, bad
                       ///< framing). Distinct from kInvalidArgument: the
                       ///< *caller* did nothing wrong — the bytes rotted.
+  kOverloaded,        ///< The serving layer shed this request to protect
+                      ///< itself (admission queue over its sojourn target,
+                      ///< brownout mode, circuit breaker open). Always
+                      ///< retryable after a backoff; distinct from
+                      ///< kResourceExhausted, which is a per-caller quota
+                      ///< verdict rather than a whole-system health one.
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -74,6 +80,9 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

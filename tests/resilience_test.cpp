@@ -1,0 +1,955 @@
+// Suite for the overload-resilience subsystem (labels `resilience` and,
+// for the ChaosNet-driven tests, `chaos`): the CoDel admission controller
+// and brownout latch, backoff-jitter/retry-budget/circuit-breaker property
+// tests with deterministic seeds, the stuck-frame watchdog and bounded
+// drain, and a live service abused through the fault-injecting ChaosNet
+// proxy (torn frames, RSTs, freezes, byte-trickling). The breaker and
+// admission state machines are shared across threads by design, so this
+// binary belongs in the TSAN run:
+//   cmake -B build-tsan -S . -DREGAL_SANITIZE=thread
+//   cmake --build build-tsan -j && ctest --test-dir build-tsan -L chaos
+// (-L resilience runs the whole suite; ASAN/UBSAN configs take it the
+// same way.)
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "query/engine.h"
+#include "recovery/durable.h"
+#include "recovery/retry.h"
+#include "safety/admission.h"
+#include "safety/failpoint.h"
+#include "server/chaosnet.h"
+#include "server/client.h"
+#include "server/net.h"
+#include "server/protocol.h"
+#include "server/resilience.h"
+#include "server/service.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace regal {
+namespace {
+
+using safety::AdmitOutcome;
+
+constexpr char kDoc[] =
+    "<doc><sec><para>alpha beta</para><para>gamma</para></sec>"
+    "<sec><para>delta epsilon</para></sec></doc>";
+
+int64_t WallMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// ---------------------------------------------------------------------------
+// The typed shed verdict and its wire fields.
+
+TEST(ResilienceStatusTest, OverloadedCodeRoundTrips) {
+  Status shed = Status::Overloaded("too busy");
+  EXPECT_EQ(shed.code(), StatusCode::kOverloaded);
+  EXPECT_EQ(StatusCodeToString(shed.code()), std::string("OVERLOADED"));
+
+  server::Request request;
+  request.tenant = "t";
+  request.query = "sec";
+  request.priority = 2;
+  auto parsed = server::ParseRequest(server::RenderRequest(request));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->priority, 2);
+
+  server::Response response;
+  response.id = 1;
+  response.ok = false;
+  response.code = "OVERLOADED";
+  response.retry_after_ms = 37.5;
+  auto back = server::ParseResponse(server::RenderResponse(response));
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_DOUBLE_EQ(back->retry_after_ms, 37.5);
+
+  // retry_after_ms is omitted from the wire when it carries no hint.
+  response.retry_after_ms = 0;
+  EXPECT_EQ(server::RenderResponse(response).find("retry_after_ms"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Backoff jitter: property tests from deterministic seeds.
+
+TEST(BackoffPolicyTest, JitterStaysWithinCapAndIsDeterministic) {
+  recovery::BackoffPolicy policy;  // 10ms doubling, capped at 2000ms.
+  for (uint64_t seed : {1ULL, 42ULL, 0x5eedULL}) {
+    Rng a(seed), b(seed);
+    for (int attempt = 1; attempt <= 12; ++attempt) {
+      const double cap = policy.CapMs(attempt);
+      const double delay = policy.DelayMs(attempt, &a);
+      EXPECT_GE(delay, 0.0) << "seed " << seed << " attempt " << attempt;
+      EXPECT_LE(delay, cap) << "seed " << seed << " attempt " << attempt;
+      // Full jitter is reproducible from (policy, seed) alone: the
+      // property the chaos tests rely on to replay exact schedules.
+      EXPECT_DOUBLE_EQ(delay, policy.DelayMs(attempt, &b));
+    }
+  }
+  // Distinct seeds must not replay the same schedule.
+  Rng c(7), d(8);
+  bool differed = false;
+  for (int attempt = 1; attempt <= 8 && !differed; ++attempt) {
+    differed = policy.DelayMs(attempt, &c) != policy.DelayMs(attempt, &d);
+  }
+  EXPECT_TRUE(differed);
+}
+
+TEST(BackoffPolicyTest, CapGrowsGeometricallyThenClamps) {
+  recovery::BackoffPolicy policy;
+  policy.initial_backoff_ms = 10;
+  policy.max_backoff_ms = 100;
+  policy.multiplier = 2;
+  EXPECT_DOUBLE_EQ(policy.CapMs(1), 10);
+  EXPECT_DOUBLE_EQ(policy.CapMs(2), 20);
+  EXPECT_DOUBLE_EQ(policy.CapMs(3), 40);
+  EXPECT_DOUBLE_EQ(policy.CapMs(4), 80);
+  EXPECT_DOUBLE_EQ(policy.CapMs(5), 100);   // Clamped.
+  EXPECT_DOUBLE_EQ(policy.CapMs(50), 100);  // And stays clamped.
+}
+
+// ---------------------------------------------------------------------------
+// Retry budget accounting.
+
+TEST(RetryBudgetTest, EarnAndSpendAccounting) {
+  server::RetryBudget::Options options;
+  // 0.25 is exact in binary floating point, so "four first-tries buy one
+  // retry" can be asserted with equality rather than tolerance.
+  options.earn_per_request = 0.25;
+  options.max_tokens = 3.0;
+  server::RetryBudget budget(options);
+  // Starts full: a fresh client can retry through a brief hiccup.
+  EXPECT_DOUBLE_EQ(budget.tokens(), 3.0);
+  EXPECT_TRUE(budget.TrySpend());
+  EXPECT_TRUE(budget.TrySpend());
+  EXPECT_TRUE(budget.TrySpend());
+  EXPECT_FALSE(budget.TrySpend());  // Dry.
+  EXPECT_EQ(budget.denied(), 1);
+  // Four first-try requests earn exactly one retry back.
+  for (int i = 0; i < 4; ++i) budget.OnRequest();
+  EXPECT_TRUE(budget.TrySpend());
+  EXPECT_FALSE(budget.TrySpend());
+  EXPECT_EQ(budget.denied(), 2);
+  // The bucket never exceeds its cap.
+  for (int i = 0; i < 1000; ++i) budget.OnRequest();
+  EXPECT_DOUBLE_EQ(budget.tokens(), 3.0);
+}
+
+TEST(RetryBudgetTest, ConcurrentSpendNeverOvergrants) {
+  server::RetryBudget::Options options;
+  options.earn_per_request = 0.0;  // No income: grants must total <= cap.
+  options.max_tokens = 16.0;
+  server::RetryBudget budget(options);
+  std::atomic<int> granted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 64; ++i) {
+        if (budget.TrySpend()) granted.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(granted.load(), 16);
+  EXPECT_EQ(budget.denied(), 4 * 64 - 16);
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker state machine (fake clock; the half-open probe race is
+// the TSAN-sensitive part).
+
+TEST(CircuitBreakerTest, LifecycleWithFakeClock) {
+  auto clock = std::make_shared<std::atomic<int64_t>>(0);
+  server::CircuitBreaker::Options options;
+  options.failure_threshold = 3;
+  options.open_ms = 100;
+  options.close_after = 2;
+  options.clock_ms = [clock] { return clock->load(); };
+  server::CircuitBreaker breaker(options);
+
+  EXPECT_EQ(breaker.state(), server::CircuitBreaker::State::kClosed);
+  // A success between failures resets the consecutive count.
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  breaker.RecordSuccess();
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), server::CircuitBreaker::State::kClosed);
+  breaker.RecordFailure();  // Third consecutive: trips.
+  EXPECT_EQ(breaker.state(), server::CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_GE(breaker.denied(), 1);
+
+  // Open period lapses: exactly one probe may fly.
+  clock->store(150);
+  EXPECT_EQ(breaker.state(), server::CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(breaker.Allow());
+  EXPECT_FALSE(breaker.Allow());  // Probe already in flight.
+  // Probe fails: straight back to open for a full period.
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), server::CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.Allow());
+
+  clock->store(300);
+  ASSERT_TRUE(breaker.Allow());
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), server::CircuitBreaker::State::kHalfOpen);
+  ASSERT_TRUE(breaker.Allow());  // Slot free again after the success.
+  breaker.RecordSuccess();       // Second consecutive: closes.
+  EXPECT_EQ(breaker.state(), server::CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.Allow());
+}
+
+TEST(CircuitBreakerTest, HalfOpenAdmitsExactlyOneProbeUnderContention) {
+  auto clock = std::make_shared<std::atomic<int64_t>>(0);
+  server::CircuitBreaker::Options options;
+  options.failure_threshold = 1;
+  options.open_ms = 10;
+  options.clock_ms = [clock] { return clock->load(); };
+  server::CircuitBreaker breaker(options);
+  breaker.RecordFailure();
+  ASSERT_EQ(breaker.state(), server::CircuitBreaker::State::kOpen);
+  clock->store(20);  // Half-open from the next evaluation on.
+
+  // Many callers race for the single probe slot; exactly one may win.
+  std::atomic<int> allowed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      if (breaker.Allow()) allowed.fetch_add(1);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(allowed.load(), 1);
+  breaker.RecordSuccess();
+}
+
+// ---------------------------------------------------------------------------
+// Admission controller: refusal paths, then the CoDel control law and the
+// brownout latch on a fake clock.
+
+TEST(AdmissionTest, ImmediateAdmitBelowCapacity) {
+  safety::AdmissionOptions options;
+  options.capacity = 2;
+  safety::AdmissionController controller(options);
+  EXPECT_EQ(controller.Admit(0).outcome, AdmitOutcome::kAdmitted);
+  EXPECT_EQ(controller.Admit(0).outcome, AdmitOutcome::kAdmitted);
+  safety::AdmissionSnapshot snap = controller.Snapshot();
+  EXPECT_EQ(snap.in_flight, 2);
+  EXPECT_EQ(snap.admitted_total, 2);
+  controller.Leave();
+  controller.Leave();
+  EXPECT_EQ(controller.Snapshot().in_flight, 0);
+}
+
+TEST(AdmissionTest, QueueFullRefusedImmediatelyWithRetryHint) {
+  safety::AdmissionOptions options;
+  options.capacity = 1;
+  options.max_queue = 1;
+  safety::AdmissionController controller(options);
+  ASSERT_EQ(controller.Admit(1).outcome, AdmitOutcome::kAdmitted);
+
+  // One waiter fills the bounded queue...
+  std::thread waiter([&] { controller.Admit(0); });
+  while (controller.Snapshot().queued < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // ...so the next arrival is refused without waiting at all — even at
+  // priority: the queue bound protects memory, not fairness.
+  safety::AdmitDecision decision = controller.Admit(5);
+  EXPECT_EQ(decision.outcome, AdmitOutcome::kQueueFull);
+  EXPECT_GT(decision.retry_after_ms, 0);
+  controller.Leave();
+  waiter.join();
+  controller.Leave();
+}
+
+TEST(AdmissionTest, WaiterTimesOutWhenSlotNeverFrees) {
+  safety::AdmissionOptions options;
+  options.capacity = 1;
+  options.max_wait_ms = 50;
+  safety::AdmissionController controller(options);
+  ASSERT_EQ(controller.Admit(1).outcome, AdmitOutcome::kAdmitted);
+  const int64_t start = WallMs();
+  safety::AdmitDecision decision = controller.Admit(0);
+  EXPECT_EQ(decision.outcome, AdmitOutcome::kTimedOut);
+  EXPECT_GE(WallMs() - start, 45);
+  EXPECT_GT(decision.retry_after_ms, 0);
+  EXPECT_EQ(controller.Snapshot().shed_total, 1);
+  controller.Leave();
+}
+
+TEST(AdmissionTest, ShutdownWakesWaitersAndRefusesNewWork) {
+  safety::AdmissionOptions options;
+  options.capacity = 1;
+  options.max_wait_ms = 60000;
+  safety::AdmissionController controller(options);
+  ASSERT_EQ(controller.Admit(1).outcome, AdmitOutcome::kAdmitted);
+  std::atomic<int> outcome{-1};
+  std::thread waiter([&] {
+    outcome.store(static_cast<int>(controller.Admit(0).outcome));
+  });
+  while (controller.Snapshot().queued < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  controller.Shutdown();
+  waiter.join();
+  EXPECT_EQ(outcome.load(), static_cast<int>(AdmitOutcome::kShutdown));
+  EXPECT_EQ(controller.Admit(1).outcome, AdmitOutcome::kShutdown);
+}
+
+// Drives a controller through a deterministic CoDel episode on a fake
+// clock: waiter threads park in Admit(0); the test owns when the clock
+// moves and when the current slot holder leaves, so sojourn times — and
+// therefore every control-law transition — are exact.
+class CodelHarness {
+ public:
+  explicit CodelHarness(safety::AdmissionController* controller)
+      : controller_(controller) {}
+
+  ~CodelHarness() { Join(); }
+
+  void SpawnWaiter() {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads_.emplace_back([this] {
+      safety::AdmitDecision decision = controller_->Admit(0);
+      std::unique_lock<std::mutex> lock(mu_);
+      if (decision.outcome == AdmitOutcome::kShed) ++shed_;
+      if (decision.outcome == AdmitOutcome::kAdmitted) {
+        const int order = ++admitted_;
+        cv_.notify_all();
+        cv_.wait(lock, [&] { return released_ >= order; });
+        lock.unlock();
+        controller_->Leave();
+        return;
+      }
+      cv_.notify_all();
+    });
+  }
+
+  void WaitAdmitted(int n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return admitted_ >= n; });
+  }
+
+  void WaitShed(int n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return shed_ >= n; });
+  }
+
+  void WaitQueued(int n) {
+    while (controller_->Snapshot().queued < n) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  /// Lets the longest-held admitted waiter release its slot.
+  void ReleaseOne() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++released_;
+    cv_.notify_all();
+  }
+
+  int shed() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return shed_;
+  }
+
+  void Join() {
+    std::vector<std::thread> threads;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      threads.swap(threads_);
+    }
+    for (auto& thread : threads) thread.join();
+  }
+
+ private:
+  safety::AdmissionController* controller_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::thread> threads_;
+  int admitted_ = 0;
+  int released_ = 0;
+  int shed_ = 0;
+};
+
+safety::AdmissionOptions FakeClockCodelOptions(
+    const std::shared_ptr<std::atomic<int64_t>>& clock) {
+  safety::AdmissionOptions options;
+  options.capacity = 1;
+  options.max_queue = 64;
+  options.max_wait_ms = 1'000'000;
+  options.target_ms = 1;
+  options.interval_ms = 10;
+  options.brownout_after_ms = 50;
+  options.brownout_exit_ms = 30;
+  options.clock_ms = [clock] { return clock->load(); };
+  return options;
+}
+
+// Runs the scripted episode that latches brownout: standing queue above
+// target for an interval -> dropping; one shed at the drop cadence;
+// dropping sustained past brownout_after_ms -> brownout. Leaves the
+// controller with the slot free, brownout latched, and `dropping` still
+// set. Shared with the service-level brownout test below.
+void DriveIntoBrownout(safety::AdmissionController* controller,
+                       std::atomic<int64_t>* clock, CodelHarness* harness) {
+  // t=0: an unrelated request holds the only slot; two waiters queue.
+  ASSERT_EQ(controller->Admit(1).outcome, AdmitOutcome::kAdmitted);
+  harness->SpawnWaiter();
+  harness->SpawnWaiter();
+  harness->WaitQueued(2);
+
+  // t=10: slot frees; the winner's sojourn (10ms) is over target with the
+  // queue still populated, starting the one-interval grace period.
+  clock->store(10);
+  controller->Leave();
+  harness->WaitAdmitted(1);
+  harness->SpawnWaiter();
+  harness->WaitQueued(2);
+
+  // t=30: past the grace interval -> the controller enters `dropping`
+  // (the first drop is scheduled one period out, so this winner passes).
+  clock->store(30);
+  harness->ReleaseOne();
+  harness->WaitAdmitted(2);
+  EXPECT_TRUE(controller->Snapshot().dropping);
+  harness->SpawnWaiter();
+  harness->WaitQueued(2);
+
+  // A third waiter keeps the queue populated through the next admission:
+  // a winner that empties the queue would (correctly) read that as the
+  // congestion clearing and reset the dropping state.
+  harness->SpawnWaiter();
+  harness->WaitQueued(3);
+
+  // t=45: past drop_next -> the first waiter to wake is shed (the cadence
+  // advances), the next takes the slot, the last stays parked.
+  clock->store(45);
+  harness->ReleaseOne();
+  harness->WaitShed(1);
+  harness->WaitAdmitted(3);
+  EXPECT_EQ(harness->shed(), 1);
+  EXPECT_GE(controller->Snapshot().drop_count, 2);
+  EXPECT_TRUE(controller->Snapshot().dropping);
+
+  // t=85: dropping has been continuous since t=30 (> brownout_after_ms):
+  // brownout latches.
+  clock->store(85);
+  EXPECT_TRUE(controller->InBrownout());
+  EXPECT_EQ(controller->Snapshot().brownout_entries, 1);
+
+  // Drain the episode: the parked waiter is the last out, and its
+  // empty-queue admission ends the dropping state (brownout stays latched
+  // until the calm has lasted brownout_exit_ms).
+  harness->ReleaseOne();
+  harness->WaitAdmitted(4);
+  harness->ReleaseOne();
+  harness->Join();
+}
+
+TEST(AdmissionTest, CodelShedsStandingQueueAndBrownoutLatches) {
+  auto clock = std::make_shared<std::atomic<int64_t>>(0);
+  safety::AdmissionController controller(FakeClockCodelOptions(clock));
+  CodelHarness harness(&controller);
+  DriveIntoBrownout(&controller, clock.get(), &harness);
+
+  // Load gone: a below-target admission leaves the dropping state, which
+  // starts (not completes) the brownout exit clock.
+  safety::AdmitDecision calm = controller.Admit(1);
+  ASSERT_EQ(calm.outcome, AdmitOutcome::kAdmitted);
+  controller.Leave();
+  EXPECT_FALSE(controller.Snapshot().dropping);
+  EXPECT_TRUE(controller.InBrownout());
+
+  clock->store(85 + 25);  // Calm, but shy of brownout_exit_ms.
+  EXPECT_TRUE(controller.InBrownout());
+  clock->store(85 + 35);  // Calm past the exit threshold: unlatch.
+  EXPECT_FALSE(controller.InBrownout());
+  EXPECT_EQ(controller.Snapshot().brownout_entries, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Stuck-frame watchdog and bounded drain (socket-level units; the service
+// versions run under ChaosNet below).
+
+TEST(WatchdogTest, ReapsOverdueFdAndSparesDisarmed) {
+  int reaped_pair[2];
+  int spared_pair[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, reaped_pair), 0);
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, spared_pair), 0);
+  net::WatchdogOptions options;
+  options.deadline_ms = 50;
+  options.scan_interval_ms = 5;
+  net::Watchdog watchdog(options);
+
+  uint64_t overdue = watchdog.Arm(reaped_pair[0]);
+  ASSERT_NE(overdue, 0u);
+  uint64_t prompt = watchdog.Arm(spared_pair[0]);
+  watchdog.Disarm(prompt);  // Payload "arrived": clock stopped in time.
+
+  const int64_t deadline = WallMs() + 5000;
+  while (watchdog.reaped() < 1 && WallMs() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(watchdog.reaped(), 1);
+  // The reaped fd was shutdown(2): a read now sees EOF instead of
+  // blocking forever.
+  char byte;
+  EXPECT_EQ(recv(reaped_pair[0], &byte, 1, 0), 0);
+  // The disarmed fd is untouched (recv would block: nothing to read, no
+  // EOF) — probe with MSG_DONTWAIT.
+  EXPECT_EQ(recv(spared_pair[0], &byte, 1, MSG_DONTWAIT), -1);
+  // Disarming after the reap is a harmless no-op.
+  watchdog.Disarm(overdue);
+  EXPECT_EQ(watchdog.reaped(), 1);
+
+  for (int fd : {reaped_pair[0], reaped_pair[1], spared_pair[0],
+                 spared_pair[1]}) {
+    close(fd);
+  }
+}
+
+TEST(ConnectionSetTest, DrainForceClosesSendWedgedHandler) {
+  // A handler wedged in send() toward a peer that stopped reading is the
+  // one shutdown case SHUT_RD can't cure; the drain must force it.
+  auto listener = net::Listener::Open(net::ListenerOptions{});
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  auto peer = server::Client::Connect("127.0.0.1", listener->port());
+  ASSERT_TRUE(peer.ok()) << peer.status();
+  // Shrink the receive window so the sender wedges after a few KB.
+  int tiny = 2048;
+  setsockopt(peer->fd(), SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny));
+  std::atomic<bool> never_stop{false};
+  int fd = listener->AcceptOne(never_stop, nullptr);
+  ASSERT_GE(fd, 0);
+
+  net::ConnectionSet conns;
+  std::atomic<bool> handler_started{false};
+  ASSERT_TRUE(conns.Spawn(
+      fd,
+      [&](int conn_fd) {
+        int small = 2048;
+        setsockopt(conn_fd, SOL_SOCKET, SO_SNDBUF, &small, sizeof(small));
+        handler_started.store(true);
+        std::string chunk(8192, 'x');
+        // The peer never reads: this loop blocks in send() until the
+        // force phase shuts the socket down under it.
+        while (net::SendAll(conn_fd, chunk)) {
+        }
+      },
+      /*max_connections=*/4));
+  while (!handler_started.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  const int64_t start = WallMs();
+  int forced = conns.DrainAndJoin(/*grace_ms=*/200);
+  const int64_t elapsed = WallMs() - start;
+  EXPECT_EQ(forced, 1);
+  // Bounded: roughly the grace period, never the send timeout.
+  EXPECT_LT(elapsed, 5000);
+  peer->Close();
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointer pause: the brownout side effect, at the engine level.
+
+TEST(CheckpointerPauseTest, PausedCheckpointerDefersUntilResumed) {
+  std::string dir = testing::TempDir() + "/resilience_ckpt";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  recovery::DurableOptions durable;
+  durable.checkpoint_every_records = 1;  // Every mutation wants a snapshot.
+  auto engine = QueryEngine::OpenDurable(dir, durable);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  ASSERT_TRUE(engine->StartBackgroundCheckpointer(5).ok());
+  engine->SetCheckpointerPaused(true);
+  EXPECT_TRUE(engine->checkpointer_paused());
+
+  ASSERT_TRUE(engine->DefineRegions("a", RegionSet{Region{0, 4}}).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  // Work is pending but the paused checkpointer must not have taken it.
+  EXPECT_TRUE(engine->durable_store()->ShouldCheckpoint());
+
+  engine->SetCheckpointerPaused(false);
+  EXPECT_FALSE(engine->checkpointer_paused());
+  const int64_t deadline = WallMs() + 10000;
+  while (engine->durable_store()->ShouldCheckpoint() && WallMs() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_FALSE(engine->durable_store()->ShouldCheckpoint());
+  engine->StopBackgroundCheckpointer();
+}
+
+// ---------------------------------------------------------------------------
+// Live service: overload shedding and brownout over the wire.
+
+class ResilienceServiceTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    safety::FailpointRegistry::Default().DisarmAll();
+    if (chaos_ != nullptr) chaos_->Stop();
+    if (service_ != nullptr) service_->Stop();
+  }
+
+  void StartService(server::ServiceOptions options = {}) {
+    auto started = server::QueryService::Start(std::move(options));
+    ASSERT_TRUE(started.ok()) << started.status();
+    service_ = std::move(started).value();
+    auto engine = QueryEngine::FromSgmlSource(kDoc);
+    ASSERT_TRUE(engine.ok()) << engine.status();
+    ASSERT_TRUE(
+        service_->AddInstance("corpus1", std::move(engine).value()).ok());
+  }
+
+  void StartChaos(server::ChaosOptions options = {}) {
+    options.upstream_port = service_->port();
+    auto started = server::ChaosNet::Start(std::move(options));
+    ASSERT_TRUE(started.ok()) << started.status();
+    chaos_ = std::move(started).value();
+  }
+
+  server::Request MakeRequest(const std::string& tenant,
+                              const std::string& query) {
+    server::Request request;
+    request.tenant = tenant;
+    request.instance = "corpus1";
+    request.query = query;
+    return request;
+  }
+
+  // Direct (chaos-free) liveness probe: after whatever a test dished out,
+  // the service must still answer a fresh client correctly.
+  void ExpectStillServing() {
+    ASSERT_FALSE(service_->stopping());
+    auto client = server::Client::Connect("127.0.0.1", service_->port());
+    ASSERT_TRUE(client.ok()) << client.status();
+    auto response = client->Call(MakeRequest("probe", "para within sec"));
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_TRUE(response->ok) << response->message;
+    EXPECT_EQ(response->row_count, 3);
+  }
+
+  std::unique_ptr<server::QueryService> service_;
+  std::unique_ptr<server::ChaosNet> chaos_;
+};
+
+TEST_F(ResilienceServiceTest, OverloadShedsTypedRepliesAndRecovers) {
+  server::ServiceOptions options;
+  options.admission.capacity = 1;
+  options.admission.max_queue = 2;
+  options.admission.max_wait_ms = 100;
+  options.admission.target_ms = 1;
+  options.admission.interval_ms = 10;
+  options.admission.brownout_after_ms = 1'000'000;  // Not under test here.
+  StartService(std::move(options));
+
+  // Occupy the only execution slot (as a long-running request would), so
+  // the storm below meets a genuinely saturated service.
+  ASSERT_EQ(service_->admission().Admit(1).outcome, AdmitOutcome::kAdmitted);
+
+  std::atomic<int> overloaded{0};
+  std::atomic<int> transport_errors{0};
+  std::atomic<int> hintless_sheds{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 6; ++t) {
+    clients.emplace_back([&] {
+      auto client = server::Client::Connect("127.0.0.1", service_->port());
+      if (!client.ok()) {
+        transport_errors.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < 3; ++i) {
+        auto response = client->Call(MakeRequest("burst", "para within sec"));
+        if (!response.ok()) {
+          transport_errors.fetch_add(1);
+          return;
+        }
+        if (!response->ok && response->code == "OVERLOADED") {
+          overloaded.fetch_add(1);
+          if (response->retry_after_ms <= 0) hintless_sheds.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+
+  // Every storm request got a *typed* refusal with a backoff hint on a
+  // healthy connection — never a dropped frame or a torn socket.
+  EXPECT_EQ(transport_errors.load(), 0);
+  EXPECT_EQ(overloaded.load(), 6 * 3);
+  EXPECT_EQ(hintless_sheds.load(), 0);
+  EXPECT_GE(service_->admission().Snapshot().shed_total, overloaded.load());
+
+  // Load gone: the service answers immediately again.
+  service_->admission().Leave();
+  ExpectStillServing();
+}
+
+TEST_F(ResilienceServiceTest, BrownoutServesCacheResidentQueriesOnly) {
+  auto clock = std::make_shared<std::atomic<int64_t>>(0);
+  server::ServiceOptions options;
+  options.admission = FakeClockCodelOptions(clock);
+  StartService(std::move(options));
+
+  // Warm the result cache while healthy: this query (and only it) will
+  // stay answerable during the brownout.
+  {
+    auto client = server::Client::Connect("127.0.0.1", service_->port());
+    ASSERT_TRUE(client.ok()) << client.status();
+    for (int i = 0; i < 2; ++i) {
+      auto warm = client->Call(MakeRequest("warm", "para within sec"));
+      ASSERT_TRUE(warm.ok()) << warm.status();
+      ASSERT_TRUE(warm->ok) << warm->message;
+    }
+  }
+
+  // Latch brownout deterministically through the service's controller.
+  CodelHarness harness(&service_->admission());
+  DriveIntoBrownout(&service_->admission(), clock.get(), &harness);
+  ASSERT_TRUE(service_->admission().InBrownout());
+
+  auto client = server::Client::Connect("127.0.0.1", service_->port());
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  // Cold query: typed brownout refusal with a retry hint.
+  server::Request cold = MakeRequest("brown", "word \"alpha\"");
+  cold.priority = 1;  // Above the CoDel shed line: the refusal we see is
+                      // the brownout's, not the control law's.
+  auto refused = client->Call(cold);
+  ASSERT_TRUE(refused.ok()) << refused.status();
+  EXPECT_FALSE(refused->ok);
+  EXPECT_EQ(refused->code, "OVERLOADED");
+  EXPECT_NE(refused->message.find("brownout"), std::string::npos)
+      << refused->message;
+  EXPECT_GT(refused->retry_after_ms, 0);
+
+  // Warm query: still served, browned out or not.
+  server::Request hot = MakeRequest("brown", "para within sec");
+  hot.priority = 1;
+  auto served = client->Call(hot);
+  ASSERT_TRUE(served.ok()) << served.status();
+  EXPECT_TRUE(served->ok) << served->message;
+  EXPECT_EQ(served->row_count, 3);
+
+  // Calm long enough and the latch releases: cold queries work again.
+  clock->fetch_add(1000);
+  auto recovered = client->Call(cold);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_TRUE(recovered->ok) << recovered->message;
+  EXPECT_FALSE(service_->admission().InBrownout());
+  ExpectStillServing();
+}
+
+// ---------------------------------------------------------------------------
+// ChaosNet-driven tests (extra ctest label `chaos` via the name hook).
+
+using ResilienceChaosTest = ResilienceServiceTest;
+
+server::ResilientClientOptions FastRetryOptions() {
+  server::ResilientClientOptions options;
+  options.max_attempts = 4;
+  options.sleeper = [](double) {};  // No real backoff sleeps in tests.
+  return options;
+}
+
+TEST_F(ResilienceChaosTest, TornFrameTriggersReconnectAndReplay) {
+  StartService();
+  StartChaos();
+  // Exactly the first proxied connection tears the request mid-frame.
+  ASSERT_TRUE(safety::FailpointRegistry::Default()
+                  .ArmFromSpec("chaos.net.torn#1")
+                  .ok());
+  auto client = server::ResilientClient::Connect(
+      "127.0.0.1", chaos_->port(), FastRetryOptions());
+  ASSERT_TRUE(client.ok()) << client.status();
+  auto response = client->Call(MakeRequest("t", "para within sec"));
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_TRUE(response->ok) << response->message;
+  EXPECT_EQ(response->row_count, 3);
+  // The replay was transparent but visible in the stats.
+  EXPECT_EQ(client->stats().retries, 1);
+  EXPECT_EQ(client->stats().reconnects, 1);
+  EXPECT_EQ(chaos_->faults_injected(), 1);
+  ExpectStillServing();
+}
+
+TEST_F(ResilienceChaosTest, RstMidRequestReplaysOnlyWhenIdempotent) {
+  StartService();
+  StartChaos();
+
+  // Idempotent: the historical die-forever-on-ECONNRESET case, now a
+  // transparent reconnect-and-replay.
+  ASSERT_TRUE(safety::FailpointRegistry::Default()
+                  .ArmFromSpec("chaos.net.rst#1")
+                  .ok());
+  auto client = server::ResilientClient::Connect(
+      "127.0.0.1", chaos_->port(), FastRetryOptions());
+  ASSERT_TRUE(client.ok()) << client.status();
+  auto replayed = client->Call(MakeRequest("t", "para within sec"),
+                               /*idempotent=*/true);
+  ASSERT_TRUE(replayed.ok()) << replayed.status();
+  EXPECT_TRUE(replayed->ok) << replayed->message;
+  EXPECT_GE(client->stats().reconnects, 1);
+
+  // Non-idempotent: the request may have executed before the RST, so the
+  // client must surface the transport failure instead of replaying.
+  ASSERT_TRUE(safety::FailpointRegistry::Default()
+                  .ArmFromSpec("chaos.net.rst#1")
+                  .ok());
+  auto fresh = server::ResilientClient::Connect(
+      "127.0.0.1", chaos_->port(), FastRetryOptions());
+  ASSERT_TRUE(fresh.ok()) << fresh.status();
+  auto surfaced = fresh->Call(MakeRequest("t", "para within sec"),
+                              /*idempotent=*/false);
+  EXPECT_FALSE(surfaced.ok());
+  EXPECT_EQ(fresh->stats().retries, 0);
+  ExpectStillServing();
+}
+
+TEST_F(ResilienceChaosTest, RstStormOpensBreakerWhichRecoversToClosed) {
+  StartService();
+  StartChaos();
+  // Every proxied connection dies by RST until disarmed.
+  safety::FailpointRegistry::Default().Arm("chaos.net.rst");
+
+  server::ResilientClientOptions options = FastRetryOptions();
+  options.breaker.failure_threshold = 2;
+  options.breaker.open_ms = 100;
+  options.breaker.close_after = 1;
+  auto client = server::ResilientClient::Connect(
+      "127.0.0.1", chaos_->port(), options);
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  auto storm = client->Call(MakeRequest("t", "para within sec"));
+  EXPECT_FALSE(storm.ok());
+  EXPECT_EQ(client->breaker()->state(),
+            server::CircuitBreaker::State::kOpen);
+  EXPECT_GE(client->stats().breaker_denied, 1);
+
+  // Fault cleared + open period lapsed: the half-open probe succeeds and
+  // the breaker closes again — the recovery the chaos suite must prove.
+  safety::FailpointRegistry::Default().DisarmAll();
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  auto recovered = client->Call(MakeRequest("t", "para within sec"));
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_TRUE(recovered->ok) << recovered->message;
+  EXPECT_EQ(client->breaker()->state(),
+            server::CircuitBreaker::State::kClosed);
+  ExpectStillServing();
+}
+
+TEST_F(ResilienceChaosTest, TrickledFrameIsReapedByWatchdog) {
+  server::ServiceOptions options;
+  options.frame_deadline_ms = 150;
+  options.idle_timeout_ms = 2000;
+  StartService(std::move(options));
+  server::ChaosOptions chaos;
+  chaos.trickle_bytes = 1;
+  chaos.trickle_gap_ms = 30;
+  StartChaos(std::move(chaos));
+  safety::FailpointRegistry::Default().Arm("chaos.net.trickle");
+
+  // The trickled bytes keep every per-recv timeout fresh, so only the
+  // whole-frame deadline can end this connection.
+  auto client = server::Client::Connect("127.0.0.1", chaos_->port(),
+                                        /*timeout_ms=*/15000);
+  ASSERT_TRUE(client.ok()) << client.status();
+  auto response = client->Call(MakeRequest("sly", "para within sec"));
+  EXPECT_FALSE(response.ok());
+
+  const int64_t deadline = WallMs() + 10000;
+  while (service_->watchdog_reaped() < 1 && WallMs() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(service_->watchdog_reaped(), 1);
+  ExpectStillServing();
+}
+
+TEST_F(ResilienceChaosTest, FrozenConnectionsDoNotUnboundStop) {
+  server::ServiceOptions options;
+  options.drain_grace_ms = 300;
+  options.idle_timeout_ms = 30000;
+  options.frame_deadline_ms = 0;  // Watchdog off: the drain alone must cope.
+  StartService(std::move(options));
+  server::ChaosOptions chaos;
+  chaos.freeze_ms = 30000;
+  StartChaos(std::move(chaos));
+  safety::FailpointRegistry::Default().Arm("chaos.net.freeze");
+
+  // Two clients park requests behind frozen proxy connections and never
+  // hear back; the server's handlers idle in their next frame read.
+  std::vector<server::Client> frozen;
+  for (int i = 0; i < 2; ++i) {
+    auto client = server::Client::Connect("127.0.0.1", chaos_->port());
+    ASSERT_TRUE(client.ok()) << client.status();
+    ASSERT_TRUE(client->SendRaw(server::EncodeFrame(
+        server::RenderRequest(MakeRequest("ice", "para within sec")))));
+    frozen.push_back(std::move(client).value());
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  const int64_t start = WallMs();
+  service_->Stop();
+  const int64_t elapsed = WallMs() - start;
+  // Bounded by the drain grace plus scheduling noise — never the
+  // 30-second freeze or the idle timeout.
+  EXPECT_LT(elapsed, 5000);
+  EXPECT_TRUE(service_->stopping());
+}
+
+TEST_F(ResilienceChaosTest, HedgedRequestOvertakesFrozenPrimary) {
+  StartService();
+  server::ChaosOptions chaos;
+  chaos.freeze_ms = 20000;
+  StartChaos(std::move(chaos));
+  // Only the first proxied connection (the client's primary) freezes; the
+  // hedge lands on a clean one.
+  ASSERT_TRUE(safety::FailpointRegistry::Default()
+                  .ArmFromSpec("chaos.net.freeze#1")
+                  .ok());
+
+  server::ResilientClientOptions options = FastRetryOptions();
+  options.enable_hedging = true;
+  options.hedge_warmup = 0;
+  options.hedge_min_ms = 5;
+  options.timeout_ms = 10000;
+  auto client = server::ResilientClient::Connect(
+      "127.0.0.1", chaos_->port(), options);
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  auto response = client->Call(MakeRequest("t", "para within sec"));
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_TRUE(response->ok) << response->message;
+  EXPECT_EQ(response->row_count, 3);
+  EXPECT_EQ(client->stats().hedges, 1);
+  EXPECT_EQ(client->stats().hedge_wins, 1);
+  // The win swapped the hedge connection in as the new primary.
+  auto again = client->Call(MakeRequest("t", "word \"alpha\""));
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_TRUE(again->ok) << again->message;
+  ExpectStillServing();
+}
+
+}  // namespace
+}  // namespace regal

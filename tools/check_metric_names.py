@@ -42,6 +42,8 @@ KNOWN_SUBSYSTEMS = frozenset({
     "query",      # per-query latency/memory histograms
     "recorder",   # obs/flight_recorder.h
     "recovery",   # recovery/ (crash recovery, salvage, checkpoints)
+    "resilience", # safety/admission.h + server/ (overload shedding,
+                  # brownout, watchdog, drain, client retry/breaker)
     "safety",     # safety/ (admission, degradation, failpoints)
     "server",     # server/ (multi-tenant query service front-end)
     "storage",    # storage/ (snapshots, atomic writes)

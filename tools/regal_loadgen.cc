@@ -6,13 +6,23 @@
 //   regal_loadgen --port 7070 --connections 16 --tenants team-a,team-b
 //                 --requests 500 --query "para within sec"   (one line)
 //
+// With --open-loop --rate R it switches to a fixed-arrival-rate generator:
+// requests depart on a schedule (R per second, split across connections)
+// regardless of how fast responses come back, which is the only honest way
+// to measure an overloaded service — a closed loop slows its own offered
+// load to match the server and hides the very queueing it should expose
+// (coordinated omission). Latency is measured from each request's
+// *scheduled* departure, typed OVERLOADED sheds are counted separately
+// from failures, and the tool reports goodput alongside raw qps.
+//
 // With --self-test it instead spins up an in-process service hosting two
 // dictionary corpora and drives that — the ctest smoke run (label `server`)
 // proving the whole client/server/governance stack end to end with zero
-// external setup.
+// external setup. --self-test composes with --open-loop.
 
 #include <atomic>
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,16 +53,35 @@ struct LoadgenOptions {
   std::string query = "para within sec";
   int64_t limit = 0;  // Row rendering off by default: measure the engine.
   bool self_test = false;
+  bool open_loop = false;
+  double rate = 0;     // Open loop: total target arrivals/second.
+  int duration_s = 5;  // Open loop: how long to sustain the rate.
 };
 
 struct LoadResult {
   std::vector<double> latencies_ms;
+  int64_t sent = 0;       // Requests that went onto the wire.
   int64_t ok = 0;
+  int64_t shed = 0;       // Typed OVERLOADED replies: the server saying
+                          // "not now", by design — never a failure.
   int64_t rejected = 0;   // Admission/backpressure: retryable by design.
   int64_t failed = 0;     // Engine or protocol errors.
   int64_t transport = 0;  // Connect/send/recv failures: always a bug here.
   double elapsed_s = 0;
 };
+
+void Classify(const server::Response& response, int64_t* ok, int64_t* shed,
+              int64_t* rejected, int64_t* failed) {
+  if (response.ok) {
+    ++*ok;
+  } else if (response.code == "OVERLOADED") {
+    ++*shed;
+  } else if (response.code == "RESOURCE_EXHAUSTED") {
+    ++*rejected;
+  } else {
+    ++*failed;
+  }
+}
 
 double Percentile(std::vector<double>* sorted_ms, double p) {
   if (sorted_ms->empty()) return 0;
@@ -83,6 +112,7 @@ LoadResult RunLoad(const LoadgenOptions& options) {
       request.instance = options.instance;
       request.query = options.query;
       request.limit = options.limit;
+      int64_t shed = 0;
       for (int i = 0; i < options.requests_per_connection; ++i) {
         request.id = c * 1000000 + i;
         Timer timer;
@@ -92,18 +122,14 @@ LoadResult RunLoad(const LoadgenOptions& options) {
           continue;
         }
         latencies.push_back(timer.Millis());
-        if (response->ok) {
-          ++ok;
-        } else if (response->code == "RESOURCE_EXHAUSTED") {
-          ++rejected;
-        } else {
-          ++failed;
-        }
+        Classify(*response, &ok, &shed, &rejected, &failed);
       }
       std::lock_guard<std::mutex> lock(mu);
       result.latencies_ms.insert(result.latencies_ms.end(), latencies.begin(),
                                  latencies.end());
+      result.sent += options.requests_per_connection;
       result.ok += ok;
+      result.shed += shed;
       result.rejected += rejected;
       result.failed += failed;
       result.transport += transport;
@@ -114,22 +140,139 @@ LoadResult RunLoad(const LoadgenOptions& options) {
   return result;
 }
 
+// One open-loop connection: the sender fires requests on a fixed schedule
+// (rate/connections per second) no matter how slowly responses arrive; a
+// paired reader consumes responses — in order, which the wire protocol
+// guarantees per connection — and attributes each latency to the request's
+// *scheduled* departure time, so a stalled server shows up as tail latency
+// instead of silently throttling the offered load.
+void OpenLoopConnection(const LoadgenOptions& options, int c, std::mutex* mu,
+                        LoadResult* result) {
+  const double per_conn_rate =
+      options.rate / static_cast<double>(options.connections);
+  const double gap_ms = 1000.0 / per_conn_rate;
+  const int64_t to_send = std::max<int64_t>(
+      1, static_cast<int64_t>(per_conn_rate * options.duration_s));
+
+  std::vector<double> latencies;
+  int64_t ok = 0, shed = 0, rejected = 0, failed = 0;
+  int64_t send_transport = 0, read_transport = 0;
+  auto client = server::Client::Connect(options.host, options.port);
+  if (!client.ok()) {
+    std::lock_guard<std::mutex> lock(*mu);
+    result->transport += to_send;
+    return;
+  }
+  server::Request request;
+  request.tenant =
+      options.tenants[static_cast<size_t>(c) % options.tenants.size()];
+  request.instance = options.instance;
+  request.query = options.query;
+  request.limit = options.limit;
+
+  std::atomic<int64_t> sent{0};
+  std::atomic<bool> sender_done{false};
+  Timer clock;
+  std::thread reader([&] {
+    int64_t consumed = 0;
+    while (true) {
+      if (consumed >= sent.load(std::memory_order_acquire)) {
+        if (sender_done.load(std::memory_order_acquire) &&
+            consumed >= sent.load(std::memory_order_acquire)) {
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+      auto response = client->ReadResponse();
+      if (!response.ok()) {
+        ++read_transport;  // Everything still in flight died with the
+        break;             // connection; counted once, not per request.
+      }
+      latencies.push_back(clock.Millis() -
+                          static_cast<double>(consumed) * gap_ms);
+      ++consumed;
+      Classify(*response, &ok, &shed, &rejected, &failed);
+    }
+  });
+  for (int64_t i = 0; i < to_send; ++i) {
+    const double depart_ms = static_cast<double>(i) * gap_ms;
+    for (double now = clock.Millis(); now < depart_ms;
+         now = clock.Millis()) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          std::min(depart_ms - now, 5.0)));
+    }
+    request.id = c * 1000000 + i;
+    if (!client->SendRaw(
+            server::EncodeFrame(server::RenderRequest(request)))) {
+      ++send_transport;
+      break;
+    }
+    sent.fetch_add(1, std::memory_order_release);
+  }
+  sender_done.store(true, std::memory_order_release);
+  reader.join();
+
+  std::lock_guard<std::mutex> lock(*mu);
+  result->latencies_ms.insert(result->latencies_ms.end(), latencies.begin(),
+                              latencies.end());
+  result->sent += sent.load(std::memory_order_relaxed);
+  result->ok += ok;
+  result->shed += shed;
+  result->rejected += rejected;
+  result->failed += failed;
+  result->transport += send_transport + read_transport;
+}
+
+LoadResult RunOpenLoad(const LoadgenOptions& options) {
+  LoadResult result;
+  std::mutex mu;
+  std::vector<std::thread> threads;
+  Timer wall;
+  for (int c = 0; c < options.connections; ++c) {
+    threads.emplace_back(OpenLoopConnection, std::cref(options), c, &mu,
+                         &result);
+  }
+  for (auto& t : threads) t.join();
+  result.elapsed_s = wall.Seconds();
+  return result;
+}
+
 int Report(const LoadgenOptions& options, LoadResult result) {
   const double p50 = Percentile(&result.latencies_ms, 0.50);
   const double p99 = Percentile(&result.latencies_ms, 0.99);
-  const int64_t total = result.ok + result.rejected + result.failed;
-  const double qps =
-      result.elapsed_s > 0 ? static_cast<double>(total) / result.elapsed_s : 0;
+  const int64_t answered =
+      result.ok + result.shed + result.rejected + result.failed;
+  const double qps = result.elapsed_s > 0
+                         ? static_cast<double>(answered) / result.elapsed_s
+                         : 0;
+  const double goodput = result.elapsed_s > 0
+                             ? static_cast<double>(result.ok) /
+                                   result.elapsed_s
+                             : 0;
   std::printf(
-      "connections=%d tenants=%zu requests=%lld ok=%lld rejected=%lld "
-      "failed=%lld transport_errors=%lld\n",
+      "connections=%d tenants=%zu sent=%lld ok=%lld shed=%lld "
+      "rejected=%lld failed=%lld transport_errors=%lld\n",
       options.connections, options.tenants.size(),
-      static_cast<long long>(total), static_cast<long long>(result.ok),
+      static_cast<long long>(result.sent), static_cast<long long>(result.ok),
+      static_cast<long long>(result.shed),
       static_cast<long long>(result.rejected),
       static_cast<long long>(result.failed),
       static_cast<long long>(result.transport));
-  std::printf("elapsed_s=%.3f qps=%.1f p50_ms=%.3f p99_ms=%.3f\n",
-              result.elapsed_s, qps, p50, p99);
+  if (options.open_loop) {
+    const double send_rate =
+        result.elapsed_s > 0
+            ? static_cast<double>(result.sent) / result.elapsed_s
+            : 0;
+    std::printf("open_loop target_rate=%.1f send_rate=%.1f\n", options.rate,
+                send_rate);
+  }
+  std::printf(
+      "elapsed_s=%.3f qps=%.1f goodput_qps=%.1f p50_ms=%.3f p99_ms=%.3f\n",
+      result.elapsed_s, qps, goodput, p50, p99);
+  // Sheds and quota rejections are the service working as designed; only
+  // transport trouble, hard failures or a total absence of successes make
+  // a load run exit nonzero.
   return result.transport == 0 && result.failed == 0 && result.ok > 0 ? 0 : 1;
 }
 
@@ -160,7 +303,8 @@ int SelfTest(LoadgenOptions options) {
   options.instance = "corpus1";
   options.query = "def within sense";
   std::printf("self-test service on port %d\n", options.port);
-  int exit_code = Report(options, RunLoad(options));
+  int exit_code = Report(
+      options, options.open_loop ? RunOpenLoad(options) : RunLoad(options));
   // The drain path is part of the smoke test: Stop() must return with
   // every handler joined, not hang on a dead connection.
   (*service)->Stop();
@@ -185,7 +329,8 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s --port P [--host H] [--connections N] [--requests R]\n"
       "          [--tenants a,b,...] [--instance NAME] [--query Q]\n"
-      "          [--limit L] | --self-test\n",
+      "          [--limit L] [--open-loop --rate R [--duration S]]\n"
+      "          | --self-test [--open-loop --rate R]\n",
       argv0);
   return 2;
 }
@@ -216,6 +361,12 @@ int Main(int argc, char** argv) {
       options.query = v;
     } else if (arg == "--limit" && (v = value()) != nullptr) {
       options.limit = std::atoll(v);
+    } else if (arg == "--open-loop") {
+      options.open_loop = true;
+    } else if (arg == "--rate" && (v = value()) != nullptr) {
+      options.rate = std::atof(v);
+    } else if (arg == "--duration" && (v = value()) != nullptr) {
+      options.duration_s = std::atoi(v);
     } else {
       return Usage(argv[0]);
     }
@@ -224,9 +375,13 @@ int Main(int argc, char** argv) {
       options.requests_per_connection <= 0) {
     return Usage(argv[0]);
   }
+  if (options.open_loop && (options.rate <= 0 || options.duration_s <= 0)) {
+    return Usage(argv[0]);
+  }
   if (options.self_test) return SelfTest(std::move(options));
   if (options.port <= 0) return Usage(argv[0]);
-  return Report(options, RunLoad(options));
+  return Report(options,
+                options.open_loop ? RunOpenLoad(options) : RunLoad(options));
 }
 
 }  // namespace
